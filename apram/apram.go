@@ -1,0 +1,247 @@
+// Package apram is the public API of this repository: wait-free data
+// structures for the asynchronous PRAM model, after Aspnes & Herlihy,
+// "Wait-Free Data Structures in the Asynchronous PRAM Model" (SPAA
+// 1990).
+//
+// Everything here is built from atomic registers only — no locks, no
+// compare-and-swap — and every operation is wait-free: it completes in
+// a bounded number of the calling goroutine's own steps no matter what
+// other goroutines do, including stopping for ever. The cost of that
+// guarantee is the paper's O(n²) synchronization overhead per
+// operation, where n is the number of declared process slots.
+//
+// # Process slots
+//
+// Every object is created for a fixed number n of process slots. A
+// slot may be used by at most one goroutine at a time (slots own their
+// registers — the single-writer discipline of the model); distinct
+// slots run fully concurrently. Typical use assigns one slot per
+// worker goroutine.
+//
+// # What you can build
+//
+//   - Snapshot: an atomic scan over any ∨-semilattice (Section 6).
+//   - ArraySnapshot: the classic single-writer array snapshot.
+//   - Agreement: wait-free approximate agreement (Section 4).
+//   - Object: the universal construction for any sequential type
+//     satisfying Property 1 — pairs of operations commute or overwrite
+//     (Section 5).
+//   - Counter, Clock: type-specific optimized wait-free objects.
+//
+// # What you cannot build
+//
+// Types that solve two-process consensus — queues, stacks, test&set,
+// compare&swap — have no deterministic wait-free implementation from
+// registers (the paper's Section 1, citing Herlihy's impossibility
+// results). NewCheckedObject detects such types by their algebra and
+// refuses them.
+package apram
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// Lattice is a ∨-semilattice with a bottom element; see the concrete
+// lattices MaxInt, MaxFloat, SetUnion, MapMax, Product and Vector.
+type Lattice = lattice.Lattice
+
+// Ready-made lattices.
+type (
+	// MaxInt is int64 under max, with a distinct bottom.
+	MaxInt = lattice.MaxInt
+	// MaxFloat is float64 under max, with a distinct bottom.
+	MaxFloat = lattice.MaxFloat
+	// SetUnion is string sets under union.
+	SetUnion = lattice.SetUnion
+	// MapMax is string→int64 maps under key-wise max.
+	MapMax = lattice.MapMax
+	// Product joins two lattices component-wise.
+	Product = lattice.Product
+	// Set is a SetUnion element.
+	Set = lattice.Set
+	// IntMap is a MapMax element.
+	IntMap = lattice.IntMap
+	// Pair is a Product element.
+	Pair = lattice.Pair
+)
+
+// NewSet builds a SetUnion element.
+func NewSet(keys ...string) Set { return lattice.NewSet(keys...) }
+
+// Snapshot is the wait-free atomic scan object of Section 6: Update
+// joins a value into the shared state, ReadMax returns the join of
+// everything updated so far, and Scan does both at once. Any two scan
+// results are comparable and the object is linearizable.
+type Snapshot = snapshot.Snapshot
+
+// NewSnapshot returns an n-slot snapshot over lat.
+func NewSnapshot(n int, lat Lattice) *Snapshot { return snapshot.New(n, lat) }
+
+// ArraySnapshot is an n-element array in which slot p writes element p
+// and Scan returns an instantaneous view of the whole array.
+type ArraySnapshot = snapshot.ArraySnapshot
+
+// NewArraySnapshot returns the paper's array snapshot (the semilattice
+// scan over tagged vectors).
+func NewArraySnapshot(n int) ArraySnapshot { return snapshot.NewArray(n) }
+
+// Agreement is the wait-free approximate agreement object of Section 4
+// (Figure 2): processes Input real values and every Output is within
+// the input range and within ε of every other output.
+type Agreement = agreement.Native
+
+// NewAgreement returns an n-slot approximate agreement object with
+// tolerance eps > 0.
+func NewAgreement(n int, eps float64) *Agreement { return agreement.NewNative(n, eps) }
+
+// Spec is a sequential specification with declared commute/overwrite
+// algebra; see package documentation for the Property 1 requirement.
+type Spec = spec.Spec
+
+// Inv is an invocation of a Spec operation.
+type Inv = spec.Inv
+
+// Object is the universal construction of Section 5.4: a wait-free
+// linearizable object for any Property 1 specification.
+type Object = core.Universal
+
+// NewObject returns an n-slot wait-free object implementing s. The
+// spec's algebra is trusted; prefer NewCheckedObject for specs that
+// have not been independently validated.
+func NewObject(s Spec, n int) *Object { return core.New(s, n) }
+
+// NewCheckedObject validates the spec's declared algebra (and
+// Property 1) on the provided sample states and invocations before
+// construction, returning an error for types — like FIFO queues — that
+// cannot be implemented wait-free from registers.
+func NewCheckedObject(s Spec, n int, states []spec.State, invs []Inv) (*Object, error) {
+	return core.NewChecked(s, n, states, invs)
+}
+
+// Ready-made Property 1 specifications for use with NewObject.
+type (
+	// CounterSpec is the paper's counter: inc, dec, reset, read.
+	CounterSpec = types.Counter
+	// ClockSpec is a vector logical clock: merge, readclock.
+	ClockSpec = types.Clock
+	// GSetSpec is a grow-set with clear: add, clear, members.
+	GSetSpec = types.GSet
+	// MaxRegSpec is a max-register: writemax, readmax.
+	MaxRegSpec = types.MaxReg
+	// RegisterSpec is a read/write register: write, readreg.
+	RegisterSpec = types.Register
+	// DirectorySpec is a last-writer-wins map: put, del, get, getall.
+	DirectorySpec = types.Directory
+)
+
+// The deliberate Property 1 failures, exported so callers can see
+// NewCheckedObject reject them: the FIFO queue and the sticky bit (a
+// consensus object). Neither has a deterministic wait-free register
+// implementation.
+type (
+	// QueueSpec is a FIFO queue: enq, deq. Fails Property 1.
+	QueueSpec = types.Queue
+	// StickyBitSpec is a write-once bit: set, readbit. Fails Property 1.
+	StickyBitSpec = types.StickyBit
+)
+
+// Invocation constructors for the ready-made specs.
+var (
+	// Inc builds a counter inc(amount) invocation.
+	Inc = types.Inc
+	// Dec builds a counter dec(amount) invocation.
+	Dec = types.Dec
+	// Reset builds a counter reset(amount) invocation.
+	Reset = types.Reset
+	// Read builds a counter read() invocation.
+	Read = types.Read
+	// Add builds a gset add(elem) invocation.
+	Add = types.Add
+	// Clear builds a gset clear() invocation.
+	Clear = types.Clear
+	// Members builds a gset members() invocation.
+	Members = types.Members
+	// Merge builds a clock merge(timestamp) invocation.
+	Merge = types.Merge
+	// ReadClock builds a clock readclock() invocation.
+	ReadClock = types.ReadClock
+	// WriteMax builds a maxreg writemax(v) invocation.
+	WriteMax = types.WriteMax
+	// ReadMax builds a maxreg readmax() invocation.
+	ReadMax = types.ReadMaxInv
+	// Put builds a directory put(k, v) invocation.
+	Put = types.Put
+	// Del builds a directory del(k) invocation.
+	Del = types.Del
+	// Get builds a directory get(k) invocation.
+	Get = types.Get
+	// GetAll builds a directory getall() invocation.
+	GetAll = types.GetAll
+)
+
+// PRMW is the pseudo read-modify-write object of Anderson (the
+// paper's Section 2 related work): commuting-function updates that
+// return no value, plus a linearizable read. Updates and reads each
+// cost one wait-free snapshot operation.
+type PRMW = types.PRMW
+
+// CommutingFamily describes the function family a PRMW object applies;
+// AddFamily, MaxFamily and XorFamily are ready-made.
+type CommutingFamily = types.CommutingFamily
+
+// Ready-made commuting families.
+type (
+	// AddFamily is x ↦ x+k.
+	AddFamily = types.AddFamily
+	// MaxFamily is x ↦ max(x,k).
+	MaxFamily = types.MaxFamily
+	// XorFamily is x ↦ x⊕k.
+	XorFamily = types.XorFamily
+)
+
+// NewPRMW returns an n-slot pseudo read-modify-write object over fam.
+func NewPRMW(n int, fam CommutingFamily) *PRMW { return types.NewPRMW(n, fam) }
+
+// Counter is the type-specific optimized wait-free counter (inc, dec,
+// reset, read) — the Section 5.4 closing-remark optimization. It is
+// semantically identical to NewObject(CounterSpec{}, n) and roughly an
+// order of magnitude cheaper.
+type Counter = types.DirectCounter
+
+// NewCounter returns an n-slot wait-free counter.
+func NewCounter(n int) *Counter { return types.NewDirectCounter(n) }
+
+// Clock is the type-specific optimized wait-free vector logical clock.
+type Clock = types.DirectClock
+
+// NewClock returns an n-slot wait-free logical clock.
+func NewClock(n int) *Clock { return types.NewDirectClock(n) }
+
+// Consensus is randomized wait-free binary consensus from registers —
+// the construction deterministic register algorithms cannot achieve
+// (the paper's Section 1 impossibility), made possible by randomizing:
+// agreement and validity hold deterministically, termination with
+// probability 1 in constant expected rounds. The shared coin inside is
+// the random walk over the wait-free counter that Section 5.1 cites as
+// the counter's motivating application.
+type Consensus = consensus.Consensus
+
+// NewConsensus returns an n-slot binary consensus object. The seed
+// controls the local randomness of the shared coins (reproducibility);
+// safety never depends on it.
+func NewConsensus(n int, seed int64) *Consensus { return consensus.New(n, seed) }
+
+// AdoptCommit is the wait-free adopt-commit object underlying
+// Consensus, exposed because it is independently useful: if any
+// process commits a value, every process leaves the object holding it.
+type AdoptCommit = consensus.AdoptCommit
+
+// NewAdoptCommit returns an n-slot adopt-commit object for
+// non-negative integer proposals.
+func NewAdoptCommit(n int) *AdoptCommit { return consensus.NewAdoptCommit(n) }

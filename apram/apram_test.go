@@ -1,0 +1,125 @@
+package apram_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/apram"
+)
+
+func TestSnapshotFacade(t *testing.T) {
+	s := apram.NewSnapshot(2, apram.MaxInt{})
+	s.Update(0, int64(4))
+	s.Update(1, int64(9))
+	if got := s.ReadMax(0).(int64); got != 9 {
+		t.Errorf("ReadMax = %d", got)
+	}
+}
+
+func TestArraySnapshotFacade(t *testing.T) {
+	a := apram.NewArraySnapshot(3)
+	a.Update(1, "hello")
+	view := a.Scan(0)
+	if view[1] != "hello" || view[0] != nil {
+		t.Errorf("view = %v", view)
+	}
+}
+
+func TestAgreementFacade(t *testing.T) {
+	ag := apram.NewAgreement(2, 0.5)
+	var wg sync.WaitGroup
+	out := make([]float64, 2)
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out[p] = ag.Agree(p, float64(p))
+		}(p)
+	}
+	wg.Wait()
+	if math.Abs(out[0]-out[1]) >= 0.5 {
+		t.Errorf("outputs %v not within eps", out)
+	}
+}
+
+func TestObjectFacade(t *testing.T) {
+	obj := apram.NewObject(apram.CounterSpec{}, 2)
+	obj.Execute(0, apram.Inc(4))
+	obj.Execute(1, apram.Dec(1))
+	if got := obj.Execute(0, apram.Read()); got != int64(3) {
+		t.Errorf("Read = %v", got)
+	}
+}
+
+func TestCheckedObjectFacade(t *testing.T) {
+	c := apram.CounterSpec{}
+	if _, err := apram.NewCheckedObject(c, 2, c.SampleStates(), c.SampleInvocations()); err != nil {
+		t.Errorf("counter rejected: %v", err)
+	}
+}
+
+func TestCounterFacade(t *testing.T) {
+	c := apram.NewCounter(4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				c.Inc(p, 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := c.Read(0); got != 40 {
+		t.Errorf("Read = %d, want 40", got)
+	}
+}
+
+func TestClockFacade(t *testing.T) {
+	c := apram.NewClock(2)
+	c.Merge(0, apram.IntMap{"a": 5})
+	c.Tick(1, "b")
+	got := c.Read(0)
+	if got["a"] != 5 || got["b"] != 1 {
+		t.Errorf("Read = %v", got)
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	s := apram.NewSet("x", "y")
+	if !s.Has("x") || s.Has("z") {
+		t.Error("set membership wrong")
+	}
+	snap := apram.NewSnapshot(1, apram.SetUnion{})
+	snap.Update(0, s)
+	snap.Update(0, apram.NewSet("z"))
+	got := snap.ReadMax(0).(apram.Set)
+	if len(got.Keys()) != 3 {
+		t.Errorf("keys = %v", got.Keys())
+	}
+}
+
+func TestGSetObject(t *testing.T) {
+	obj := apram.NewObject(apram.GSetSpec{}, 2)
+	obj.Execute(0, apram.Add("a"))
+	obj.Execute(1, apram.Add("b"))
+	got := obj.Execute(0, apram.Members()).([]string)
+	if len(got) != 2 {
+		t.Errorf("members = %v", got)
+	}
+	obj.Execute(1, apram.Clear())
+	if got := obj.Execute(0, apram.Members()).([]string); len(got) != 0 {
+		t.Errorf("members after clear = %v", got)
+	}
+}
+
+func TestMaxRegObject(t *testing.T) {
+	obj := apram.NewObject(apram.MaxRegSpec{}, 2)
+	obj.Execute(0, apram.WriteMax(17))
+	obj.Execute(1, apram.WriteMax(5))
+	if got := obj.Execute(0, apram.ReadMax()); got != int64(17) {
+		t.Errorf("ReadMax = %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+package apram_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/apram"
+)
+
+// ExampleNewCounter shows the wait-free counter under concurrent use.
+func ExampleNewCounter() {
+	const workers = 4
+	c := apram.NewCounter(workers + 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Inc(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Println(c.Read(workers))
+	// Output: 400
+}
+
+// ExampleNewSnapshot demonstrates the semilattice scan: updates join
+// into the shared state and ReadMax returns the join of everything so
+// far.
+func ExampleNewSnapshot() {
+	s := apram.NewSnapshot(3, apram.MaxInt{})
+	s.Update(0, int64(7))
+	s.Update(1, int64(42))
+	s.Update(2, int64(13))
+	fmt.Println(s.ReadMax(0))
+	// Output: 42
+}
+
+// ExampleNewArraySnapshot shows an instantaneous view of a
+// single-writer array.
+func ExampleNewArraySnapshot() {
+	a := apram.NewArraySnapshot(3)
+	a.Update(0, "alpha")
+	a.Update(2, "gamma")
+	view := a.Scan(1)
+	fmt.Println(view[0], view[1], view[2])
+	// Output: alpha <nil> gamma
+}
+
+// ExampleNewObject runs a grow-set through the universal construction.
+func ExampleNewObject() {
+	obj := apram.NewObject(apram.GSetSpec{}, 2)
+	obj.Execute(0, apram.Add("b"))
+	obj.Execute(1, apram.Add("a"))
+	members := obj.Execute(0, apram.Members()).([]string)
+	sort.Strings(members)
+	fmt.Println(members)
+	// Output: [a b]
+}
+
+// ExampleNewAgreement shows approximate agreement: outputs land within
+// the inputs and within eps of each other.
+func ExampleNewAgreement() {
+	ag := apram.NewAgreement(2, 0.5)
+	var wg sync.WaitGroup
+	out := make([]float64, 2)
+	inputs := []float64{10, 20}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out[p] = ag.Agree(p, inputs[p])
+		}(p)
+	}
+	wg.Wait()
+	gap := out[0] - out[1]
+	if gap < 0 {
+		gap = -gap
+	}
+	fmt.Println(gap < 0.5, out[0] >= 10 && out[0] <= 20)
+	// Output: true true
+}
+
+// ExampleNewConsensus elects one of two proposed values; all callers
+// always receive the same decision.
+func ExampleNewConsensus() {
+	cons := apram.NewConsensus(2, 1)
+	var wg sync.WaitGroup
+	out := make([]int, 2)
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out[p] = cons.Decide(p, p) // process p proposes p
+		}(p)
+	}
+	wg.Wait()
+	fmt.Println(out[0] == out[1], out[0] == 0 || out[0] == 1)
+	// Output: true true
+}
+
+// ExampleNewClock merges vector timestamps wait-free.
+func ExampleNewClock() {
+	clk := apram.NewClock(2)
+	clk.Merge(0, apram.IntMap{"a": 3})
+	clk.Merge(1, apram.IntMap{"a": 1, "b": 2})
+	ts := clk.Read(0)
+	fmt.Println(ts["a"], ts["b"])
+	// Output: 3 2
+}

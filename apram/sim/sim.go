@@ -1,0 +1,116 @@
+// Package sim exposes the asynchronous PRAM simulator as public API:
+// step-granular shared memory, cloneable process machines, pluggable
+// and adversarial schedulers, exact access accounting, and exhaustive
+// schedule enumeration. It is the substrate every simulation-mode
+// result in this repository is measured on, and it is reusable for
+// model-checking your own register-based algorithms:
+//
+//	mem := sim.NewMem(registers, processes)
+//	sys := sim.NewSystem(mem, machines)       // machines implement sim.Machine
+//	err := sys.Run(sim.NewRandom(seed), 0)    // one sampled schedule
+//	leaves, err := sim.Explore(sys2, budget,  // every schedule
+//	    func(final *sim.System) { /* assert invariants */ })
+//
+// A Machine performs at most one shared read or write per Step — the
+// asynchronous PRAM cost model — and must be cloneable, which is what
+// makes lookahead adversaries and exhaustive exploration possible.
+package sim
+
+import (
+	"repro/internal/pram"
+	"repro/internal/sched"
+)
+
+// Core simulator types.
+type (
+	// Mem is an array of atomic registers with access counting and
+	// optional single-writer/single-reader enforcement.
+	Mem = pram.Mem
+	// Value is a register's contents (treat as immutable).
+	Value = pram.Value
+	// Machine is a process as a step-granular cloneable state machine.
+	Machine = pram.Machine
+	// System is a set of machines sharing one memory.
+	System = pram.System
+	// Scheduler chooses which process steps next.
+	Scheduler = pram.Scheduler
+	// Counters reports reads/writes, in total and per process.
+	Counters = pram.Counters
+	// OpSpan is a completed operation's real-time interval.
+	OpSpan = pram.OpSpan
+	// Progress is implemented by machines that report completed ops.
+	Progress = pram.Progress
+)
+
+// Errors surfaced by runs.
+var (
+	// ErrStepLimit reports an exhausted step budget.
+	ErrStepLimit = pram.ErrStepLimit
+	// ErrStopped reports a scheduler that halted the run.
+	ErrStopped = pram.ErrStopped
+	// ErrBudget reports an exhausted exploration budget.
+	ErrBudget = pram.ErrBudget
+)
+
+// NoOwner marks a register free of writer/reader restrictions.
+const NoOwner = pram.NoOwner
+
+// NewMem returns a memory of size registers for nproc processes.
+func NewMem(size, nproc int) *Mem { return pram.NewMem(size, nproc) }
+
+// NewSystem assembles machines over a shared memory.
+func NewSystem(m *Mem, machines []Machine) *System { return pram.NewSystem(m, machines) }
+
+// RunTimed runs the system recording per-operation intervals.
+func RunTimed(s *System, sc Scheduler, maxSteps int) ([]OpSpan, error) {
+	return pram.RunTimed(s, sc, maxSteps)
+}
+
+// Explore enumerates every schedule of the system (see pram.Explore).
+func Explore(sys *System, budget int, onDone func(*System)) (int, error) {
+	return pram.Explore(sys, budget, onDone)
+}
+
+// ExploreCrashes enumerates every schedule and ≤ maxCrashes crash
+// pattern.
+func ExploreCrashes(sys *System, maxCrashes, budget int, onDone func(*System, []int)) (int, error) {
+	return pram.ExploreCrashes(sys, maxCrashes, budget, onDone)
+}
+
+// Schedulers.
+type (
+	// RoundRobin cycles processes fairly.
+	RoundRobin = sched.RoundRobin
+	// Random picks uniformly with a seeded source.
+	Random = sched.Random
+	// Bursty runs geometric bursts (models pre-emption and paging).
+	Bursty = sched.Bursty
+	// Crash stops a victim after a step budget.
+	Crash = sched.Crash
+	// Priority starves all but one process for a budget.
+	Priority = sched.Priority
+	// Trace records scheduling decisions for replay.
+	Trace = sched.Trace
+	// Replay replays a recorded schedule.
+	Replay = sched.Replay
+	// Func adapts a function to the Scheduler interface.
+	Func = sched.Func
+)
+
+// NewRoundRobin returns a fair cyclic scheduler.
+func NewRoundRobin() *RoundRobin { return sched.NewRoundRobin() }
+
+// NewRandom returns a seeded uniform scheduler.
+func NewRandom(seed int64) *Random { return sched.NewRandom(seed) }
+
+// NewBursty returns a seeded bursty scheduler.
+func NewBursty(seed int64, meanBurst int) *Bursty { return sched.NewBursty(seed, meanBurst) }
+
+// NewPriority returns a starvation scheduler.
+func NewPriority(favored, budget int) *Priority { return sched.NewPriority(favored, budget) }
+
+// NewTrace returns a recording wrapper around inner.
+func NewTrace(inner Scheduler) *Trace { return sched.NewTrace(inner) }
+
+// NewReplay returns a scheduler replaying a recorded decision list.
+func NewReplay(script []int) *Replay { return sched.NewReplay(script) }

@@ -1,0 +1,577 @@
+// Package repro_test is the benchmark harness: one testing.B benchmark
+// per experiment in DESIGN.md's index (E1..E11), plus micro-benchmarks
+// of the core primitives. Custom metrics carry the paper's quantities
+// (steps/op, reads/op, forced-steps) alongside the usual ns/op.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem .
+//
+// The full tables (with parameter sweeps) come from cmd/aprambench;
+// these benchmarks pin one representative configuration per experiment
+// so regressions in either speed or step counts show up in CI.
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/lingraph"
+	"repro/internal/pram"
+	"repro/internal/register"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// --- E1: approximate agreement steps vs Theorem 5 ---------------------
+
+func BenchmarkE1ApproxAgreementSteps(b *testing.B) {
+	const n = 8
+	delta, eps := 1.0, 1e-4
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = delta * float64(i) / float64(n-1)
+	}
+	var maxSteps uint64
+	for i := 0; i < b.N; i++ {
+		sys := agreement.NewSystem(inputs, eps)
+		out, err := agreement.Run(sys, sched.NewRandom(int64(i)), inputs, eps, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.MaxSteps() > maxSteps {
+			maxSteps = out.MaxSteps()
+		}
+	}
+	b.ReportMetric(float64(maxSteps), "steps/proc")
+	b.ReportMetric(float64(agreement.StepBound(n, delta, eps)), "thm5-bound")
+}
+
+// --- E2: Lemma 3 range shrinkage --------------------------------------
+
+func BenchmarkE2RangeShrink(b *testing.B) {
+	inputs := []float64{0, 0.25, 0.5, 0.75, 1}
+	eps := 1e-6
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		sys := agreement.NewSystem(inputs, eps)
+		var tr agreement.RoundTracker
+		tr.Attach(sys.Mem)
+		if _, err := agreement.Run(sys, sched.NewRandom(int64(i)), inputs, eps, 0); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tr.ShrinkRatios() {
+			worst = math.Max(worst, r)
+		}
+	}
+	b.ReportMetric(worst, "worst-shrink(≤0.5)")
+}
+
+// --- E3: Lemma 6 adversary ---------------------------------------------
+
+func BenchmarkE3AdversaryLowerBound(b *testing.B) {
+	const k = 6
+	eps := math.Pow(3, -k)
+	var forced uint64 = math.MaxUint64
+	for i := 0; i < b.N; i++ {
+		sys := agreement.NewSystem([]float64{0, 1}, eps)
+		rep, err := agreement.RunAdversary(sys, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MinSteps() < forced {
+			forced = rep.MinSteps()
+		}
+	}
+	b.ReportMetric(float64(forced), "forced-steps")
+	b.ReportMetric(float64(agreement.LowerBound(1, eps)), "log3-floor")
+}
+
+// --- E4: the hierarchy --------------------------------------------------
+
+func BenchmarkE4Hierarchy(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			eps := math.Pow(3, -float64(k))
+			var floor, ceil uint64
+			for i := 0; i < b.N; i++ {
+				sys := agreement.NewSystem([]float64{0, 1}, eps)
+				rep, err := agreement.RunAdversary(sys, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				floor = rep.MinSteps()
+				fair := agreement.NewSystem([]float64{0, 1}, eps)
+				out, err := agreement.Run(fair, sched.NewRoundRobin(), []float64{0, 1}, eps, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ceil = out.MaxSteps()
+			}
+			b.ReportMetric(float64(floor), "adversary-steps")
+			b.ReportMetric(float64(ceil), "fair-steps")
+		})
+	}
+}
+
+// --- E5: exact Scan costs ------------------------------------------------
+
+func BenchmarkE5ScanOpCounts(b *testing.B) {
+	for _, variant := range []struct {
+		name      string
+		optimized bool
+	}{{"literal", false}, {"optimized", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			const n = 8
+			lay := snapshot.Layout{Base: 0, N: n}
+			lat := lattice.MaxInt{}
+			var reads, writes uint64
+			for i := 0; i < b.N; i++ {
+				mem := pram.NewMem(lay.Regs(), n)
+				lay.Install(mem, lat)
+				machines := make([]pram.Machine, n)
+				for p := 0; p < n; p++ {
+					m := snapshot.NewScanMachine(p, lay, lat, variant.optimized)
+					m.Enqueue(int64(p))
+					machines[p] = m
+				}
+				sys := pram.NewSystem(mem, machines)
+				if err := sys.Run(sched.NewRoundRobin(), 0); err != nil {
+					b.Fatal(err)
+				}
+				c := sys.Mem.Counters()
+				reads, writes = c.ReadsBy[0], c.WritesBy[0]
+			}
+			b.ReportMetric(float64(reads), "reads/scan")
+			b.ReportMetric(float64(writes), "writes/scan")
+		})
+	}
+}
+
+// --- E6: universal construction overhead ---------------------------------
+
+func BenchmarkE6UniversalOverhead(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var perOp uint64
+			for i := 0; i < b.N; i++ {
+				mem := pram.NewMem(n*(n+2), n)
+				u := core.NewSim(types.Counter{}, n, 0, mem)
+				machines := make([]pram.Machine, n)
+				for p := 0; p < n; p++ {
+					machines[p] = core.NewMachine(u, p, []spec.Inv{types.Inc(1)})
+				}
+				sys := pram.NewSystem(mem, machines)
+				if err := sys.Run(sched.NewRoundRobin(), 0); err != nil {
+					b.Fatal(err)
+				}
+				c := sys.Mem.Counters()
+				perOp = c.ReadsBy[0] + c.WritesBy[0]
+			}
+			b.ReportMetric(float64(perOp), "accesses/op")
+			b.ReportMetric(float64(perOp)/float64(n*n), "accesses/op/n²")
+		})
+	}
+}
+
+// --- E7: snapshot implementation comparison ------------------------------
+
+func BenchmarkE7SnapshotComparison(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func(n int) snapshot.ArraySnapshot
+	}{
+		{"figure5", func(n int) snapshot.ArraySnapshot { return snapshot.NewArray(n) }},
+		{"afek", func(n int) snapshot.ArraySnapshot { return snapshot.NewAfek(n) }},
+		{"doublecollect", func(n int) snapshot.ArraySnapshot { return snapshot.NewDoubleCollect(n) }},
+		{"mutex", func(n int) snapshot.ArraySnapshot { return snapshot.NewLock(n) }},
+	}
+	for _, impl := range impls {
+		for _, n := range []int{4, 16} {
+			b.Run(fmt.Sprintf("%s/n=%d/solo", impl.name, n), func(b *testing.B) {
+				a := impl.mk(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%2 == 0 {
+						a.Update(0, i)
+					} else {
+						a.Scan(0)
+					}
+				}
+			})
+		}
+		b.Run(impl.name+"/n=4/contended", func(b *testing.B) {
+			a := impl.mk(4)
+			var wg sync.WaitGroup
+			per := b.N/4 + 1
+			b.ResetTimer()
+			for p := 0; p < 4; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if i%2 == 0 {
+							a.Update(p, i)
+						} else {
+							a.Scan(p)
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// --- E8: failure tolerance ------------------------------------------------
+
+func BenchmarkE8FailureInjection(b *testing.B) {
+	// Wait-free counter with a peer that contributed once and then
+	// stopped for ever: per-op cost must match the healthy case. (The
+	// mutex counterpart cannot be benchmarked stalled — survivor
+	// throughput is identically zero; see aprambench -exp e8.)
+	b.Run("waitfree/healthy", func(b *testing.B) {
+		c := types.NewDirectCounter(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(0, 1)
+		}
+	})
+	b.Run("waitfree/stalled-peer", func(b *testing.B) {
+		c := types.NewDirectCounter(2)
+		c.Inc(1, 1) // the peer publishes once, then never steps again
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(0, 1)
+		}
+	})
+	b.Run("mutex/healthy", func(b *testing.B) {
+		c := types.NewLockCounter()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(1)
+		}
+	})
+}
+
+// --- E9: convergence bases --------------------------------------------------
+
+func BenchmarkE9ConvergenceBase(b *testing.B) {
+	eps := math.Pow(3, -8)
+	lo := math.Inf(1)
+	for i := 0; i < b.N; i++ {
+		sys := agreement.NewSystem([]float64{0, 1}, eps)
+		rep, err := agreement.RunAdversary(sys, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j < len(rep.GapTrace); j++ {
+			if rep.GapTrace[j-1] > 0 {
+				lo = math.Min(lo, rep.GapTrace[j]/rep.GapTrace[j-1])
+			}
+		}
+	}
+	b.ReportMetric(lo, "worst-gap-shrink(≥1/3)")
+}
+
+// --- E10: algebra checking ---------------------------------------------------
+
+func BenchmarkE10AlgebraCheck(b *testing.B) {
+	for _, s := range types.AllTypes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			states, invs := s.SampleStates(), s.SampleInvocations()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec.CheckAlgebra(s, states, invs)
+			}
+		})
+	}
+}
+
+// --- E11: type-specific vs universal ----------------------------------------
+
+func BenchmarkE11TypeSpecific(b *testing.B) {
+	const n = 4
+	const historyLen = 128 // rebuild the universal object at this history length
+	b.Run("universal", func(b *testing.B) {
+		u := core.New(types.Counter{}, n)
+		ops := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ops == historyLen {
+				b.StopTimer()
+				u = core.New(types.Counter{}, n)
+				ops = 0
+				b.StartTimer()
+			}
+			u.Execute(i%n, types.Inc(1))
+			ops++
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		c := types.NewDirectCounter(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(i%n, 1)
+		}
+	})
+}
+
+// --- micro-benchmarks of the primitives --------------------------------------
+
+func BenchmarkSnapshotScanNative(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := snapshot.New(n, lattice.MaxInt{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Scan(0, int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	const n = 8
+	c := types.NewDirectCounter(n)
+	var slot int64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		p := int(slot) % n
+		slot++
+		mu.Unlock()
+		for pb.Next() {
+			c.Inc(p, 1)
+		}
+	})
+}
+
+func BenchmarkAgreementNative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := agreement.NewNative(2, 1e-3)
+		var wg sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				a.Agree(p, float64(p))
+			}(p)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkLingraphBuild(b *testing.B) {
+	for _, k := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			s := types.Counter{}
+			invs := s.SampleInvocations()
+			g := lingraph.NewGraph(k)
+			ops := make([]spec.Inv, k)
+			procs := make([]int, k)
+			for i := 0; i < k; i++ {
+				ops[i] = invs[i%len(invs)]
+				procs[i] = i % 4
+				if i >= 4 {
+					g.AddPrecedence(i-4, i)
+				}
+			}
+			dom := func(i, j int) bool {
+				return spec.Dominates(s, ops[i], procs[i], ops[j], procs[j])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, err := lingraph.Build(g, dom)
+				if err != nil {
+					b.Fatal(err)
+				}
+				l.Order()
+			}
+		})
+	}
+}
+
+func BenchmarkUniversalExecute(b *testing.B) {
+	for _, s := range []types.Sampler{types.Counter{}, types.GSet{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			u := core.New(s, 4)
+			invs := s.SampleInvocations()
+			ops := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ops == 128 {
+					b.StopTimer()
+					u = core.New(s, 4)
+					ops = 0
+					b.StartTimer()
+				}
+				u.Execute(i%4, invs[i%len(invs)])
+				ops++
+			}
+		})
+	}
+}
+
+// BenchmarkScanJoinAblation ablates the in-place join fast path of the
+// native snapshot (DESIGN.md decision 2 / EXPERIMENTS.md E7 caveat):
+// "generic" forces element-allocating joins by hiding the InPlace
+// methods behind a plain Lattice wrapper, "inplace" uses the fast
+// path.
+func BenchmarkScanJoinAblation(b *testing.B) {
+	const n = 16
+	vl := lattice.Vector{N: n}
+	b.Run("generic", func(b *testing.B) {
+		s := snapshot.New(n, hideInPlace{vl})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Scan(0, vl.Single(0, uint64(i+1), i))
+		}
+	})
+	b.Run("inplace", func(b *testing.B) {
+		s := snapshot.New(n, vl)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Scan(0, vl.Single(0, uint64(i+1), i))
+		}
+	})
+}
+
+// hideInPlace strips the InPlace extension from a lattice so the
+// ablation's generic arm really takes the allocating path.
+type hideInPlace struct{ l lattice.Lattice }
+
+func (h hideInPlace) Bottom() any       { return h.l.Bottom() }
+func (h hideInPlace) Join(a, b any) any { return h.l.Join(a, b) }
+func (h hideInPlace) Leq(a, b any) bool { return h.l.Leq(a, b) }
+
+// --- E12: randomized consensus (extension) ------------------------------
+
+func BenchmarkE12Consensus(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			maxRounds := 0
+			for i := 0; i < b.N; i++ {
+				c := consensus.New(n, int64(i))
+				var wg sync.WaitGroup
+				for p := 0; p < n; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						c.Decide(p, p%2)
+					}(p)
+				}
+				wg.Wait()
+				for p := 0; p < n; p++ {
+					if r := c.RoundsUsed(p); r > maxRounds {
+						maxRounds = r
+					}
+				}
+			}
+			b.ReportMetric(float64(maxRounds), "max-rounds")
+		})
+	}
+}
+
+// --- E13: register constructions (extension) -----------------------------
+
+func BenchmarkE13Registers(b *testing.B) {
+	b.Run("swmr-read/k=8", func(b *testing.B) {
+		lay := register.SWMRLayout{Base: 0, Writer: 0}
+		for i := 0; i < 8; i++ {
+			lay.Readers = append(lay.Readers, i+1)
+		}
+		var steps uint64
+		for i := 0; i < b.N; i++ {
+			mem := pram.NewMem(lay.Regs(), 9)
+			lay.Install(mem)
+			r := register.NewSWMRReader(lay, 0, 1)
+			machines := []pram.Machine{register.NewSWMRWriter(lay, []pram.Value{"x"})}
+			machines = append(machines, r)
+			for j := 1; j < 8; j++ {
+				machines = append(machines, register.NewSWMRReader(lay, j, 0))
+			}
+			sys := pram.NewSystem(mem, machines)
+			for !r.Done() {
+				sys.Step(1)
+			}
+			steps = sys.Mem.Counters().AccessesBy(1)
+		}
+		b.ReportMetric(float64(steps), "steps/read")
+	})
+	b.Run("mrmw-write/n=8", func(b *testing.B) {
+		lay := register.MRMWLayout{Base: 0}
+		for w := 0; w < 8; w++ {
+			lay.Writers = append(lay.Writers, w)
+		}
+		var steps uint64
+		for i := 0; i < b.N; i++ {
+			mem := pram.NewMem(lay.Regs(), 8)
+			lay.Install(mem)
+			machines := make([]pram.Machine, 8)
+			for w := 0; w < 8; w++ {
+				var script []pram.Value
+				if w == 0 {
+					script = []pram.Value{"x"}
+				}
+				machines[w] = register.NewMRMWWriter(lay, w, script)
+			}
+			sys := pram.NewSystem(mem, machines)
+			if err := sys.RunSolo(0, 0); err != nil {
+				b.Fatal(err)
+			}
+			steps = sys.Mem.Counters().AccessesBy(0)
+		}
+		b.ReportMetric(float64(steps), "steps/write")
+	})
+}
+
+// BenchmarkUniversalPureReads ablates the unpublished-pure-read
+// optimization: the same read-heavy counter workload through the
+// normal spec (reads cost one scan, graph stays small) and through a
+// wrapper that hides the Pure declaration (reads publish like any
+// other op and the entry graph grows with every read).
+func BenchmarkUniversalPureReads(b *testing.B) {
+	workload := func(b *testing.B, s spec.Spec) {
+		u := core.New(s, 4)
+		ops := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ops == 256 {
+				b.StopTimer()
+				u = core.New(s, 4)
+				ops = 0
+				b.StartTimer()
+			}
+			if i%8 == 0 {
+				u.Execute(i%4, types.Inc(1))
+			} else {
+				u.Execute(i%4, types.Read())
+			}
+			ops++
+		}
+	}
+	b.Run("pure-reads", func(b *testing.B) { workload(b, types.Counter{}) })
+	b.Run("published-reads", func(b *testing.B) { workload(b, hidePure{types.Counter{}}) })
+}
+
+// hidePure strips the Pure declaration from a spec.
+type hidePure struct{ s spec.Spec }
+
+func (h hidePure) Name() string                                       { return h.s.Name() }
+func (h hidePure) Init() spec.State                                   { return h.s.Init() }
+func (h hidePure) Apply(st spec.State, in spec.Inv) (spec.State, any) { return h.s.Apply(st, in) }
+func (h hidePure) Equal(a, b spec.State) bool                         { return h.s.Equal(a, b) }
+func (h hidePure) Key(st spec.State) string                           { return h.s.Key(st) }
+func (h hidePure) Commutes(p, q spec.Inv) bool                        { return h.s.Commutes(p, q) }
+func (h hidePure) Overwrites(q, p spec.Inv) bool                      { return h.s.Overwrites(q, p) }

@@ -1,0 +1,119 @@
+// Command agree demonstrates wait-free approximate agreement (Figure
+// 2): it spawns one goroutine per input value, each of which inputs
+// its value and decides, and prints the decisions, which are always
+// within the input range and within -eps of one another.
+//
+// Usage:
+//
+//	agree -eps 0.01 3.2 7.9 5.5 4.1
+//	agree -eps 0.001 -trace 0 100
+//
+// With -trace, the run uses the deterministic simulator instead of
+// goroutines and prints per-process step and round counts alongside
+// the Theorem 5 bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/apram"
+	"repro/internal/agreement"
+	"repro/internal/sched"
+)
+
+func main() {
+	eps := flag.Float64("eps", 0.01, "agreement tolerance ε > 0")
+	trace := flag.Bool("trace", false, "run on the deterministic simulator and print step counts")
+	adversary := flag.Bool("adversary", false, "run the Lemma 6 adversary (exactly 2 inputs) and print the forced work")
+	seed := flag.Int64("seed", 1, "scheduler seed for -trace")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "agree: need at least one input value")
+		os.Exit(2)
+	}
+	inputs := make([]float64, len(args))
+	for i, a := range args {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agree: bad input %q: %v\n", a, err)
+			os.Exit(2)
+		}
+		inputs[i] = v
+	}
+
+	if *adversary {
+		runAdversary(inputs, *eps)
+		return
+	}
+	if *trace {
+		runSim(inputs, *eps, *seed)
+		return
+	}
+
+	obj := apram.NewAgreement(len(inputs), *eps)
+	results := make([]float64, len(inputs))
+	var wg sync.WaitGroup
+	for p, x := range inputs {
+		wg.Add(1)
+		go func(p int, x float64) {
+			defer wg.Done()
+			results[p] = obj.Agree(p, x)
+		}(p, x)
+	}
+	wg.Wait()
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for p, r := range results {
+		fmt.Printf("process %d: input %g -> output %g\n", p, inputs[p], r)
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	fmt.Printf("output range %g (< ε = %g)\n", hi-lo, *eps)
+}
+
+func runSim(inputs []float64, eps float64, seed int64) {
+	sys := agreement.NewSystem(inputs, eps)
+	out, err := agreement.Run(sys, sched.NewRandom(seed), inputs, eps, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agree:", err)
+		os.Exit(1)
+	}
+	for p := range inputs {
+		fmt.Printf("process %d: input %g -> output %g  (%d steps, %d rounds)\n",
+			p, inputs[p], out.Results[p], out.StepsBy[p], out.Rounds[p])
+	}
+	bound := agreement.StepBound(len(inputs), out.InputRange, eps)
+	fmt.Printf("output range %g (< ε = %g); Theorem 5 step bound %d\n",
+		out.OutputRange, eps, bound)
+}
+
+// runAdversary executes the Lemma 6 lower-bound strategy and reports
+// the work it forced.
+func runAdversary(inputs []float64, eps float64) {
+	if len(inputs) != 2 {
+		fmt.Fprintln(os.Stderr, "agree: -adversary needs exactly 2 inputs")
+		os.Exit(2)
+	}
+	sys := agreement.NewSystem(inputs, eps)
+	rep, err := agreement.RunAdversary(sys, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agree:", err)
+		os.Exit(1)
+	}
+	delta := math.Abs(inputs[0] - inputs[1])
+	fmt.Printf("inputs %g and %g, ε = %g (Δ/ε = %.3g)\n", inputs[0], inputs[1], eps, delta/eps)
+	fmt.Printf("Lemma 6 floor: ⌊log3(Δ/ε)⌋ = %d steps\n", agreement.LowerBound(delta, eps))
+	fmt.Printf("adversary forced %d / %d steps on the two processes over %d choice points\n",
+		rep.StepsBy[0], rep.StepsBy[1], rep.Choices)
+	fmt.Printf("final outputs: %g and %g (gap %.3g < ε)\n",
+		rep.Results[0], rep.Results[1], math.Abs(rep.Results[0]-rep.Results[1]))
+	for i := 1; i < len(rep.GapTrace) && i <= 12; i++ {
+		fmt.Printf("  choice %2d: preference gap %.6g\n", i, rep.GapTrace[i])
+	}
+}

@@ -1,0 +1,83 @@
+// Command lincheck decides whether a recorded operation history is
+// linearizable with respect to one of the built-in sequential
+// specifications (Section 3.2's correctness condition), reading the
+// JSON format of internal/histio from a file or stdin.
+//
+// Usage:
+//
+//	lincheck history.json
+//	some-recorder | lincheck -
+//	lincheck -witness history.json   # print a legal linearization
+//	lincheck -specs                  # list available specifications
+//
+// Exit status: 0 linearizable, 1 not linearizable, 2 input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/histio"
+	"repro/internal/lincheck"
+)
+
+func main() {
+	witness := flag.Bool("witness", false, "print a legal linearization when one exists")
+	listSpecs := flag.Bool("specs", false, "list available specifications and exit")
+	flag.Parse()
+
+	if *listSpecs {
+		var names []string
+		for name := range histio.Specs() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lincheck [-witness] <history.json | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	s, h, err := histio.Decode(in)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := lincheck.Check(s, h)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Ok {
+		fmt.Printf("NOT linearizable against %q (%d ops, %d states explored)\n",
+			s.Name(), len(h.Ops), res.Explored)
+		os.Exit(1)
+	}
+	fmt.Printf("linearizable against %q (%d ops, %d states explored)\n",
+		s.Name(), len(h.Ops), res.Explored)
+	if *witness {
+		for i, op := range res.Witness {
+			fmt.Printf("  %2d. %v\n", i+1, op)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lincheck:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,87 @@
+// Command snapshot compares the four array-snapshot implementations
+// under a concurrent mixed workload and prints throughput plus the
+// wait-freedom verdicts, miniaturizing experiment E7 for interactive
+// use.
+//
+// Usage:
+//
+//	snapshot -n 8 -dur 200ms
+//	snapshot -n 4 -impl afek
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of process slots")
+	dur := flag.Duration("dur", 200*time.Millisecond, "measurement window per implementation")
+	impl := flag.String("impl", "", "run a single implementation (figure5|afek|doublecollect|mutex)")
+	flag.Parse()
+
+	impls := []struct {
+		name string
+		wf   string
+		mk   func(n int) snapshot.ArraySnapshot
+	}{
+		{"figure5", "wait-free", func(n int) snapshot.ArraySnapshot { return snapshot.NewArray(n) }},
+		{"afek", "wait-free", func(n int) snapshot.ArraySnapshot { return snapshot.NewAfek(n) }},
+		{"doublecollect", "lock-free", func(n int) snapshot.ArraySnapshot {
+			dc := snapshot.NewDoubleCollect(n)
+			dc.MaxRetries = 10_000
+			return dc
+		}},
+		{"mutex", "blocking", func(n int) snapshot.ArraySnapshot { return snapshot.NewLock(n) }},
+	}
+
+	found := false
+	fmt.Printf("%-14s %-10s %12s\n", "impl", "progress", "ops/sec")
+	for _, im := range impls {
+		if *impl != "" && im.name != *impl {
+			continue
+		}
+		found = true
+		ops := run(im.mk(*n), *n, *dur)
+		fmt.Printf("%-14s %-10s %12.0f\n", im.name, im.wf, float64(ops)/dur.Seconds())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "snapshot: unknown implementation %q\n", *impl)
+		os.Exit(2)
+	}
+}
+
+func run(a snapshot.ArraySnapshot, n int, d time.Duration) int64 {
+	var total atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					a.Update(p, i)
+				} else {
+					a.Scan(p)
+				}
+				total.Add(1)
+			}
+		}(p)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	return total.Load()
+}

@@ -1,0 +1,82 @@
+// Clock synchronization with wait-free approximate agreement.
+//
+// A cluster of replicas boots with drifted local clocks. They cannot
+// use consensus (registers cannot solve it, and a crashed replica must
+// not block the cluster), but they do not need it: approximate
+// agreement (paper Section 4) lets every replica adopt a cluster epoch
+// within ε of everyone else's, inside the span of the observed clocks,
+// and wait-free — here one replica crashes mid-protocol and nobody
+// cares.
+//
+// Run it:
+//
+//	go run ./examples/clocksync
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/apram"
+)
+
+func main() {
+	const replicas = 6
+	const epsMillis = 0.5 // required sync precision: half a millisecond
+
+	rng := rand.New(rand.NewSource(42))
+	base := 1_000_000.0 // "true" time in ms
+	clocks := make([]float64, replicas)
+	for i := range clocks {
+		clocks[i] = base + rng.NormFloat64()*40 // tens of ms of drift
+	}
+
+	agreement := apram.NewAgreement(replicas, epsMillis)
+
+	type result struct {
+		replica int
+		epoch   float64
+	}
+	results := make(chan result, replicas)
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			agreement.Input(r, clocks[r])
+			if r == replicas-1 {
+				// This replica crashes after contributing its input:
+				// it never runs Output and never takes another step.
+				// Wait-freedom means the others still finish.
+				return
+			}
+			results <- result{r, agreement.Output(r)}
+		}(r)
+	}
+	wg.Wait()
+	close(results)
+
+	var all []result
+	for res := range results {
+		all = append(all, res)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].replica < all[j].replica })
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	clo, chi := math.Inf(1), math.Inf(-1)
+	for _, c := range clocks {
+		clo, chi = math.Min(clo, c), math.Max(chi, c)
+	}
+	fmt.Printf("local clocks span %.3f ms (drift)\n", chi-clo)
+	for _, res := range all {
+		fmt.Printf("replica %d: local %.3f -> epoch %.3f\n",
+			res.replica, clocks[res.replica], res.epoch)
+		lo, hi = math.Min(lo, res.epoch), math.Max(hi, res.epoch)
+	}
+	fmt.Printf("replica %d crashed after input; survivors unaffected\n", replicas-1)
+	fmt.Printf("epoch span %.6f ms (< ε = %.3f), inside the clock span: %v\n",
+		hi-lo, epsMillis, lo >= clo && hi <= chi)
+}

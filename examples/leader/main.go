@@ -1,0 +1,71 @@
+// Leader election with randomized wait-free consensus.
+//
+// Deterministic consensus from registers is impossible (the paper's
+// Section 1), so a register-only cluster cannot deterministically
+// elect a leader — but a *randomized* protocol can, with safety that
+// is never probabilistic: all replicas always agree on the winner;
+// only the (constant expected) number of rounds is random. The shared
+// coin inside is the paper's own motivating use of the wait-free
+// counter (Section 5.1, citing Aspnes & Herlihy's randomized
+// consensus).
+//
+// Here five replicas each nominate themselves as candidate 0 or 1
+// (say, the two data centers they prefer), two replicas crash before
+// voting, and the survivors still elect unanimously.
+//
+// Run it:
+//
+//	go run ./examples/leader
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/apram"
+)
+
+func main() {
+	const replicas = 5
+	cons := apram.NewConsensus(replicas, 2026)
+
+	prefs := []int{0, 1, 1, 0, 1}
+	type vote struct{ replica, decision int }
+	votes := make(chan vote, replicas)
+
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r >= 3 {
+				// Replicas 3 and 4 crash before participating. The
+				// protocol is wait-free: the survivors never wait for
+				// them.
+				return
+			}
+			votes <- vote{r, cons.Decide(r, prefs[r])}
+		}(r)
+	}
+	wg.Wait()
+	close(votes)
+
+	first := -1
+	for v := range votes {
+		fmt.Printf("replica %d (preferred %d) elected data center %d\n",
+			v.replica, prefs[v.replica], v.decision)
+		if first == -1 {
+			first = v.decision
+		} else if v.decision != first {
+			panic("agreement violated — impossible")
+		}
+	}
+	fmt.Printf("replicas 3,4 crashed before voting; survivors agreed on %d\n", first)
+
+	// A late-recovering replica joins long after the election and
+	// proposes the other data center; consensus hands it the already-
+	// decided value.
+	late := cons.Decide(3, 1-first)
+	fmt.Printf("recovered replica 3 proposed %d, decided %d (sticky agreement)\n",
+		1-first, late)
+}

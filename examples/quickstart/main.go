@@ -1,0 +1,62 @@
+// Quickstart: a wait-free shared counter in five minutes.
+//
+// Eight goroutines hammer one counter — increments, decrements, one
+// reset — with no locks anywhere. Every operation completes in a
+// bounded number of that goroutine's own steps (wait-freedom), and the
+// whole history is linearizable: reads see a single consistent
+// timeline.
+//
+// Run it:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/apram"
+)
+
+func main() {
+	const workers = 8
+	const opsEach = 1000
+
+	// One slot per goroutine. Slots own their registers (the paper's
+	// single-writer discipline), so a slot must not be shared.
+	counter := apram.NewCounter(workers + 1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				if w%2 == 0 {
+					counter.Inc(w, 2)
+				} else {
+					counter.Dec(w, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// 4 incrementers × 1000 × (+2) + 4 decrementers × 1000 × (−1).
+	fmt.Printf("after %d ops: counter = %d (expected %d)\n",
+		workers*opsEach, counter.Read(workers), 4*opsEach*2-4*opsEach)
+
+	// reset overwrites everything that came before it (the paper's
+	// Section 5.1 algebra), and later increments land on top of it.
+	counter.Reset(workers, 0)
+	counter.Inc(0, 7)
+	fmt.Printf("after reset+inc: counter = %d (expected 7)\n", counter.Read(workers))
+
+	// The same data type through the generic universal construction
+	// (Figure 4) — identical semantics, higher constant cost.
+	obj := apram.NewObject(apram.CounterSpec{}, 2)
+	obj.Execute(0, apram.Inc(40))
+	obj.Execute(1, apram.Inc(2))
+	fmt.Printf("universal-construction counter reads %v (expected 42)\n",
+		obj.Execute(0, apram.Read()))
+}

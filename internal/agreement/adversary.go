@@ -1,0 +1,217 @@
+package agreement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/pram"
+)
+
+// This file implements the adversary scheduler from the proof of
+// Lemma 6: for two processes running any deterministic approximate
+// agreement implementation, the adversary forces some process to take
+// at least ⌊log₃(Δ/ε)⌋ steps before finishing.
+//
+// The adversary's tool is the "preference" oracle: a process's
+// preference at any point is the value it would return if it ran by
+// itself until termination. Preferences are well defined because
+// machines are deterministic, and the oracle is implementable because
+// the simulator can fork the entire system (memory + machine state)
+// and run the fork solo. A process's own steps never change its own
+// preference — only a step by the *other* process can.
+//
+// The strategy, verbatim from the proof:
+//
+//	Run P until it is about to change Q's preference, then do the same
+//	for Q. Alternate P and Q in this way as long as neither process
+//	changes preference. [When] each process is about to change the
+//	other's preference ... the adversary now has a choice of running P,
+//	Q, or both. ... The sum of [the three resulting gaps] is at least
+//	|p0 − q0|, thus the adversary can always choose one that is greater
+//	than or equal to |p0 − q0|/3.
+
+// oracleBudget caps a preference oracle's solo run. The algorithm under
+// test is wait-free, so a generous fixed budget suffices; exceeding it
+// means the machine is not wait-free, which the adversary reports.
+const oracleBudget = 1_000_000
+
+// ErrNotWaitFree is returned when a solo run fails to terminate within
+// the oracle budget: the machine under test is not wait-free.
+var ErrNotWaitFree = errors.New("agreement: solo run exceeded step budget; machine is not wait-free")
+
+// Preference returns the value process p would return if it ran alone
+// from the current configuration — the proof's "preference". The
+// system is not modified.
+func Preference(sys *pram.System, p int) (float64, error) {
+	fork := sys.Clone()
+	if err := fork.RunSolo(p, oracleBudget); err != nil {
+		return 0, ErrNotWaitFree
+	}
+	r, ok := fork.Machines[p].(resulter)
+	if !ok {
+		return 0, fmt.Errorf("agreement: machine %T does not expose a result", fork.Machines[p])
+	}
+	return r.Result(), nil
+}
+
+// resulter is any agreement machine exposing the value its output
+// operation returned. Both Machine and test doubles implement it.
+type resulter interface{ Result() float64 }
+
+// AdversaryReport describes one adversarial execution.
+type AdversaryReport struct {
+	// StepsBy is the number of steps each process took before the
+	// first process finished.
+	StepsBy [2]uint64
+	// Choices is the number of three-way choice points the adversary
+	// reached (each shrinks the preference gap by at most 1/3).
+	Choices int
+	// GapTrace records the preference gap at the start and after each
+	// choice point; consecutive ratios are the adversary's achieved
+	// shrink factors.
+	GapTrace []float64
+	// Results are the final outputs after both processes are allowed
+	// to finish.
+	Results [2]float64
+}
+
+// MinSteps returns the smaller per-process step count — a conservative
+// witness for "some process executed at least this many steps".
+func (r AdversaryReport) MinSteps() uint64 {
+	if r.StepsBy[0] < r.StepsBy[1] {
+		return r.StepsBy[0]
+	}
+	return r.StepsBy[1]
+}
+
+// RunAdversary executes the Lemma 6 strategy against a two-process
+// system until one process terminates, then lets both finish and
+// verifies nothing diverged. maxSteps bounds the total real steps as a
+// safety net.
+func RunAdversary(sys *pram.System, maxSteps int) (AdversaryReport, error) {
+	var rep AdversaryReport
+	if len(sys.Machines) != 2 {
+		return rep, fmt.Errorf("agreement: adversary needs exactly 2 processes, got %d", len(sys.Machines))
+	}
+
+	prefs := func() ([2]float64, error) {
+		var out [2]float64
+		for p := 0; p < 2; p++ {
+			v, err := Preference(sys, p)
+			if err != nil {
+				return out, err
+			}
+			out[p] = v
+		}
+		return out, nil
+	}
+
+	cur, err := prefs()
+	if err != nil {
+		return rep, err
+	}
+	rep.GapTrace = append(rep.GapTrace, math.Abs(cur[0]-cur[1]))
+
+	// wouldChange reports whether stepping `stepper` changes the other
+	// process's preference.
+	wouldChange := func(stepper int) (bool, error) {
+		other := 1 - stepper
+		before, err := Preference(sys, other)
+		if err != nil {
+			return false, err
+		}
+		fork := sys.Clone()
+		fork.Step(stepper)
+		after, err := Preference(fork, other)
+		if err != nil {
+			return false, err
+		}
+		return before != after, nil
+	}
+
+	taken := 0
+	budget := func() error {
+		taken++
+		if maxSteps > 0 && taken > maxSteps {
+			return pram.ErrStepLimit
+		}
+		return nil
+	}
+
+	for !sys.Machines[0].Done() && !sys.Machines[1].Done() {
+		// Phase 1: run each process while it is harmless.
+		progressed := true
+		for progressed && !sys.Machines[0].Done() && !sys.Machines[1].Done() {
+			progressed = false
+			for p := 0; p < 2; p++ {
+				for !sys.Machines[p].Done() {
+					ch, err := wouldChange(p)
+					if err != nil {
+						return rep, err
+					}
+					if ch {
+						break
+					}
+					if err := budget(); err != nil {
+						return rep, err
+					}
+					sys.Step(p)
+					progressed = true
+				}
+			}
+		}
+		if sys.Machines[0].Done() || sys.Machines[1].Done() {
+			break
+		}
+
+		// Phase 2: both processes are about to change the other's
+		// preference. Evaluate the three schedules on forks and take
+		// the one that keeps the preference gap largest.
+		type option struct {
+			steps []int
+			gap   float64
+		}
+		opts := []option{{steps: []int{0}}, {steps: []int{1}}, {steps: []int{0, 1}}}
+		for i := range opts {
+			fork := sys.Clone()
+			for _, p := range opts[i].steps {
+				fork.Step(p)
+			}
+			a, err := Preference(fork, 0)
+			if err != nil {
+				return rep, err
+			}
+			b, err := Preference(fork, 1)
+			if err != nil {
+				return rep, err
+			}
+			opts[i].gap = math.Abs(a - b)
+		}
+		best := opts[0]
+		for _, o := range opts[1:] {
+			if o.gap > best.gap {
+				best = o
+			}
+		}
+		for _, p := range best.steps {
+			if err := budget(); err != nil {
+				return rep, err
+			}
+			sys.Step(p)
+		}
+		rep.Choices++
+		rep.GapTrace = append(rep.GapTrace, best.gap)
+	}
+
+	rep.StepsBy = [2]uint64{sys.Steps[0], sys.Steps[1]}
+
+	// Let both processes run to completion and record their outputs.
+	for p := 0; p < 2; p++ {
+		if err := sys.RunSolo(p, oracleBudget); err != nil {
+			return rep, ErrNotWaitFree
+		}
+		rep.Results[p] = sys.Machines[p].(resulter).Result()
+	}
+	return rep, nil
+}

@@ -1,0 +1,121 @@
+package agreement
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPreferenceOracleDoesNotPerturb(t *testing.T) {
+	sys := NewSystem([]float64{0, 1}, 0.01)
+	sys.Step(0)
+	sys.Step(1)
+	before := sys.Mem.Counters()
+	if _, err := Preference(sys, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preference(sys, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Mem.Counters()
+	if after.Accesses() != before.Accesses() {
+		t.Error("oracle performed accesses on the real system")
+	}
+	if sys.Machines[0].Done() || sys.Machines[1].Done() {
+		t.Error("oracle completed a real machine")
+	}
+}
+
+func TestPreferenceIsOwnInputInitially(t *testing.T) {
+	// "Initially, each process's preference is its input."
+	sys := NewSystem([]float64{3, 8}, 0.5)
+	p0, err := Preference(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Preference(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 != 3 || p1 != 8 {
+		t.Errorf("initial preferences = %v, %v; want 3, 8", p0, p1)
+	}
+}
+
+func TestPreferenceStableUnderOwnSteps(t *testing.T) {
+	// A process's preference can only change as the result of a step
+	// by another process.
+	sys := NewSystem([]float64{0, 1}, 0.01)
+	for i := 0; i < 10; i++ {
+		before, err := Preference(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Machines[0].Done() {
+			break
+		}
+		sys.Step(0)
+		after, err := Preference(sys, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before != after {
+			t.Fatalf("step %d: own step changed own preference %v -> %v", i, before, after)
+		}
+	}
+}
+
+// TestAdversaryForcesLowerBound is the Lemma 6 reproduction: for
+// ε = Δ/3^k the adversary forces at least k steps on some process —
+// we check the stronger statement that it forces ≥ k on both.
+func TestAdversaryForcesLowerBound(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		eps := 1.0 / math.Pow(3, float64(k))
+		sys := NewSystem([]float64{0, 1}, eps)
+		rep, err := RunAdversary(sys, 2_000_000)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := uint64(LowerBound(1, eps))
+		if rep.MinSteps() < want {
+			t.Errorf("k=%d: adversary forced only %d steps, want >= %d", k, rep.MinSteps(), want)
+		}
+		if gap := math.Abs(rep.Results[0] - rep.Results[1]); gap >= eps {
+			t.Errorf("k=%d: final results differ by %v >= eps %v", k, gap, eps)
+		}
+		for _, r := range rep.Results {
+			if r < 0 || r > 1 {
+				t.Errorf("k=%d: result %v outside input range", k, r)
+			}
+		}
+	}
+}
+
+// TestAdversaryShrinkPerChoice: each three-way choice keeps the
+// preference gap at at least one third of its previous value.
+func TestAdversaryShrinkPerChoice(t *testing.T) {
+	eps := 1.0 / 243
+	sys := NewSystem([]float64{0, 1}, eps)
+	rep, err := RunAdversary(sys, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Choices < 2 {
+		t.Fatalf("adversary reached only %d choice points", rep.Choices)
+	}
+	for i := 1; i < len(rep.GapTrace); i++ {
+		prev, cur := rep.GapTrace[i-1], rep.GapTrace[i]
+		if prev <= 0 {
+			continue
+		}
+		if cur < prev/3-1e-12 {
+			t.Errorf("choice %d: gap shrank from %v to %v (< 1/3)", i, prev, cur)
+		}
+	}
+}
+
+func TestAdversaryRejectsWrongArity(t *testing.T) {
+	sys := NewSystem([]float64{0, 1, 2}, 0.1)
+	if _, err := RunAdversary(sys, 1000); err == nil {
+		t.Error("expected error for 3-process system")
+	}
+}

@@ -1,0 +1,97 @@
+package agreement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// Exhaustive model checking of the approximate agreement algorithm for
+// small configurations: EVERY schedule (and every single-crash
+// pattern) of a two-process instance is enumerated via pram.Explore,
+// and the Figure 1 postconditions are asserted at every leaf. Random
+// schedules sample the behaviour space; these tests cover it.
+
+func checkLeaf(t *testing.T, sys *pram.System, eps float64, crashed []int) {
+	t.Helper()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for p, mc := range sys.Machines {
+		am := mc.(*Machine)
+		if !am.Done() {
+			if !isCrashed(crashed, p) {
+				t.Fatalf("process %d unfinished yet not crashed", p)
+			}
+			continue
+		}
+		r := am.Result()
+		if r < 0 || r > 1 {
+			t.Fatalf("validity violated: output %v outside [0,1]", r)
+		}
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	if lo <= hi && hi-lo >= eps {
+		t.Fatalf("agreement violated: outputs span %v >= eps %v", hi-lo, eps)
+	}
+}
+
+func isCrashed(crashed []int, p int) bool {
+	for _, c := range crashed {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExhaustiveTwoProcess enumerates every schedule of a 2-process
+// instance with conflicting inputs.
+func TestExhaustiveTwoProcess(t *testing.T) {
+	eps := 0.6
+	sys := NewSystem([]float64{0, 1}, eps)
+	leaves, err := pram.Explore(sys, 30_000_000, func(final *pram.System) {
+		checkLeaf(t, final, eps, nil)
+	})
+	if err != nil {
+		t.Fatalf("%v after %d leaves", err, leaves)
+	}
+	if leaves < 100 {
+		t.Fatalf("only %d schedules explored; configuration too trivial", leaves)
+	}
+	t.Logf("exhaustively verified %d schedules", leaves)
+}
+
+// TestExhaustiveTwoProcessTighterEps pushes to a smaller tolerance
+// (more rounds, more interleavings) while staying within budget.
+func TestExhaustiveTwoProcessTighterEps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive test")
+	}
+	eps := 0.4
+	sys := NewSystem([]float64{0, 1}, eps)
+	leaves, err := pram.Explore(sys, 60_000_000, func(final *pram.System) {
+		checkLeaf(t, final, eps, nil)
+	})
+	if err != nil {
+		t.Skipf("budget exhausted after %d leaves (acceptable: space too large)", leaves)
+	}
+	t.Logf("exhaustively verified %d schedules", leaves)
+}
+
+// TestExhaustiveWithCrashes enumerates every schedule AND every ≤1
+// crash pattern: survivors always terminate with valid, agreeing
+// outputs.
+func TestExhaustiveWithCrashes(t *testing.T) {
+	eps := 0.8
+	sys := NewSystem([]float64{0, 1}, eps)
+	leaves, err := pram.ExploreCrashes(sys, 1, 30_000_000, func(final *pram.System, crashed []int) {
+		checkLeaf(t, final, eps, crashed)
+	})
+	if err != nil {
+		t.Fatalf("%v after %d leaves", err, leaves)
+	}
+	if leaves < 100 {
+		t.Fatalf("only %d crash-schedules explored", leaves)
+	}
+	t.Logf("exhaustively verified %d schedule+crash combinations", leaves)
+}

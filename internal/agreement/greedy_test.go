@@ -1,0 +1,83 @@
+package agreement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestGreedyAdversarySafetyHolds(t *testing.T) {
+	// The greedy adversary is still just a scheduler: validity and
+	// agreement must survive it.
+	for _, n := range []int{2, 3, 4} {
+		eps := 1e-2
+		inputs := worstInputsTest(n)
+		sys := NewSystem(inputs, eps)
+		rep, err := RunGreedyAdversary(sys, 200_000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range rep.Results {
+			if r < 0 || r > 1 {
+				t.Fatalf("n=%d: output %v outside inputs", n, r)
+			}
+			lo, hi = math.Min(lo, r), math.Max(hi, r)
+		}
+		if hi-lo >= eps {
+			t.Fatalf("n=%d: outputs span %v", n, hi-lo)
+		}
+	}
+}
+
+func TestGreedyAdversaryForcesMoreWorkThanFair(t *testing.T) {
+	// At n=2 the greedy spread-maximizer should cost at least as much
+	// as a fair schedule — a sanity check that the lookahead bites.
+	eps := math.Pow(3, -5)
+	adv := NewSystem([]float64{0, 1}, eps)
+	rep, err := RunGreedyAdversary(adv, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := NewSystem([]float64{0, 1}, eps)
+	out, err := Run(fair, sched.NewRoundRobin(), []float64{0, 1}, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxSteps() < out.MaxSteps() {
+		t.Fatalf("greedy adversary (%d steps) cheaper than fair (%d)",
+			rep.MaxSteps(), out.MaxSteps())
+	}
+	if uint64(len(rep.SpreadTrace)) == 0 {
+		t.Fatal("no spread trace recorded")
+	}
+	// The floor of Lemma 6 applies to any schedule, greedy included.
+	if rep.MaxSteps() < uint64(LowerBound(1, eps)) {
+		t.Fatalf("greedy run finished below the log3 floor")
+	}
+}
+
+func TestGreedySpreadTraceMonotoneToZeroish(t *testing.T) {
+	eps := 0.01
+	sys := NewSystem([]float64{0, 1, 0.5}, eps)
+	rep, err := RunGreedyAdversary(sys, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.SpreadTrace[len(rep.SpreadTrace)-1]
+	if last >= eps {
+		t.Fatalf("final spread %v >= eps %v despite all processes deciding", last, eps)
+	}
+}
+
+// worstInputsTest spreads inputs across [0,1].
+func worstInputsTest(n int) []float64 {
+	inputs := make([]float64, n)
+	for i := range inputs {
+		if n > 1 {
+			inputs[i] = float64(i) / float64(n-1)
+		}
+	}
+	return inputs
+}

@@ -1,0 +1,104 @@
+package agreement
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/sched"
+)
+
+// The approximate agreement object is long-lived (the paper's central
+// theme): output may be invoked repeatedly, and every output ever
+// produced must stay within ε of every other and inside the input
+// range. These tests exercise the long-lived surface of the native
+// implementation.
+
+func TestNativeRepeatedOutputsConsistent(t *testing.T) {
+	a := NewNative(3, 1e-3)
+	a.Input(0, 0)
+	a.Input(1, 1)
+	a.Input(2, 0.25)
+	var all []float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				v := a.Output(p)
+				mu.Lock()
+				all = append(all, v)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range all {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+		if v < 0 || v > 1 {
+			t.Fatalf("output %v outside input range", v)
+		}
+	}
+	if hi-lo >= 1e-3 {
+		t.Fatalf("outputs across repeated calls span %v >= eps", hi-lo)
+	}
+}
+
+func TestNativeRepeatedOutputsSameProcessStable(t *testing.T) {
+	// Once a process has decided, its later outputs must stay within
+	// eps of the first — and, since the algorithm returns its own
+	// preference and only ever advances toward the leaders, in practice
+	// they coincide.
+	a := NewNative(2, 0.01)
+	a.Input(0, 3)
+	a.Input(1, 4)
+	first := a.Output(0)
+	for k := 0; k < 5; k++ {
+		if got := a.Output(0); math.Abs(got-first) >= 0.01 {
+			t.Fatalf("output %d drifted: %v vs %v", k, got, first)
+		}
+	}
+}
+
+// TestSoakAgreement is the long randomized campaign: many geometries,
+// tolerances, and schedules in one sweep. It is quick enough to stay
+// in the default run but can be skipped with -short.
+func TestSoakAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	count := 0
+	for _, n := range []int{2, 3, 4, 6, 9, 12} {
+		for _, epsExp := range []int{1, 3, 5} {
+			for seed := int64(0); seed < 6; seed++ {
+				eps := math.Pow(10, -float64(epsExp))
+				inputs := make([]float64, n)
+				for i := range inputs {
+					inputs[i] = float64((i*7919+int(seed)*104729)%1000) / 10
+				}
+				var s pram.Scheduler
+				switch seed % 3 {
+				case 0:
+					s = sched.NewRoundRobin()
+				case 1:
+					s = sched.NewRandom(seed)
+				default:
+					s = sched.NewBursty(seed, 3+int(seed)%11)
+				}
+				sys := NewSystem(inputs, eps)
+				// Run panics on any Figure 1 violation.
+				if _, err := Run(sys, s, inputs, eps, 0); err != nil {
+					t.Fatalf("n=%d eps=%v seed=%d: %v", n, eps, seed, err)
+				}
+				count++
+			}
+		}
+	}
+	if count != 108 {
+		t.Fatalf("soak ran %d configurations, want 108", count)
+	}
+}

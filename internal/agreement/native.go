@@ -1,0 +1,120 @@
+package agreement
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Native is the goroutine-ready implementation of the approximate
+// agreement object: the same algorithm as Figure 2, with the simulated
+// registers replaced by atomic pointers. Each process index owns its
+// register; distinct process indices may run concurrently from
+// different goroutines, and every operation is wait-free — it completes
+// in a bounded number of its own steps regardless of what other
+// goroutines do (including stopping for ever).
+type Native struct {
+	eps  float64
+	regs []atomic.Pointer[Entry]
+}
+
+// NewNative returns an n-process approximate agreement object with
+// tolerance eps > 0.
+func NewNative(n int, eps float64) *Native {
+	if n <= 0 {
+		panic("agreement: need at least one process")
+	}
+	if eps <= 0 {
+		panic("agreement: eps must be positive")
+	}
+	a := &Native{eps: eps, regs: make([]atomic.Pointer[Entry], n)}
+	zero := &Entry{}
+	for i := range a.regs {
+		a.regs[i].Store(zero)
+	}
+	return a
+}
+
+// N returns the number of process slots.
+func (a *Native) N() int { return len(a.regs) }
+
+// Eps returns the agreement tolerance ε.
+func (a *Native) Eps() float64 { return a.eps }
+
+// Input records process p's input value x. Only the first Input by a
+// given process has any effect, matching lines 1–5 of Figure 2.
+func (a *Native) Input(p int, x float64) {
+	a.check(p)
+	if e := a.regs[p].Load(); e.Valid {
+		return
+	}
+	a.regs[p].Store(&Entry{Round: 1, Prefer: x, Valid: true})
+}
+
+// Output runs the wait-free approximate agreement protocol for process
+// p and returns its decision. Output panics if p has not called Input:
+// the operation's precondition (Figure 1) is X ≠ ∅, and this
+// implementation requires the caller to have contributed.
+func (a *Native) Output(p int) float64 {
+	a.check(p)
+	mine := a.regs[p].Load()
+	if !mine.Valid {
+		panic("agreement: Output before Input")
+	}
+	advance := false
+	view := make([]*Entry, len(a.regs))
+	for {
+		for i := range a.regs {
+			view[i] = a.regs[i].Load()
+		}
+		maxRound := 0
+		for _, e := range view {
+			if e.Valid && e.Round > maxRound {
+				maxRound = e.Round
+			}
+		}
+		eMin, eMax := math.Inf(1), math.Inf(-1)
+		lMin, lMax := math.Inf(1), math.Inf(-1)
+		// See Machine.decide: a ⊥ entry inside the round window blocks
+		// the round-1 return so late inputs cannot break agreement.
+		blocked := false
+		for _, e := range view {
+			if !e.Valid {
+				if 0 >= mine.Round-1 {
+					blocked = true
+				}
+				continue
+			}
+			if e.Round >= mine.Round-1 {
+				eMin = math.Min(eMin, e.Prefer)
+				eMax = math.Max(eMax, e.Prefer)
+			}
+			if e.Round == maxRound {
+				lMin = math.Min(lMin, e.Prefer)
+				lMax = math.Max(lMax, e.Prefer)
+			}
+		}
+		switch {
+		case !blocked && eMax-eMin < a.eps/2:
+			return mine.Prefer
+		case lMax-lMin < a.eps/2 || advance:
+			mine = &Entry{Round: mine.Round + 1, Prefer: (lMin + lMax) / 2, Valid: true}
+			a.regs[p].Store(mine)
+			advance = false
+		default:
+			advance = true
+		}
+	}
+}
+
+// Agree is the common one-shot pattern: record x, then decide.
+func (a *Native) Agree(p int, x float64) float64 {
+	a.Input(p, x)
+	return a.Output(p)
+}
+
+func (a *Native) check(p int) {
+	if p < 0 || p >= len(a.regs) {
+		panic(fmt.Sprintf("agreement: process %d out of range [0,%d)", p, len(a.regs)))
+	}
+}

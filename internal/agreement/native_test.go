@@ -1,0 +1,148 @@
+package agreement
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNativeSingle(t *testing.T) {
+	a := NewNative(1, 0.5)
+	if got := a.Agree(0, 12.5); got != 12.5 {
+		t.Errorf("Agree = %v, want 12.5", got)
+	}
+}
+
+func TestNativeConcurrentAgreement(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, eps := range []float64{0.1, 1e-3} {
+			a := NewNative(n, eps)
+			inputs := make([]float64, n)
+			rng := rand.New(rand.NewSource(int64(n)))
+			for i := range inputs {
+				inputs[i] = rng.Float64() * 1000
+			}
+			results := make([]float64, n)
+			var wg sync.WaitGroup
+			for p := 0; p < n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					results[p] = a.Agree(p, inputs[p])
+				}(p)
+			}
+			wg.Wait()
+			lo, hi := math.Inf(1), math.Inf(-1)
+			ilo, ihi := math.Inf(1), math.Inf(-1)
+			for p := 0; p < n; p++ {
+				lo, hi = math.Min(lo, results[p]), math.Max(hi, results[p])
+				ilo, ihi = math.Min(ilo, inputs[p]), math.Max(ihi, inputs[p])
+			}
+			if hi-lo >= eps {
+				t.Errorf("n=%d eps=%v: outputs span %v", n, eps, hi-lo)
+			}
+			if lo < ilo || hi > ihi {
+				t.Errorf("n=%d eps=%v: outputs [%v,%v] escape inputs [%v,%v]",
+					n, eps, lo, hi, ilo, ihi)
+			}
+		}
+	}
+}
+
+// TestNativeWaitFreeDespiteStalledPeer: a peer that calls Input and
+// then stops for ever must not prevent the others from deciding.
+func TestNativeWaitFreeDespiteStalledPeer(t *testing.T) {
+	a := NewNative(3, 1e-3)
+	a.Input(2, 1000) // the stalled peer contributes a far-away input...
+	// ...and never calls Output. The others must still finish.
+	done := make(chan float64, 2)
+	go func() { done <- a.Agree(0, 0) }()
+	go func() { done <- a.Agree(1, 1) }()
+	r1, r2 := <-done, <-done
+	if math.Abs(r1-r2) >= 1e-3 {
+		t.Errorf("survivors disagree: %v vs %v", r1, r2)
+	}
+	if r1 < 0 || r1 > 1000 {
+		t.Errorf("output %v outside input range", r1)
+	}
+}
+
+func TestNativeInputIdempotent(t *testing.T) {
+	a := NewNative(2, 0.5)
+	a.Input(0, 5)
+	a.Input(0, 500)
+	if got := a.Output(0); got != 5 {
+		t.Errorf("Output = %v, want first input 5", got)
+	}
+}
+
+func TestNativeLateOutputAgrees(t *testing.T) {
+	a := NewNative(2, 0.01)
+	a.Input(0, 0)
+	a.Input(1, 1)
+	first := a.Output(0)
+	second := a.Output(1)
+	if math.Abs(first-second) >= 0.01 {
+		t.Errorf("late output %v disagrees with %v", second, first)
+	}
+}
+
+func TestNativeOutputBeforeInputPanics(t *testing.T) {
+	a := NewNative(2, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Output(0)
+}
+
+func TestNativeValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewNative(0, 1) },
+		func() { NewNative(2, 0) },
+		func() { NewNative(2, 1).Input(2, 0) },
+		func() { NewNative(2, 1).Input(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNativeAccessors(t *testing.T) {
+	a := NewNative(4, 0.25)
+	if a.N() != 4 || a.Eps() != 0.25 {
+		t.Errorf("N=%d Eps=%v", a.N(), a.Eps())
+	}
+}
+
+// TestNativeRepeatedRounds runs many independent agreement instances
+// concurrently to shake out races (run with -race).
+func TestNativeRepeatedRounds(t *testing.T) {
+	const n, iters = 4, 50
+	for it := 0; it < iters; it++ {
+		a := NewNative(n, 0.05)
+		var wg sync.WaitGroup
+		out := make([]float64, n)
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				out[p] = a.Agree(p, float64((p*7+it)%13))
+			}(p)
+		}
+		wg.Wait()
+		for p := 1; p < n; p++ {
+			if math.Abs(out[p]-out[0]) >= 0.05 {
+				t.Fatalf("iter %d: outputs %v not within eps", it, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package agreement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pram"
+	"repro/internal/sched"
+)
+
+// TestQuickSpecHolds: for arbitrary inputs, tolerances, process counts
+// and schedules, the Figure 1 postconditions and the Theorem 5 bound
+// hold. agreement.Run panics internally on a spec violation, so this
+// property reduces to "Run succeeds and stays under the bound".
+func TestQuickSpecHolds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		eps := math.Pow(10, -float64(rng.Intn(5)))
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()*200 - 100
+		}
+		var s pram.Scheduler
+		switch rng.Intn(3) {
+		case 0:
+			s = sched.NewRoundRobin()
+		case 1:
+			s = sched.NewRandom(seed)
+		default:
+			s = sched.NewBursty(seed, 1+rng.Intn(20))
+		}
+		sys := NewSystem(inputs, eps)
+		out, err := Run(sys, s, inputs, eps, 0)
+		if err != nil {
+			return false
+		}
+		return out.MaxSteps() <= uint64(StepBound(n, out.InputRange+1, eps))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCrashSubsetsStillAgree: crash a random subset mid-run; all
+// survivors finish and agree within eps.
+func TestQuickCrashSubsetsStillAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		eps := 0.01
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64() * 50
+		}
+		alive := make(map[int]bool)
+		for p := 0; p < n; p++ {
+			alive[p] = rng.Intn(3) != 0
+		}
+		anyAlive := false
+		for _, a := range alive {
+			anyAlive = anyAlive || a
+		}
+		if !anyAlive {
+			return true
+		}
+		// Crashed processes take a random prefix of steps, then stop.
+		budget := make(map[int]int)
+		for p := 0; p < n; p++ {
+			if !alive[p] {
+				budget[p] = rng.Intn(10)
+			}
+		}
+		inner := sched.NewRandom(seed * 3)
+		s := sched.Func(func(running []int) int {
+			var ok []int
+			for _, p := range running {
+				if alive[p] || budget[p] > 0 {
+					ok = append(ok, p)
+				}
+			}
+			if len(ok) == 0 {
+				return -1
+			}
+			p := inner.Next(ok)
+			if !alive[p] {
+				budget[p]--
+			}
+			return p
+		})
+		sys := NewSystem(inputs, eps)
+		err := sys.Run(s, 5_000_000)
+		if err != nil && err != pram.ErrStopped {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for p := 0; p < n; p++ {
+			mc := sys.Machines[p].(*Machine)
+			if alive[p] && !mc.Done() {
+				return false // survivor blocked: wait-freedom broken
+			}
+			if mc.Done() {
+				lo = math.Min(lo, mc.Result())
+				hi = math.Max(hi, mc.Result())
+			}
+		}
+		return hi <= 50 && lo >= 0 && (lo > hi || hi-lo < eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package agreement
+
+import (
+	"math"
+
+	"repro/internal/pram"
+)
+
+// NewSystem builds a simulated system of len(inputs) processes, each
+// running input(x) followed by output() on one shared approximate
+// agreement object with tolerance eps.
+func NewSystem(inputs []float64, eps float64) *pram.System {
+	n := len(inputs)
+	mem := pram.NewMem(n, n)
+	lay := Layout{Base: 0, N: n}
+	lay.Install(mem)
+	machines := make([]pram.Machine, n)
+	for p, x := range inputs {
+		machines[p] = NewMachine(p, x, eps, lay)
+	}
+	return pram.NewSystem(mem, machines)
+}
+
+// RoundTracker observes writes to an agreement object's registers and
+// accumulates, per round r, the range of all r-preferences written —
+// the X_r sets of Lemmas 1–3.
+type RoundTracker struct {
+	min, max []float64
+}
+
+// Attach installs the tracker on m. It must be called before the run
+// starts and replaces any previously installed write hook.
+func (t *RoundTracker) Attach(m *pram.Mem) {
+	m.Observe(nil, func(p, r int, v pram.Value) {
+		e, ok := v.(Entry)
+		if !ok || !e.Valid {
+			return
+		}
+		for len(t.min) <= e.Round {
+			t.min = append(t.min, math.Inf(1))
+			t.max = append(t.max, math.Inf(-1))
+		}
+		t.min[e.Round] = math.Min(t.min[e.Round], e.Prefer)
+		t.max[e.Round] = math.Max(t.max[e.Round], e.Prefer)
+	})
+}
+
+// MaxRound returns the highest round for which any preference was
+// written.
+func (t *RoundTracker) MaxRound() int { return len(t.min) - 1 }
+
+// Range returns |range(X_r)|, or 0 if no r-preference was written.
+func (t *RoundTracker) Range(r int) float64 {
+	if r >= len(t.min) || t.min[r] > t.max[r] {
+		return 0
+	}
+	return t.max[r] - t.min[r]
+}
+
+// Bounds returns (min, max, ok) of X_r.
+func (t *RoundTracker) Bounds(r int) (float64, float64, bool) {
+	if r >= len(t.min) || t.min[r] > t.max[r] {
+		return 0, 0, false
+	}
+	return t.min[r], t.max[r], true
+}
+
+// ShrinkRatios returns range(X_r)/range(X_{r-1}) for every pair of
+// consecutive non-empty rounds with positive predecessor range. Lemma 3
+// says every ratio is at most 1/2.
+func (t *RoundTracker) ShrinkRatios() []float64 {
+	var out []float64
+	for r := 2; r <= t.MaxRound(); r++ {
+		prev := t.Range(r - 1)
+		if prev <= 0 {
+			continue
+		}
+		if _, _, ok := t.Bounds(r); !ok {
+			continue
+		}
+		out = append(out, t.Range(r)/prev)
+	}
+	return out
+}
+
+// Outcome summarizes a completed simulated run.
+type Outcome struct {
+	// Results holds each process's output.
+	Results []float64
+	// StepsBy holds each process's shared-memory accesses.
+	StepsBy []uint64
+	// Rounds holds each process's completed advances.
+	Rounds []int
+	// InputRange is |range(X)| of the inputs.
+	InputRange float64
+	// OutputRange is |range(Y)| of the outputs.
+	OutputRange float64
+}
+
+// MaxSteps returns the largest per-process step count.
+func (o Outcome) MaxSteps() uint64 {
+	var m uint64
+	for _, s := range o.StepsBy {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Run executes the system under sched and collects the outcome. It
+// validates the Figure 1 postconditions — every output within the
+// input range, outputs within eps of each other — returning an error
+// from the run if scheduling failed, and panicking on a specification
+// violation (that is an algorithm bug, not a caller error).
+func Run(sys *pram.System, sched pram.Scheduler, inputs []float64, eps float64, maxSteps int) (Outcome, error) {
+	var out Outcome
+	if err := sys.Run(sched, maxSteps); err != nil {
+		return out, err
+	}
+	out.Results = make([]float64, len(sys.Machines))
+	out.Rounds = make([]int, len(sys.Machines))
+	out.StepsBy = make([]uint64, len(sys.Machines))
+	oMin, oMax := math.Inf(1), math.Inf(-1)
+	for p, mc := range sys.Machines {
+		am := mc.(*Machine)
+		out.Results[p] = am.Result()
+		out.Rounds[p] = am.Rounds()
+		out.StepsBy[p] = sys.Mem.Counters().AccessesBy(p)
+		oMin = math.Min(oMin, out.Results[p])
+		oMax = math.Max(oMax, out.Results[p])
+	}
+	iMin, iMax := math.Inf(1), math.Inf(-1)
+	for _, x := range inputs {
+		iMin = math.Min(iMin, x)
+		iMax = math.Max(iMax, x)
+	}
+	out.InputRange = iMax - iMin
+	out.OutputRange = oMax - oMin
+	if oMin < iMin || oMax > iMax {
+		panic("agreement: output outside input range (validity violated)")
+	}
+	if out.OutputRange >= eps {
+		panic("agreement: outputs differ by ≥ eps (agreement violated)")
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package consensus
+
+import (
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// SharedCoin is the Aspnes–Herlihy shared coin (the paper's reference
+// [6]): a random walk on a wait-free shared counter. Each process
+// repeatedly increments or decrements by one according to a local coin
+// flip and reads the counter; it outputs 1 when the walk has drifted
+// past +barrier and 0 past −barrier.
+//
+// The coin is "weak": with constant probability every process sees the
+// same exit side, and in the remaining executions outputs may differ —
+// which is harmless, because the consensus protocol's safety never
+// depends on the coin. Every Flip terminates with probability 1 and in
+// O(n·barrier) expected counter operations.
+type SharedCoin struct {
+	counter *types.DirectCounter
+	barrier int64
+	rng     []*rand.Rand // one per process slot, owned by that slot
+}
+
+// NewSharedCoin returns an n-process shared coin. barrier ≤ 0 selects
+// the default 2n. The seed makes each slot's local flips reproducible.
+func NewSharedCoin(n int, barrier int64, seed int64) *SharedCoin {
+	if barrier <= 0 {
+		barrier = int64(2 * n)
+	}
+	c := &SharedCoin{
+		counter: types.NewDirectCounter(n),
+		barrier: barrier,
+		rng:     make([]*rand.Rand, n),
+	}
+	for p := range c.rng {
+		c.rng[p] = rand.New(rand.NewSource(seed + int64(p)*7919))
+	}
+	return c
+}
+
+// Flip runs the random walk for process p and returns 0 or 1.
+func (c *SharedCoin) Flip(p int) int {
+	for {
+		if c.rng[p].Intn(2) == 0 {
+			c.counter.Inc(p, 1)
+		} else {
+			c.counter.Dec(p, 1)
+		}
+		v := c.counter.Read(p)
+		switch {
+		case v >= c.barrier:
+			return 1
+		case v <= -c.barrier:
+			return 0
+		}
+	}
+}
+
+// conciliator is one round's agreement-probability booster: it
+// preserves unanimity (if every caller brings v, every caller leaves
+// with v — required so an already-decided value survives) and
+// otherwise falls back to the shared coin.
+type conciliator struct {
+	ac   *AdoptCommit // reused purely as an atomic publish+scan of inputs
+	coin *SharedCoin
+}
+
+func newConciliator(n int, seed int64) *conciliator {
+	return &conciliator{ac: NewAdoptCommit(n), coin: NewSharedCoin(n, 0, seed)}
+}
+
+// apply returns the process's next preference.
+func (con *conciliator) apply(p, v int) int {
+	// Publish v and look for disagreement, atomically.
+	u, unanimous := con.ac.phase1(p, v)
+	_ = u
+	if unanimous {
+		return v
+	}
+	return con.coin.Flip(p)
+}

@@ -1,0 +1,276 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file drives the full consensus protocol under DETERMINISTIC
+// adversarial schedules at operation granularity. Every building block
+// the protocol uses (snapshot scans inside adopt-commit, counter
+// operations inside the shared coin) is linearizable, so interleaving
+// at whole-operation granularity explores every distinguishable
+// behaviour — goroutine tests cover "some" schedules, this harness
+// covers chosen ones, including crashes at every point.
+
+// stepKind enumerates the protocol's atomic operations.
+type decideStepper struct {
+	c    *Consensus
+	p    int
+	v    int
+	r    int
+	done bool
+	out  int
+
+	phase int // 0 con.phase1; 1 coin walk; 2 ac.phase1; 3 ac.phase2
+	// conciliator intermediates
+	conUnanimous bool
+	// coin walk intermediates
+	coinPendingRead bool
+	rng             *rand.Rand
+	// adopt-commit intermediates
+	acU     int
+	acFirst bool
+}
+
+func newStepper(c *Consensus, p, v int, seed int64) *decideStepper {
+	return &decideStepper{c: c, p: p, v: v, rng: rand.New(rand.NewSource(seed))}
+}
+
+// step performs exactly one linearizable shared-memory operation of
+// the protocol and returns whether the process has decided.
+func (s *decideStepper) step() bool {
+	if s.done {
+		return true
+	}
+	con := s.c.con[s.r]
+	ac := s.c.ac[s.r]
+	switch s.phase {
+	case 0: // conciliator: one atomic publish+scan
+		u, unanimous := con.ac.phase1(s.p, s.v)
+		_ = u
+		s.conUnanimous = unanimous
+		if unanimous {
+			s.phase = 2
+		} else {
+			s.phase = 1
+			s.coinPendingRead = false
+		}
+	case 1: // coin walk: alternate one counter update and one read
+		coin := con.coin
+		if !s.coinPendingRead {
+			if s.rng.Intn(2) == 0 {
+				coin.counter.Inc(s.p, 1)
+			} else {
+				coin.counter.Dec(s.p, 1)
+			}
+			s.coinPendingRead = true
+			return false
+		}
+		s.coinPendingRead = false
+		v := coin.counter.Read(s.p)
+		switch {
+		case v >= coin.barrier:
+			s.v = 1
+			s.phase = 2
+		case v <= -coin.barrier:
+			s.v = 0
+			s.phase = 2
+		}
+	case 2: // adopt-commit phase 1: one snapshot op
+		s.acU, s.acFirst = ac.phase1(s.p, s.v)
+		s.phase = 3
+	case 3: // adopt-commit phase 2: one snapshot op
+		outcome, u := ac.phase2(s.p, s.v, s.acU, s.acFirst)
+		s.v = u
+		if outcome == Commit {
+			s.done = true
+			s.out = u
+			return true
+		}
+		s.r++
+		if s.r >= len(s.c.ac) {
+			panic("stepper: exceeded rounds")
+		}
+		s.phase = 0
+	}
+	return s.done
+}
+
+// runSchedule drives the steppers under a schedule function until all
+// live processes decide or the step budget runs out. crashAt[p] (when
+// ≥ 0) crashes process p after that many of its own steps.
+func runSchedule(t *testing.T, n int, inputs []int, seed int64,
+	pick func(live []int) int, crashAt []int) []int {
+	t.Helper()
+	c := New(n, seed)
+	steppers := make([]*decideStepper, n)
+	stepsTaken := make([]int, n)
+	for p := 0; p < n; p++ {
+		steppers[p] = newStepper(c, p, inputs[p], seed*1000+int64(p))
+	}
+	budget := 1_000_000
+	for {
+		var live []int
+		for p := 0; p < n; p++ {
+			crashed := crashAt != nil && crashAt[p] >= 0 && stepsTaken[p] >= crashAt[p]
+			if !steppers[p].done && !crashed {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		if budget == 0 {
+			t.Fatal("schedule did not terminate within budget")
+		}
+		budget--
+		p := pick(live)
+		steppers[p].step()
+		stepsTaken[p]++
+	}
+	outs := make([]int, n)
+	for p := 0; p < n; p++ {
+		if steppers[p].done {
+			outs[p] = steppers[p].out
+		} else {
+			outs[p] = -1 // crashed before deciding
+		}
+	}
+	return outs
+}
+
+// checkSafety verifies agreement among deciders and validity.
+func checkSafety(t *testing.T, inputs, outs []int, label string) {
+	t.Helper()
+	decided := -1
+	for p, o := range outs {
+		if o == -1 {
+			continue
+		}
+		if o != 0 && o != 1 {
+			t.Fatalf("%s: process %d decided %d", label, p, o)
+		}
+		if decided == -1 {
+			decided = o
+		} else if o != decided {
+			t.Fatalf("%s: disagreement: %v (inputs %v)", label, outs, inputs)
+		}
+	}
+	if decided == -1 {
+		return
+	}
+	valid := false
+	for _, in := range inputs {
+		if in == decided {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("%s: decided %d not among inputs %v", label, decided, inputs)
+	}
+}
+
+// TestStepperSequentialSolo: a lone process decides its own input.
+func TestStepperSequentialSolo(t *testing.T) {
+	outs := runSchedule(t, 3, []int{1, 0, 0}, 4,
+		func(live []int) int { return live[0] }, []int{-1, 0, 0})
+	if outs[0] != 1 {
+		t.Fatalf("solo decider got %d, want its input 1", outs[0])
+	}
+}
+
+// TestStepperRandomSchedules: many random op-granular schedules with
+// mixed inputs.
+func TestStepperRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(seed%4)
+		inputs := make([]int, n)
+		for p := range inputs {
+			inputs[p] = rng.Intn(2)
+		}
+		outs := runSchedule(t, n, inputs, seed,
+			func(live []int) int { return live[rng.Intn(len(live))] }, nil)
+		checkSafety(t, inputs, outs, "random")
+		for p, o := range outs {
+			if o == -1 {
+				t.Fatalf("seed %d: process %d never decided", seed, p)
+			}
+		}
+	}
+}
+
+// TestStepperCrashesEverywhere: crash one process after k of its own
+// operations, for every k in a prefix — survivors must still decide
+// and agree (with the crashed one if it decided first).
+func TestStepperCrashesEverywhere(t *testing.T) {
+	for k := 0; k < 12; k++ {
+		for victim := 0; victim < 3; victim++ {
+			rng := rand.New(rand.NewSource(int64(k*10 + victim)))
+			inputs := []int{1, 0, 1}
+			crash := []int{-1, -1, -1}
+			crash[victim] = k
+			outs := runSchedule(t, 3, inputs, int64(k*7+victim),
+				func(live []int) int { return live[rng.Intn(len(live))] }, crash)
+			checkSafety(t, inputs, outs, "crash")
+			for p, o := range outs {
+				if p != victim && o == -1 {
+					t.Fatalf("k=%d victim=%d: survivor %d never decided", k, victim, p)
+				}
+			}
+		}
+	}
+}
+
+// TestStepperAdversarialAlternation: pathological schedules — strict
+// alternation, one-at-a-time bursts, priority inversion — all must
+// preserve safety.
+func TestStepperAdversarialAlternation(t *testing.T) {
+	schedules := map[string]func(step int) func(live []int) int{
+		"alternate": func(step int) func([]int) int {
+			i := 0
+			return func(live []int) int { i++; return live[i%len(live)] }
+		},
+		"firstAlways": func(step int) func([]int) int {
+			return func(live []int) int { return live[0] }
+		},
+		"lastAlways": func(step int) func([]int) int {
+			return func(live []int) int { return live[len(live)-1] }
+		},
+		"burst16": func(step int) func([]int) int {
+			i, cur := 0, 0
+			return func(live []int) int {
+				if i%16 == 0 {
+					cur = (cur + 1) % len(live)
+				}
+				i++
+				return live[cur%len(live)]
+			}
+		},
+	}
+	for name, mk := range schedules {
+		inputs := []int{0, 1, 1, 0}
+		outs := runSchedule(t, 4, inputs, 5, mk(0), nil)
+		checkSafety(t, inputs, outs, name)
+		for p, o := range outs {
+			if o == -1 {
+				t.Fatalf("%s: process %d never decided", name, p)
+			}
+		}
+	}
+}
+
+// TestStepperMatchesDecide: the stepper decomposition must agree with
+// the monolithic Decide when run solo (same seed, same coin flips).
+func TestStepperMatchesDecide(t *testing.T) {
+	// Unanimous inputs decide in round 0 without touching the coin, so
+	// the comparison is exact.
+	c1 := New(2, 9)
+	got := c1.Decide(0, 1)
+	outs := runSchedule(t, 2, []int{1, 1}, 9,
+		func(live []int) int { return live[0] }, nil)
+	if outs[0] != got {
+		t.Fatalf("stepper %d vs Decide %d", outs[0], got)
+	}
+}

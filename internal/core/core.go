@@ -1,0 +1,259 @@
+// Package core implements the paper's primary contribution: the
+// universal wait-free construction of Section 5.4 (Figure 4), which
+// turns any sequential specification satisfying Property 1 (every pair
+// of operations commutes or one overwrites the other) into an
+// n-process linearizable wait-free object in the asynchronous PRAM
+// model, at a synchronization overhead of O(n²) reads and writes per
+// operation.
+//
+// The object is represented by its precedence graph of entries. Each
+// entry records an invocation, its response, and pointers to each
+// process's preceding entry (the snapshot view at creation). The graph
+// is rooted in an anchor array scanned and written through the atomic
+// snapshot of Section 6: executing an operation takes one atomic scan
+// of the anchor array (Step 1), computes the response from a
+// linearization of the scanned graph (Figure 3), and publishes the new
+// entry with one Write_L (Step 2).
+//
+// Two execution modes are provided: Universal runs natively on
+// goroutines; SimUniversal/Machine runs step-granularly on the
+// simulator, which is how experiment E6 measures the O(n²) overhead
+// exactly.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lattice"
+	"repro/internal/lingraph"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+)
+
+// Entry is one operation record in the shared precedence graph. An
+// Entry is immutable after publication; entries are shared freely
+// across snapshots, clones, and goroutines.
+type Entry struct {
+	// Proc and Seq identify the entry: the Seq-th operation of Proc.
+	Proc int
+	Seq  uint64
+	// Inv and Resp are the operation and its chosen response.
+	Inv  spec.Inv
+	Resp any
+	// Prev[i] is process i's latest entry in the snapshot taken at
+	// this entry's creation (nil if i had none). These are the
+	// precedence edges of Figure 4's entry structure.
+	Prev []*Entry
+}
+
+// String renders the entry compactly.
+func (e *Entry) String() string {
+	return fmt.Sprintf("P%d#%d:%v=%v", e.Proc, e.Seq, e.Inv, e.Resp)
+}
+
+// CheckProperty1 validates that s satisfies Property 1 over the given
+// invocation sample and that its declared algebra matches its
+// executable behaviour on the given states. The universal construction
+// is only correct for Property 1 types; constructing one for, say, a
+// FIFO queue would silently produce non-linearizable behaviour, so
+// callers are expected to gate construction on this check (NewChecked
+// does it for them).
+func CheckProperty1(s spec.Spec, states []spec.State, invs []spec.Inv) error {
+	if vs := spec.CheckAlgebra(s, states, invs); len(vs) > 0 {
+		return fmt.Errorf("core: %s fails algebra validation: %s", s.Name(), vs[0])
+	}
+	return nil
+}
+
+// graph assembles the precedence graph reachable from a snapshot view
+// and linearizes it. It is shared by both execution modes.
+type graph struct {
+	s       spec.Spec
+	entries []*Entry            // dense nodes, deterministically ordered
+	index   map[*Entry]int      // entry -> node index
+	anc     map[*Entry][]*Entry // ancestor closure cache
+}
+
+// buildGraph collects every entry reachable from view through Prev
+// pointers and orders them deterministically by (Seq, Proc).
+func buildGraph(s spec.Spec, view []*Entry) *graph {
+	g := &graph{s: s, index: map[*Entry]int{}, anc: map[*Entry][]*Entry{}}
+	var visit func(e *Entry)
+	visit = func(e *Entry) {
+		if e == nil {
+			return
+		}
+		if _, ok := g.index[e]; ok {
+			return
+		}
+		g.index[e] = -1 // mark
+		for _, p := range e.Prev {
+			visit(p)
+		}
+		g.entries = append(g.entries, e)
+	}
+	for _, e := range view {
+		visit(e)
+	}
+	sort.Slice(g.entries, func(i, j int) bool {
+		a, b := g.entries[i], g.entries[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Proc < b.Proc
+	})
+	for i, e := range g.entries {
+		g.index[e] = i
+	}
+	return g
+}
+
+// ancestors returns the precedence-ancestor set of e (entries that
+// completed before e began), memoized.
+func (g *graph) ancestors(e *Entry) []*Entry {
+	if got, ok := g.anc[e]; ok {
+		return got
+	}
+	seen := map[*Entry]bool{}
+	var out []*Entry
+	var walk func(x *Entry)
+	walk = func(x *Entry) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		out = append(out, x)
+		for _, p := range x.Prev {
+			walk(p)
+		}
+	}
+	for _, p := range e.Prev {
+		walk(p)
+	}
+	g.anc[e] = out
+	return out
+}
+
+// linearize runs the Figure 3 construction over the collected entries
+// and returns them in linearization order.
+func (g *graph) linearize() ([]*Entry, error) {
+	k := len(g.entries)
+	pg := lingraph.NewGraph(k)
+	for _, e := range g.entries {
+		for _, a := range g.ancestors(e) {
+			pg.AddPrecedence(g.index[a], g.index[e])
+		}
+	}
+	dom := func(i, j int) bool {
+		a, b := g.entries[i], g.entries[j]
+		return spec.Dominates(g.s, a.Inv, a.Proc, b.Inv, b.Proc)
+	}
+	l, err := lingraph.Build(pg, dom)
+	if err != nil {
+		return nil, err
+	}
+	order := l.Order()
+	out := make([]*Entry, k)
+	for pos, idx := range order {
+		out[pos] = g.entries[idx]
+	}
+	return out, nil
+}
+
+// Respond computes the response to inv after the linearization of
+// view, replaying the sequential specification — the heart of Figure
+// 4's Step 1. It also returns the linearized history for diagnostics.
+func Respond(s spec.Spec, view []*Entry, inv spec.Inv) (any, []*Entry, error) {
+	g := buildGraph(s, view)
+	hist, err := g.linearize()
+	if err != nil {
+		return nil, nil, err
+	}
+	st := s.Init()
+	for _, e := range hist {
+		st, _ = s.Apply(st, e.Inv)
+	}
+	_, resp := s.Apply(st, inv)
+	return resp, hist, nil
+}
+
+// viewOf extracts the latest-entry-per-process view from a snapshot
+// vector whose cells carry *Entry payloads.
+func viewOf(vec lattice.Vec) []*Entry {
+	out := make([]*Entry, len(vec))
+	for i, c := range vec {
+		if c.Tag != 0 {
+			out[i] = c.Val.(*Entry)
+		}
+	}
+	return out
+}
+
+// Universal is the native (goroutine-ready) universal construction.
+// Process index p must be driven by at most one goroutine at a time;
+// distinct indices may run concurrently, and every operation is
+// wait-free.
+type Universal struct {
+	s    spec.Spec
+	n    int
+	vl   lattice.Vector
+	snap *snapshot.Snapshot
+	seq  []uint64 // per-process sequence numbers (owned by that process)
+}
+
+// New returns an n-process wait-free object implementing s. It does
+// not validate Property 1; use NewChecked when the spec's algebra has
+// not been independently verified.
+func New(s spec.Spec, n int) *Universal {
+	if n <= 0 {
+		panic("core: need at least one process")
+	}
+	vl := lattice.Vector{N: n}
+	return &Universal{s: s, n: n, vl: vl, snap: snapshot.New(n, vl), seq: make([]uint64, n)}
+}
+
+// NewChecked validates the spec's algebra over the given samples
+// before constructing the object.
+func NewChecked(s spec.Spec, n int, states []spec.State, invs []spec.Inv) (*Universal, error) {
+	if err := CheckProperty1(s, states, invs); err != nil {
+		return nil, err
+	}
+	return New(s, n), nil
+}
+
+// N returns the number of process slots.
+func (u *Universal) N() int { return u.n }
+
+// Spec returns the sequential specification.
+func (u *Universal) Spec() spec.Spec { return u.s }
+
+// Execute runs one operation for process p: snapshot the anchor array,
+// linearize, choose the response, publish the new entry (Figure 4).
+func (u *Universal) Execute(p int, inv spec.Inv) any {
+	if p < 0 || p >= u.n {
+		panic(fmt.Sprintf("core: process %d out of range [0,%d)", p, u.n))
+	}
+	// Step 1: atomic scan of the anchor array and response choice.
+	vec := u.snap.ReadMax(p).(lattice.Vec)
+	view := viewOf(vec)
+	resp, _, err := Respond(u.s, view, inv)
+	if err != nil {
+		// The shared graph is produced exclusively by this algorithm;
+		// a cycle is an implementation bug (Lemma 18 excludes it).
+		panic("core: " + err.Error())
+	}
+	// Pure operations linearize at the scan and are never published:
+	// they have no effect, so no other process's response can depend on
+	// them, and skipping Step 2 halves their cost and keeps them out of
+	// the entry graph (the generic form of Section 5.4's type-specific
+	// optimization).
+	if spec.IsPure(u.s, inv) {
+		return resp
+	}
+	e := &Entry{Proc: p, Seq: u.seq[p] + 1, Inv: inv, Resp: resp, Prev: view}
+	// Step 2: publish the entry (Write_L on the anchor array).
+	u.seq[p]++
+	u.snap.Update(p, u.vl.Single(p, e.Seq, e))
+	return resp
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/pram"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+)
+
+// SimUniversal is the shared configuration of a simulated universal
+// object: the specification, the anchor array's snapshot layout, and
+// the tagged-vector lattice. It is immutable after construction and
+// shared by all process machines (and their clones).
+type SimUniversal struct {
+	Spec spec.Spec
+	Lay  snapshot.Layout
+	VL   lattice.Vector
+}
+
+// NewSim lays out an n-process simulated universal object starting at
+// register base and installs its registers in m.
+func NewSim(s spec.Spec, n, base int, m *pram.Mem) *SimUniversal {
+	vl := lattice.Vector{N: n}
+	lay := snapshot.Layout{Base: base, N: n}
+	lay.Install(m, vl)
+	return &SimUniversal{Spec: s, Lay: lay, VL: vl}
+}
+
+// Regs returns how many registers the object occupies.
+func (u *SimUniversal) Regs() int { return u.Lay.Regs() }
+
+type simPhase int
+
+const (
+	simIdle simPhase = iota
+	simReading
+	simPublishing
+)
+
+// Machine executes a script of invocations for one process of a
+// simulated universal object. Each operation is Figure 4 verbatim:
+// one atomic scan (ReadMax) of the anchor array, a local response
+// computation, then one Write_L publishing the new entry. Both shared
+// steps delegate to the Section 6 ScanMachine, so an operation's cost
+// is exactly two optimized scans: 2(n²−1) reads and 2(n+1) writes —
+// the O(n²) synchronization overhead Section 5.4 promises.
+type Machine struct {
+	u    *SimUniversal
+	proc int
+	scan *snapshot.ScanMachine
+
+	script  []spec.Inv // full script; Results()[i] answers script[i]
+	next    int        // index of the next unstarted invocation
+	results []any
+	seq     uint64
+	ph      simPhase
+	cur     spec.Inv
+	pending *Entry
+}
+
+// NewMachine returns a machine for process proc with the given
+// invocation script. Additional invocations may be appended with
+// Enqueue before the machine runs dry.
+func NewMachine(u *SimUniversal, proc int, script []spec.Inv) *Machine {
+	return &Machine{
+		u:      u,
+		proc:   proc,
+		scan:   snapshot.NewScanMachine(proc, u.Lay, u.VL, true),
+		script: append([]spec.Inv(nil), script...),
+	}
+}
+
+// Enqueue appends an invocation to the script.
+func (mc *Machine) Enqueue(inv spec.Inv) { mc.script = append(mc.script, inv) }
+
+// Invocation returns the i-th scripted invocation; Results()[i] is its
+// response once completed.
+func (mc *Machine) Invocation(i int) spec.Inv { return mc.script[i] }
+
+// Results returns the responses of completed operations, in order.
+func (mc *Machine) Results() []any { return mc.results }
+
+// Done reports whether the script is exhausted.
+func (mc *Machine) Done() bool { return mc.ph == simIdle && mc.next == len(mc.script) }
+
+// Clone returns an independent copy. Entries are immutable and shared.
+func (mc *Machine) Clone() pram.Machine {
+	cp := *mc
+	cp.scan = mc.scan.Clone().(*snapshot.ScanMachine)
+	cp.script = append([]spec.Inv(nil), mc.script...)
+	cp.results = append([]any(nil), mc.results...)
+	return &cp
+}
+
+// Step performs the machine's next shared-memory access.
+func (mc *Machine) Step(m *pram.Mem) {
+	switch mc.ph {
+	case simIdle:
+		if mc.next == len(mc.script) {
+			panic("core: Step after Done")
+		}
+		mc.cur = mc.script[mc.next]
+		mc.next++
+		// Step 1 of Figure 4: atomic scan of the anchor array.
+		mc.scan.Enqueue(mc.u.VL.Bottom())
+		mc.ph = simReading
+		mc.scan.Step(m)
+		mc.afterScanStep()
+	case simReading, simPublishing:
+		mc.scan.Step(m)
+		mc.afterScanStep()
+	default:
+		panic("core: corrupt phase")
+	}
+}
+
+// afterScanStep advances the operation when the inner scan completes.
+func (mc *Machine) afterScanStep() {
+	if !mc.scan.Done() {
+		return
+	}
+	rs := mc.scan.Results()
+	last := rs[len(rs)-1].(lattice.Vec)
+	switch mc.ph {
+	case simReading:
+		view := viewOf(last)
+		resp, _, err := Respond(mc.u.Spec, view, mc.cur)
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		if spec.IsPure(mc.u.Spec, mc.cur) {
+			// Pure operations complete at the scan; nothing to publish.
+			mc.results = append(mc.results, resp)
+			mc.ph = simIdle
+			return
+		}
+		mc.pending = &Entry{
+			Proc: mc.proc, Seq: mc.seq + 1,
+			Inv: mc.cur, Resp: resp, Prev: view,
+		}
+		// Step 2 of Figure 4: publish the entry via Write_L.
+		mc.seq++
+		mc.scan.Enqueue(mc.u.VL.Single(mc.proc, mc.pending.Seq, mc.pending))
+		mc.ph = simPublishing
+	case simPublishing:
+		mc.results = append(mc.results, mc.pending.Resp)
+		mc.pending = nil
+		mc.ph = simIdle
+	default:
+		panic(fmt.Sprintf("core: scan finished in phase %d", mc.ph))
+	}
+}
+
+// OpReads is the exact per-operation read count of the simulated
+// universal object for a non-pure operation: two optimized scans.
+func OpReads(n int) uint64 { return 2 * snapshot.OptimizedReads(n) }
+
+// OpWrites is the exact per-operation write count for a non-pure
+// operation: two optimized scans.
+func OpWrites(n int) uint64 { return 2 * snapshot.OptimizedWrites(n) }
+
+// PureOpReads is the read count for a pure (unpublished) operation:
+// one optimized scan.
+func PureOpReads(n int) uint64 { return snapshot.OptimizedReads(n) }
+
+// PureOpWrites is the write count for a pure operation: one optimized
+// scan.
+func PureOpWrites(n int) uint64 { return snapshot.OptimizedWrites(n) }

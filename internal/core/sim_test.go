@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/pram"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// newSimSystem builds an n-process simulated universal object with the
+// given per-process scripts.
+func newSimSystem(s spec.Spec, scripts [][]spec.Inv) (*pram.System, []*Machine) {
+	n := len(scripts)
+	mem := pram.NewMem(n*(n+2), n) // the anchor snapshot's n*(n+2) registers
+	u := NewSim(s, n, 0, mem)
+	ms := make([]*Machine, n)
+	pms := make([]pram.Machine, n)
+	for p := 0; p < n; p++ {
+		ms[p] = NewMachine(u, p, scripts[p])
+		pms[p] = ms[p]
+	}
+	return pram.NewSystem(mem, pms), ms
+}
+
+func TestSimSequentialMatchesReplay(t *testing.T) {
+	script := []spec.Inv{types.Inc(2), types.Read(), types.Reset(7), types.Read()}
+	sys, ms := newSimSystem(types.Counter{}, [][]spec.Inv{script})
+	if err := sys.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, want := spec.Replay(types.Counter{}, script)
+	for i, got := range ms[0].Results() {
+		if got != want[i] && !(got == nil && want[i] == nil) {
+			t.Errorf("op %d: got %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestSimOpAccessCounts is E6's exact form: every mutating operation
+// costs exactly two optimized scans, and every pure operation exactly
+// one.
+func TestSimOpAccessCounts(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		scripts := make([][]spec.Inv, n)
+		for p := range scripts {
+			scripts[p] = []spec.Inv{types.Inc(1), types.Read()}
+		}
+		sys, ms := newSimSystem(types.Counter{}, scripts)
+		for p := 0; p < n; p++ {
+			for k := 0; k < 2; k++ {
+				wantR, wantW := OpReads(n), OpWrites(n)
+				if k == 1 { // the read is pure: one scan only
+					wantR, wantW = PureOpReads(n), PureOpWrites(n)
+				}
+				before := sys.Mem.Counters()
+				for len(ms[p].Results()) == k {
+					sys.Step(p)
+				}
+				d := sys.Mem.Counters().Sub(before)
+				if d.Reads != wantR || d.Writes != wantW {
+					t.Errorf("n=%d p=%d op=%d: %d/%d accesses, want %d/%d",
+						n, p, k, d.Reads, d.Writes, wantR, wantW)
+				}
+			}
+		}
+	}
+}
+
+// timedOp mirrors the snapshot package's interval recording.
+type timedOp struct {
+	proc, idx  int
+	start, end int64
+	inv        spec.Inv
+	resp       any
+}
+
+// runSimTimed drives the system, recording per-op intervals in
+// scheduler-step time.
+func runSimTimed(sys *pram.System, ms []*Machine, s pram.Scheduler, maxSteps int) ([]timedOp, error) {
+	var ops []timedOp
+	completed := make([]int, len(ms))
+	startStep := make([]int64, len(ms))
+	for p := range startStep {
+		startStep[p] = -1
+	}
+	var step int64
+	invAt := func(p, idx int) spec.Inv { return ms[p].Invocation(idx) }
+	for !sys.Done() {
+		if maxSteps > 0 && step >= int64(maxSteps) {
+			return ops, pram.ErrStepLimit
+		}
+		running := sys.Running()
+		p := s.Next(running)
+		if p == -1 {
+			return ops, pram.ErrStopped
+		}
+		if startStep[p] == -1 {
+			startStep[p] = step
+		}
+		sys.Step(p)
+		if got := len(ms[p].Results()); got > completed[p] {
+			idx := completed[p]
+			ops = append(ops, timedOp{
+				proc: p, idx: idx,
+				start: startStep[p]*2 + 1, end: step*2 + 2,
+				inv:  invAt(p, idx),
+				resp: ms[p].Results()[idx],
+			})
+			completed[p] = got
+			startStep[p] = -1
+		}
+		step++
+	}
+	return ops, nil
+}
+
+// TestSimConcurrentLinearizable: across schedulers and types, sim-mode
+// histories are linearizable.
+func TestSimConcurrentLinearizable(t *testing.T) {
+	for _, s := range types.Property1Types() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 2 + int(seed%3)
+				scripts := make([][]spec.Inv, n)
+				invs := s.SampleInvocations()
+				for p := range scripts {
+					for k := 0; k < 3; k++ {
+						scripts[p] = append(scripts[p], invs[rng.Intn(len(invs))])
+					}
+				}
+				sys, ms := newSimSystem(s, scripts)
+				var sc pram.Scheduler
+				if seed%2 == 0 {
+					sc = sched.NewRandom(seed * 7)
+				} else {
+					sc = sched.NewBursty(seed*7, 9)
+				}
+				ops, err := runSimTimed(sys, ms, sc, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var h history.History
+				for i, op := range ops {
+					h.Ops = append(h.Ops, history.Op{
+						ID: i, Proc: op.proc, Name: op.inv.Op, Arg: op.inv.Arg,
+						Resp: op.resp, Start: op.start, End: op.end,
+					})
+				}
+				res, err := lincheck.Check(s, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Ok {
+					t.Fatalf("seed %d: non-linearizable sim history:\n%v", seed, h.Ops)
+				}
+			}
+		})
+	}
+}
+
+// TestSimWaitFreeUnderCrash: crash a process mid-operation; the
+// others' completed operations still form a linearizable history and
+// every survivor finishes.
+func TestSimWaitFreeUnderCrash(t *testing.T) {
+	s := types.Counter{}
+	n := 3
+	scripts := make([][]spec.Inv, n)
+	for p := range scripts {
+		scripts[p] = []spec.Inv{types.Inc(1), types.Read(), types.Inc(10)}
+	}
+	for victim := 0; victim < n; victim++ {
+		for after := uint64(1); after < 20; after += 6 {
+			sys, ms := newSimSystem(s, scripts)
+			cr := &sched.Crash{Inner: sched.NewRoundRobin(), Victim: victim, After: after}
+			err := sys.Run(cr, 1_000_000)
+			if err != nil && err != pram.ErrStopped {
+				t.Fatalf("victim=%d after=%d: %v", victim, after, err)
+			}
+			for p := 0; p < n; p++ {
+				if p != victim && !ms[p].Done() {
+					t.Fatalf("victim=%d after=%d: survivor %d blocked", victim, after, p)
+				}
+			}
+		}
+	}
+}
+
+// TestSimDeterminism: same seed, same everything.
+func TestSimDeterminism(t *testing.T) {
+	run := func() []any {
+		scripts := [][]spec.Inv{
+			{types.Inc(1), types.Read()},
+			{types.Reset(5), types.Read()},
+			{types.Dec(2), types.Read()},
+		}
+		sys, ms := newSimSystem(types.Counter{}, scripts)
+		if err := sys.Run(sched.NewRandom(21), 0); err != nil {
+			panic(err)
+		}
+		var out []any
+		for _, m := range ms {
+			out = append(out, m.Results()...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestSimCloneIsolation: forking mid-operation leaves the original
+// untouched.
+func TestSimCloneIsolation(t *testing.T) {
+	scripts := [][]spec.Inv{{types.Inc(1)}, {types.Inc(2)}}
+	sys, ms := newSimSystem(types.Counter{}, scripts)
+	sys.Step(0)
+	sys.Step(0)
+	fork := sys.Clone()
+	if err := fork.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Done() {
+		t.Error("fork completed the original's op")
+	}
+	if !fork.Machines[0].(*Machine).Done() {
+		t.Error("fork's machine should be done")
+	}
+}
+
+func TestSimStepAfterDonePanics(t *testing.T) {
+	sys, ms := newSimSystem(types.Counter{}, [][]spec.Inv{{types.Read()}})
+	if err := sys.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ms[0].Step(sys.Mem)
+}

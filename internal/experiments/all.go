@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry maps experiment ids to their implementations.
+var Registry = map[string]func() Table{
+	"e1":  E1Steps,
+	"e2":  E2Shrink,
+	"e3":  E3Adversary,
+	"e4":  E4Hierarchy,
+	"e5":  E5ScanCounts,
+	"e6":  E6UniversalOverhead,
+	"e7":  E7SnapshotComparison,
+	"e8":  E8FailureInjection,
+	"e9":  E9ConvergenceBase,
+	"e10": E10Algebra,
+	"e11": E11TypeSpecific,
+	"e12": E12Consensus,
+	"e13": E13Registers,
+	"e14": E14Exhaustive,
+}
+
+// IDs returns the experiment ids in numeric order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return num(out[i]) < num(out[j])
+	})
+	return out
+}
+
+func num(id string) int {
+	var n int
+	fmt.Sscanf(strings.TrimPrefix(id, "e"), "%d", &n)
+	return n
+}
+
+// Run executes one experiment by id.
+func Run(id string) (Table, error) {
+	f, ok := Registry[strings.ToLower(id)]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return f(), nil
+}
+
+// All runs every experiment in order.
+func All() []Table {
+	out := make([]Table, 0, len(Registry))
+	for _, id := range IDs() {
+		out = append(out, Registry[id]())
+	}
+	return out
+}

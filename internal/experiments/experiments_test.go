@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE1WithinBound(t *testing.T) {
+	tab := E1Steps()
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", row[5])
+		}
+		if ratio > 1 {
+			t.Errorf("n=%s Δ/ε=%s %s: measured steps exceed Theorem 5 bound (ratio %v)",
+				row[0], row[1], row[2], ratio)
+		}
+	}
+}
+
+func TestE2LemmaThree(t *testing.T) {
+	tab := E2Shrink()
+	sawSamples := false
+	for _, row := range tab.Rows {
+		worst, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[5])
+		}
+		if worst > 0.5+1e-9 {
+			t.Errorf("n=%s %s: worst shrink ratio %v > 1/2", row[0], row[1], worst)
+		}
+		if samples, _ := strconv.Atoi(row[4]); samples > 0 {
+			sawSamples = true
+		}
+	}
+	if !sawSamples {
+		t.Error("no shrink samples collected anywhere; experiment is vacuous")
+	}
+}
+
+func TestE3FloorRespected(t *testing.T) {
+	tab := E3Adversary()
+	for _, row := range tab.Rows {
+		floor, _ := strconv.Atoi(row[2])
+		forced, _ := strconv.Atoi(row[3])
+		if forced < floor {
+			t.Errorf("k=%s: forced %d < floor %d", row[0], forced, floor)
+		}
+	}
+}
+
+func TestE4HierarchyShape(t *testing.T) {
+	tab := E4Hierarchy()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The Theorem 8 rows (unbounded Δ) must show strictly growing
+	// forced work.
+	var prev int
+	for _, row := range tab.Rows[5:] {
+		forced, _ := strconv.Atoi(row[2])
+		if forced <= prev {
+			t.Errorf("Theorem 8 rows not strictly growing: %d after %d", forced, prev)
+		}
+		prev = forced
+	}
+}
+
+func TestE5AllMatch(t *testing.T) {
+	tab := E5ScanCounts()
+	for _, row := range tab.Rows {
+		if row[6] != "true" {
+			t.Errorf("n=%s %s: counts do not match formulas: %v", row[0], row[1], row)
+		}
+	}
+}
+
+func TestE6ModelExact(t *testing.T) {
+	tab := E6UniversalOverhead()
+	for _, row := range tab.Rows {
+		if row[3] != row[4] {
+			t.Errorf("n=%s: total %s != model %s", row[0], row[3], row[4])
+		}
+	}
+}
+
+func TestE9Bases(t *testing.T) {
+	tab := E9ConvergenceBase()
+	// Row 0: adversary worst shrink ≥ 1/3 − slack.
+	worst, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	if worst < 1.0/3-1e-9 {
+		t.Errorf("adversary shrink %v < 1/3", worst)
+	}
+	// Fair rows: worst shrink ≤ 1/2.
+	for _, row := range tab.Rows[1:] {
+		w, _ := strconv.ParseFloat(row[2], 64)
+		if w > 0.5+1e-9 {
+			t.Errorf("%s: shrink %v > 1/2", row[0], w)
+		}
+	}
+}
+
+func TestE10Verdicts(t *testing.T) {
+	tab := E10Algebra()
+	want := map[string]string{
+		"counter": "true", "logical-clock": "true", "gset": "true",
+		"maxreg": "true", "register": "true", "directory": "true",
+		"queue": "false", "stickybit": "false",
+	}
+	for _, row := range tab.Rows {
+		if w, ok := want[row[0]]; ok && row[3] != w {
+			t.Errorf("%s: Property 1 = %s, want %s", row[0], row[3], w)
+		}
+		if row[2] != "0" {
+			t.Errorf("%s: %s algebra violations", row[0], row[2])
+		}
+	}
+}
+
+func TestE11SpeedupPositive(t *testing.T) {
+	tab := E11TypeSpecific()
+	last := tab.Rows[len(tab.Rows)-1]
+	speedup, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatalf("bad speedup %q", last[3])
+	}
+	if speedup <= 1 {
+		t.Errorf("direct counter not faster at history length %s (speedup %v)", last[0], speedup)
+	}
+}
+
+func TestE7AndE8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments skipped in -short")
+	}
+	e7 := E7SnapshotComparison()
+	if len(e7.Rows) != 12 {
+		t.Errorf("E7 rows = %d", len(e7.Rows))
+	}
+	e8 := E8FailureInjection()
+	if len(e8.Rows) != 4 {
+		t.Errorf("E8 rows = %d", len(e8.Rows))
+	}
+	// Mutex rows must lose essentially all throughput when stalled;
+	// wait-free rows must not.
+	for _, row := range e8.Rows {
+		stalled, _ := strconv.ParseFloat(row[2], 64)
+		if strings.HasPrefix(row[0], "mutex") && stalled > 100 {
+			t.Errorf("%s: stalled throughput %v should be ~0", row[0], stalled)
+		}
+		if strings.HasPrefix(row[0], "wait-free") && stalled == 0 {
+			t.Errorf("%s: wait-free throughput collapsed", row[0])
+		}
+	}
+}
+
+func TestE12ConsensusSafety(t *testing.T) {
+	tab := E12Consensus()
+	for _, row := range tab.Rows {
+		if row[2] != "0" || row[3] != "0" {
+			t.Errorf("n=%s: safety violations reported: %v", row[0], row)
+		}
+		maxRounds, _ := strconv.Atoi(row[5])
+		if maxRounds < 1 || maxRounds > 10 {
+			t.Errorf("n=%s: max rounds %d outside sane range", row[0], maxRounds)
+		}
+	}
+}
+
+func TestE13RegisterCosts(t *testing.T) {
+	tab := E13Registers()
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Closed forms: SWSR 2/1; SWMR k/(2k-1); MRMW (n+1)/n; layered
+	// 2k/(3k-2).
+	want := [][2]string{
+		{"2", "1"},
+		{"2", "3"}, {"4", "7"}, {"8", "15"},
+		{"3", "2"}, {"5", "4"}, {"9", "8"},
+		{"4", "4"}, {"8", "10"}, {"16", "22"},
+	}
+	for i, row := range tab.Rows {
+		if row[2] != want[i][0] || row[3] != want[i][1] {
+			t.Errorf("row %d (%s %s): steps %s/%s, want %s/%s",
+				i, row[0], row[1], row[2], row[3], want[i][0], want[i][1])
+		}
+	}
+}
+
+func TestE14NoViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive experiment")
+	}
+	tab := E14Exhaustive()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Errorf("%s: %s violations under exhaustive enumeration", row[0], row[4])
+		}
+		if schedules, _ := strconv.Atoi(row[2]); schedules < 900 {
+			t.Errorf("%s: only %d schedules enumerated", row[0], schedules)
+		}
+	}
+}
+
+func TestRegistryAndRendering(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 || ids[0] != "e1" || ids[13] != "e14" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	tab, err := Run("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tab.String(); !strings.Contains(s, "E5") || !strings.Contains(s, "reads") {
+		t.Error("String rendering incomplete")
+	}
+	if md := tab.Markdown(); !strings.Contains(md, "| n |") && !strings.Contains(md, "### E5") {
+		t.Error("Markdown rendering incomplete")
+	}
+}

@@ -1,0 +1,48 @@
+package histio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lincheck"
+)
+
+// FuzzDecode fuzzes the JSON history decoder: whatever the input, it
+// must never panic, and anything it accepts must round-trip and be
+// checkable. Run with `go test -fuzz FuzzDecode ./internal/histio` for
+// a real campaign; the seed corpus runs in normal tests.
+func FuzzDecode(f *testing.F) {
+	f.Add(counterJSON)
+	f.Add(`{"spec":"counter","ops":[]}`)
+	f.Add(`{"spec":"register","ops":[{"proc":0,"name":"write","arg":"v","start":1,"end":2}]}`)
+	f.Add(`{"spec":"gset","ops":[{"proc":1,"name":"members","resp":["a"],"start":1,"end":2}]}`)
+	f.Add(`{"spec":"directory","ops":[{"proc":0,"name":"put","arg":{"K":"k","V":"v"},"start":1,"end":2}]}`)
+	f.Add(`{"spec":"queue","ops":[{"proc":0,"name":"deq","resp":"","start":1,"end":2}]}`)
+	f.Add(`{"spec":"logical-clock","ops":[{"proc":0,"name":"merge","arg":{"a":1},"start":1,"end":2}]}`)
+	f.Add(`{"spec":"nope"}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, h, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return // rejection is always fine; panics are not
+		}
+		// Accepted histories must re-encode and re-decode.
+		var buf bytes.Buffer
+		if err := Encode(&buf, s.Name(), h); err != nil {
+			t.Fatalf("accepted history failed to encode: %v", err)
+		}
+		if _, _, err := Decode(&buf); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		// And must be checkable (Ok or not — no crash), as long as
+		// they are well-formed and small.
+		if len(h.Ops) <= 8 && h.WellFormed() == nil {
+			if _, err := lincheck.Check(s, h); err != nil {
+				t.Fatalf("checkable history rejected by checker: %v", err)
+			}
+		}
+	})
+}

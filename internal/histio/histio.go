@@ -1,0 +1,259 @@
+// Package histio serializes operation histories to JSON and back, so
+// histories recorded by other programs (or captured from production
+// logs) can be fed to the linearizability checker through cmd/lincheck.
+//
+// JSON is untyped, so decoding normalizes arguments and responses to
+// the native types each built-in specification expects (e.g. counter
+// amounts become int64, set member lists become []string). Unknown
+// spec names are rejected.
+package histio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/history"
+	"repro/internal/lattice"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// File is the on-disk format.
+type File struct {
+	// Spec names the sequential specification: one of the names in
+	// Specs().
+	Spec string `json:"spec"`
+	Ops  []Op   `json:"ops"`
+}
+
+// Op is one operation record.
+type Op struct {
+	Proc  int    `json:"proc"`
+	Name  string `json:"name"`
+	Arg   any    `json:"arg,omitempty"`
+	Resp  any    `json:"resp,omitempty"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Specs returns the available specifications by name.
+func Specs() map[string]spec.Spec {
+	out := map[string]spec.Spec{}
+	for _, s := range types.AllTypes() {
+		out[s.Name()] = s
+	}
+	return out
+}
+
+// Decode reads a File and returns the named spec plus the normalized
+// history.
+func Decode(r io.Reader) (spec.Spec, history.History, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, history.History{}, fmt.Errorf("histio: %w", err)
+	}
+	s, ok := Specs()[f.Spec]
+	if !ok {
+		return nil, history.History{}, fmt.Errorf("histio: unknown spec %q", f.Spec)
+	}
+	var h history.History
+	for i, op := range f.Ops {
+		arg, resp, err := normalize(f.Spec, op.Name, op.Arg, op.Resp)
+		if err != nil {
+			return nil, history.History{}, fmt.Errorf("histio: op %d: %w", i, err)
+		}
+		h.Ops = append(h.Ops, history.Op{
+			ID: i, Proc: op.Proc, Name: op.Name, Arg: arg, Resp: resp,
+			Start: op.Start, End: op.End,
+		})
+	}
+	return s, h, nil
+}
+
+// Encode writes a history in the on-disk format.
+func Encode(w io.Writer, specName string, h history.History) error {
+	f := File{Spec: specName}
+	for _, op := range h.Ops {
+		f.Ops = append(f.Ops, Op{
+			Proc: op.Proc, Name: op.Name, Arg: op.Arg, Resp: op.Resp,
+			Start: op.Start, End: op.End,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// normalize converts JSON-decoded values into the native types the
+// named spec's Apply expects.
+func normalize(specName, opName string, arg, resp any) (any, any, error) {
+	switch specName {
+	case "counter":
+		switch opName {
+		case types.OpInc, types.OpDec, types.OpReset:
+			a, err := toInt64(arg)
+			return a, nil, err
+		case types.OpRead:
+			r, err := toInt64(resp)
+			return nil, r, err
+		}
+	case "maxreg":
+		switch opName {
+		case types.OpWriteMax:
+			a, err := toInt64(arg)
+			return a, nil, err
+		case types.OpReadMax:
+			r, err := toInt64(resp)
+			return nil, r, err
+		}
+	case "register":
+		switch opName {
+		case types.OpWrite:
+			a, err := toString(arg)
+			return a, nil, err
+		case types.OpReadReg:
+			r, err := toString(resp)
+			return nil, r, err
+		}
+	case "gset":
+		switch opName {
+		case types.OpAdd:
+			a, err := toString(arg)
+			return a, nil, err
+		case types.OpClear:
+			return nil, nil, nil
+		case types.OpMembers:
+			r, err := toStrings(resp)
+			return nil, r, err
+		}
+	case "stickybit":
+		switch opName {
+		case types.OpSet:
+			a, err := toInt64(arg)
+			return a, nil, err
+		case types.OpReadBit:
+			r, err := toInt64(resp)
+			return nil, r, err
+		}
+	case "queue":
+		switch opName {
+		case types.OpEnq:
+			a, err := toString(arg)
+			return a, nil, err
+		case types.OpDeq:
+			r, err := toString(resp)
+			return nil, r, err
+		}
+	case "logical-clock":
+		switch opName {
+		case types.OpMerge:
+			a, err := toIntMap(arg)
+			return a, nil, err
+		case types.OpReadClock:
+			r, err := toIntMap(resp)
+			return nil, r, err
+		}
+	case "directory":
+		switch opName {
+		case types.OpPut:
+			m, ok := arg.(map[string]any)
+			if !ok {
+				return nil, nil, fmt.Errorf("put arg must be {\"K\":..,\"V\":..}, got %T", arg)
+			}
+			k, err := toString(m["K"])
+			if err != nil {
+				return nil, nil, err
+			}
+			v, err := toString(m["V"])
+			return types.KV{K: k, V: v}, nil, err
+		case types.OpDel:
+			a, err := toString(arg)
+			return a, nil, err
+		case types.OpGet:
+			a, err := toString(arg)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := toString(resp)
+			return a, r, err
+		case types.OpGetAll:
+			r, err := toStrings(resp)
+			return nil, r, err
+		}
+	}
+	return nil, nil, fmt.Errorf("unsupported operation %q for spec %q", opName, specName)
+}
+
+func toInt64(v any) (int64, error) {
+	switch x := v.(type) {
+	case nil:
+		return 0, nil
+	case float64:
+		if x != float64(int64(x)) {
+			return 0, fmt.Errorf("non-integer number %v", x)
+		}
+		return int64(x), nil
+	case int64:
+		return x, nil
+	case int:
+		return int64(x), nil
+	default:
+		return 0, fmt.Errorf("expected integer, got %T", v)
+	}
+}
+
+func toString(v any) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "", nil
+	case string:
+		return x, nil
+	default:
+		return "", fmt.Errorf("expected string, got %T", v)
+	}
+}
+
+func toStrings(v any) ([]string, error) {
+	switch x := v.(type) {
+	case nil:
+		return []string{}, nil
+	case []string:
+		return x, nil
+	case []any:
+		out := make([]string, len(x))
+		for i, e := range x {
+			s, err := toString(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("expected string list, got %T", v)
+	}
+}
+
+func toIntMap(v any) (lattice.IntMap, error) {
+	switch x := v.(type) {
+	case nil:
+		return lattice.IntMap{}, nil
+	case lattice.IntMap:
+		return x, nil
+	case map[string]any:
+		out := make(lattice.IntMap, len(x))
+		for k, e := range x {
+			n, err := toInt64(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("expected string->int map, got %T", v)
+	}
+}

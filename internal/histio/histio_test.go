@@ -1,0 +1,152 @@
+package histio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/types"
+)
+
+const counterJSON = `{
+  "spec": "counter",
+  "ops": [
+    {"proc": 0, "name": "inc", "arg": 5, "start": 1, "end": 2},
+    {"proc": 1, "name": "read", "resp": 5, "start": 3, "end": 4},
+    {"proc": 0, "name": "reset", "arg": 2, "start": 5, "end": 6},
+    {"proc": 1, "name": "read", "resp": 2, "start": 7, "end": 8}
+  ]
+}`
+
+func TestDecodeAndCheckCounter(t *testing.T) {
+	s, h, err := Decode(strings.NewReader(counterJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "counter" || len(h.Ops) != 4 {
+		t.Fatalf("spec %s, %d ops", s.Name(), len(h.Ops))
+	}
+	res, err := lincheck.Check(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("legal counter history rejected after decode")
+	}
+}
+
+func TestDecodeDirectory(t *testing.T) {
+	in := `{
+  "spec": "directory",
+  "ops": [
+    {"proc": 0, "name": "put", "arg": {"K": "host", "V": "a1"}, "start": 1, "end": 2},
+    {"proc": 1, "name": "get", "arg": "host", "resp": "a1", "start": 3, "end": 4},
+    {"proc": 1, "name": "getall", "resp": ["host=a1"], "start": 5, "end": 6},
+    {"proc": 0, "name": "del", "arg": "host", "start": 7, "end": 8},
+    {"proc": 1, "name": "get", "arg": "host", "resp": "", "start": 9, "end": 10}
+  ]
+}`
+	s, h, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lincheck.Check(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("legal directory history rejected")
+	}
+}
+
+func TestDecodeClock(t *testing.T) {
+	in := `{
+  "spec": "logical-clock",
+  "ops": [
+    {"proc": 0, "name": "merge", "arg": {"a": 3}, "start": 1, "end": 2},
+    {"proc": 1, "name": "readclock", "resp": {"a": 3}, "start": 3, "end": 4}
+  ]
+}`
+	s, h, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lincheck.Check(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("legal clock history rejected")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown spec":  `{"spec": "nope", "ops": []}`,
+		"unknown op":    `{"spec": "counter", "ops": [{"proc":0,"name":"pop","start":1,"end":2}]}`,
+		"bad arg type":  `{"spec": "counter", "ops": [{"proc":0,"name":"inc","arg":"x","start":1,"end":2}]}`,
+		"non-integer":   `{"spec": "counter", "ops": [{"proc":0,"name":"inc","arg":1.5,"start":1,"end":2}]}`,
+		"unknown field": `{"spec": "counter", "junk": 1, "ops": []}`,
+		"bad put arg":   `{"spec": "directory", "ops": [{"proc":0,"name":"put","arg":"x","start":1,"end":2}]}`,
+	}
+	for name, in := range cases {
+		if _, _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, h, err := Decode(strings.NewReader(counterJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s.Name(), h); err != nil {
+		t.Fatal(err)
+	}
+	s2, h2, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if s2.Name() != s.Name() || len(h2.Ops) != len(h.Ops) {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range h.Ops {
+		a, b := h.Ops[i], h2.Ops[i]
+		if a.Name != b.Name || a.Proc != b.Proc || a.Arg != b.Arg || a.Start != b.Start {
+			t.Fatalf("op %d changed: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	for _, s := range types.AllTypes() {
+		if _, ok := specs[s.Name()]; !ok {
+			t.Errorf("spec %s missing from registry", s.Name())
+		}
+	}
+}
+
+func TestNonLinearizableVerdictSurvivesDecode(t *testing.T) {
+	in := `{
+  "spec": "register",
+  "ops": [
+    {"proc": 0, "name": "write", "arg": "v", "start": 1, "end": 2},
+    {"proc": 1, "name": "readreg", "resp": "", "start": 3, "end": 4}
+  ]
+}`
+	s, h, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lincheck.Check(s, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("stale read accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Package history models operation histories in the sense of Section 3
+// of Aspnes & Herlihy: sequences of invocation/response pairs with a
+// real-time precedence partial order, recorded from live concurrent
+// executions. The linearizability checker (internal/lincheck) and the
+// universal construction's tests consume these histories.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is one completed operation: its process, invocation (name and
+// argument), response, and real-time interval. Start and End come from
+// a shared logical clock: op a precedes op b (a ≺_H b) iff
+// a.End < b.Start; otherwise they are concurrent.
+type Op struct {
+	ID    int
+	Proc  int
+	Name  string
+	Arg   any
+	Resp  any
+	Start int64
+	End   int64
+}
+
+// Precedes reports a ≺_H b: a's response occurred before b's
+// invocation.
+func (a Op) Precedes(b Op) bool { return a.End < b.Start }
+
+// Concurrent reports that neither operation precedes the other.
+func (a Op) Concurrent(b Op) bool { return !a.Precedes(b) && !b.Precedes(a) }
+
+// String renders the op compactly for error messages.
+func (a Op) String() string {
+	return fmt.Sprintf("P%d.%s(%v)=%v@[%d,%d]", a.Proc, a.Name, a.Arg, a.Resp, a.Start, a.End)
+}
+
+// History is a set of completed operations. The zero value is an empty
+// history.
+type History struct {
+	Ops []Op
+}
+
+// ByStart returns the operations sorted by invocation time (a valid
+// starting order for linearization search).
+func (h History) ByStart() []Op {
+	out := append([]Op(nil), h.Ops...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WellFormed verifies that per-process operations are sequential: no
+// process has two overlapping operations. A violation is a recording
+// bug (one goroutine per process index is the rule everywhere in this
+// repository).
+func (h History) WellFormed() error {
+	byProc := map[int][]Op{}
+	for _, op := range h.Ops {
+		if op.Start >= op.End {
+			return fmt.Errorf("history: op %v has an empty interval", op)
+		}
+		byProc[op.Proc] = append(byProc[op.Proc], op)
+	}
+	for proc, ops := range byProc {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+		for i := 1; i < len(ops); i++ {
+			if ops[i].Start < ops[i-1].End {
+				return fmt.Errorf("history: process %d has overlapping ops %v and %v",
+					proc, ops[i-1], ops[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Recorder captures a concurrent history from a live execution using a
+// shared logical clock. It is safe for concurrent use.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+	next  int
+}
+
+// Invoke runs f as one operation of process proc, stamping its
+// invocation and response with the recorder's clock, and returns f's
+// result. The operation is appended to the history.
+func (r *Recorder) Invoke(proc int, name string, arg any, f func() any) any {
+	start := r.clock.Add(1)
+	resp := f()
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{
+		ID: r.next, Proc: proc, Name: name, Arg: arg, Resp: resp,
+		Start: start, End: end,
+	})
+	r.next++
+	return resp
+}
+
+// History returns a snapshot of everything recorded so far.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return History{Ops: append([]Op(nil), r.ops...)}
+}

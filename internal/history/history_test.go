@@ -1,0 +1,111 @@
+package history
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPrecedesAndConcurrent(t *testing.T) {
+	a := Op{Start: 1, End: 2}
+	b := Op{Start: 3, End: 4}
+	c := Op{Start: 2, End: 5}
+	if !a.Precedes(b) || b.Precedes(a) {
+		t.Error("precedence wrong for disjoint intervals")
+	}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("overlapping intervals must be concurrent")
+	}
+	if a.Concurrent(b) {
+		t.Error("disjoint intervals are not concurrent")
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	good := History{Ops: []Op{
+		{Proc: 0, Start: 1, End: 2},
+		{Proc: 0, Start: 3, End: 4},
+		{Proc: 1, Start: 1, End: 10},
+	}}
+	if err := good.WellFormed(); err != nil {
+		t.Errorf("good history rejected: %v", err)
+	}
+	overlap := History{Ops: []Op{
+		{Proc: 0, Start: 1, End: 5},
+		{Proc: 0, Start: 3, End: 8},
+	}}
+	if err := overlap.WellFormed(); err == nil {
+		t.Error("overlapping same-process ops accepted")
+	}
+	empty := History{Ops: []Op{{Proc: 0, Start: 5, End: 5}}}
+	if err := empty.WellFormed(); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestByStartSorts(t *testing.T) {
+	h := History{Ops: []Op{
+		{ID: 0, Start: 9, End: 10},
+		{ID: 1, Start: 1, End: 2},
+		{ID: 2, Start: 5, End: 6},
+	}}
+	got := h.ByStart()
+	if got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 0 {
+		t.Errorf("ByStart order wrong: %v", got)
+	}
+	if h.Ops[0].ID != 0 {
+		t.Error("ByStart mutated the history")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	const procs, per = 8, 25
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				got := r.Invoke(p, "op", k, func() any { return k * 2 })
+				if got != k*2 {
+					t.Errorf("Invoke returned %v, want %v", got, k*2)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h.Ops) != procs*per {
+		t.Fatalf("recorded %d ops, want %d", len(h.Ops), procs*per)
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("recorded history ill-formed: %v", err)
+	}
+	ids := map[int]bool{}
+	for _, op := range h.Ops {
+		if op.Start >= op.End {
+			t.Fatalf("op %v has inverted stamps", op)
+		}
+		if ids[op.ID] {
+			t.Fatalf("duplicate op id %d", op.ID)
+		}
+		ids[op.ID] = true
+	}
+}
+
+func TestRecorderHistoryIsSnapshot(t *testing.T) {
+	var r Recorder
+	r.Invoke(0, "a", nil, func() any { return nil })
+	h1 := r.History()
+	r.Invoke(0, "b", nil, func() any { return nil })
+	if len(h1.Ops) != 1 {
+		t.Error("History() snapshot grew after later ops")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Proc: 2, Name: "inc", Arg: 5, Resp: nil, Start: 1, End: 3}
+	if got := op.String(); got == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,70 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInPlaceAgreesWithJoin: accumulating a batch in place must equal
+// the generic fold, and must not mutate the inputs.
+func TestInPlaceAgreesWithJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		l    InPlace
+		gen  generator
+	}{
+		{"Vector", Vector{N: 5}, genVec(5)},
+		{"MapMax", MapMax{}, genIntMap},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 100; trial++ {
+				vals := make([]any, 1+rng.Intn(6))
+				for i := range vals {
+					vals[i] = tc.gen(rng)
+				}
+				want := JoinAll(tc.l, vals...)
+				acc := tc.l.NewAccum(tc.l.Bottom())
+				for _, v := range vals {
+					acc = tc.l.Accumulate(acc, v)
+				}
+				got := tc.l.Freeze(acc)
+				if !Equal(tc.l, got, want) {
+					t.Fatalf("trial %d: in-place %v != generic %v", trial, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestInPlaceDoesNotMutateInputs(t *testing.T) {
+	l := Vector{N: 2}
+	a := l.Single(0, 5, "a")
+	b := l.Single(1, 7, "b")
+	acc := l.NewAccum(a)
+	l.Accumulate(acc, b)
+	if a[1].Tag != 0 {
+		t.Error("Accumulate mutated a source element")
+	}
+	if b[0].Tag != 0 {
+		t.Error("Accumulate mutated a source element")
+	}
+}
+
+func TestNewAccumCopies(t *testing.T) {
+	l := Vector{N: 2}
+	a := l.Single(0, 5, "a")
+	acc := l.NewAccum(a).(Vec)
+	acc[1] = Cell{Tag: 9, Val: "mut"}
+	if a[1].Tag != 0 {
+		t.Error("NewAccum aliased its input")
+	}
+
+	m := IntMap{"x": 3}
+	macc := MapMax{}.NewAccum(m).(IntMap)
+	macc["y"] = 9
+	if _, ok := m["y"]; ok {
+		t.Error("MapMax.NewAccum aliased its input")
+	}
+}

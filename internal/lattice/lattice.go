@@ -1,0 +1,61 @@
+// Package lattice provides the ∨-semilattices used by the atomic
+// snapshot construction of Aspnes & Herlihy (Section 6).
+//
+// The atomic scan algorithm treats the shared array's state as the join
+// of the values written to it: because the array state does not depend
+// on the order in which distinct processes update their own elements,
+// the scan simply returns the join of the register values. Every
+// lattice here supplies a bottom element ⊥ with ⊥ ∨ x = x.
+//
+// Lattice elements are treated as immutable values: Join must never
+// mutate its arguments, and callers must never modify an element after
+// handing it to a register. This discipline is what makes lock-free
+// publication through atomic pointers safe.
+package lattice
+
+// Lattice is a ∨-semilattice with a bottom element.
+//
+// Implementations must satisfy, for all elements a, b, c drawn from the
+// lattice's carrier set:
+//
+//	Join(a, a) == a                    (idempotence)
+//	Join(a, b) == Join(b, a)           (commutativity)
+//	Join(Join(a, b), c) ==
+//	    Join(a, Join(b, c))            (associativity)
+//	Join(Bottom(), a) == a             (bottom)
+//	Leq(a, b) iff Join(a, b) == b      (induced order)
+//
+// These laws are validated for every implementation by property-based
+// tests (see laws_test.go).
+type Lattice interface {
+	// Bottom returns the least element ⊥.
+	Bottom() any
+	// Join returns the least upper bound of a and b. It must not
+	// mutate either argument.
+	Join(a, b any) any
+	// Leq reports whether a ≤ b in the induced partial order.
+	Leq(a, b any) bool
+}
+
+// Equal reports whether a and b are the same element of l, using the
+// antisymmetry of the induced order: a == b iff a ≤ b and b ≤ a.
+func Equal(l Lattice, a, b any) bool {
+	return l.Leq(a, b) && l.Leq(b, a)
+}
+
+// Comparable reports whether a and b are ordered either way. The key
+// correctness property of the atomic scan (Lemma 32) is that any two
+// returned values are comparable.
+func Comparable(l Lattice, a, b any) bool {
+	return l.Leq(a, b) || l.Leq(b, a)
+}
+
+// JoinAll folds Join over vs, starting from Bottom. An empty argument
+// list yields Bottom.
+func JoinAll(l Lattice, vs ...any) any {
+	acc := l.Bottom()
+	for _, v := range vs {
+		acc = l.Join(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,260 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// generator produces random elements of a lattice for property tests.
+type generator func(r *rand.Rand) any
+
+func genMaxInt(r *rand.Rand) any {
+	if r.Intn(8) == 0 {
+		return MaxInt{}.Bottom()
+	}
+	return int64(r.Intn(2000) - 1000)
+}
+
+func genMaxFloat(r *rand.Rand) any {
+	if r.Intn(8) == 0 {
+		return MaxFloat{}.Bottom()
+	}
+	return r.NormFloat64() * 100
+}
+
+func genVec(n int) generator {
+	return func(r *rand.Rand) any {
+		v := make(Vec, n)
+		for i := range v {
+			if r.Intn(2) == 0 {
+				v[i] = Cell{Tag: uint64(r.Intn(50)) + 1, Val: r.Intn(100)}
+			}
+		}
+		return v
+	}
+}
+
+func genSet(r *rand.Rand) any {
+	words := []string{"a", "b", "c", "d", "e", "f", "g"}
+	s := make(Set)
+	for _, w := range words {
+		if r.Intn(2) == 0 {
+			s[w] = struct{}{}
+		}
+	}
+	return s
+}
+
+func genIntMap(r *rand.Rand) any {
+	keys := []string{"x", "y", "z", "w"}
+	m := make(IntMap)
+	for _, k := range keys {
+		if r.Intn(2) == 0 {
+			m[k] = int64(r.Intn(20))
+		}
+	}
+	return m
+}
+
+func lattices(n int) map[string]struct {
+	l   Lattice
+	gen generator
+} {
+	prod := Product{A: MaxInt{}, B: SetUnion{}}
+	return map[string]struct {
+		l   Lattice
+		gen generator
+	}{
+		"MaxInt":   {MaxInt{}, genMaxInt},
+		"MaxFloat": {MaxFloat{}, genMaxFloat},
+		"Vector":   {Vector{N: n}, genVec(n)},
+		"SetUnion": {SetUnion{}, genSet},
+		"MapMax":   {MapMax{}, genIntMap},
+		"Product": {prod, func(r *rand.Rand) any {
+			return Pair{genMaxInt(r), genSet(r)}
+		}},
+	}
+}
+
+// TestLatticeLaws property-checks the semilattice axioms for every
+// lattice implementation: idempotence, commutativity, associativity,
+// bottom identity, and the Leq/Join coherence law.
+func TestLatticeLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	for name, tc := range lattices(4) {
+		l, gen := tc.l, tc.gen
+		t.Run(name+"/idempotent", func(t *testing.T) {
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a := gen(r)
+				return Equal(l, l.Join(a, a), a)
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/commutative", func(t *testing.T) {
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a, b := gen(r), gen(r)
+				return Equal(l, l.Join(a, b), l.Join(b, a))
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/associative", func(t *testing.T) {
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a, b, c := gen(r), gen(r), gen(r)
+				return Equal(l, l.Join(l.Join(a, b), c), l.Join(a, l.Join(b, c)))
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/bottom", func(t *testing.T) {
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a := gen(r)
+				return Equal(l, l.Join(l.Bottom(), a), a) && l.Leq(l.Bottom(), a)
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/coherence", func(t *testing.T) {
+			// Leq(a, b) iff Join(a, b) == b.
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a, b := gen(r), gen(r)
+				return l.Leq(a, b) == Equal(l, l.Join(a, b), b)
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/joinUpperBound", func(t *testing.T) {
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a, b := gen(r), gen(r)
+				j := l.Join(a, b)
+				return l.Leq(a, j) && l.Leq(b, j)
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	l := MaxInt{}
+	if got := JoinAll(l); !Equal(l, got, l.Bottom()) {
+		t.Errorf("JoinAll() = %v, want bottom", got)
+	}
+	if got := JoinAll(l, int64(3), int64(9), int64(-2)); got != int64(9) {
+		t.Errorf("JoinAll = %v, want 9", got)
+	}
+}
+
+func TestMaxIntBottomOrdering(t *testing.T) {
+	l := MaxInt{}
+	b := l.Bottom()
+	if !l.Leq(b, int64(-1<<62)) {
+		t.Error("bottom must be below every integer")
+	}
+	if l.Leq(int64(0), b) {
+		t.Error("no integer is below bottom")
+	}
+	if !Equal(l, l.Join(b, b), b) {
+		t.Error("join of bottoms must be bottom")
+	}
+}
+
+func TestVectorSingle(t *testing.T) {
+	l := Vector{N: 3}
+	v := l.Single(1, 7, "payload")
+	if v[0].Tag != 0 || v[2].Tag != 0 {
+		t.Error("Single must leave other slots empty")
+	}
+	if v[1].Tag != 7 || v[1].Val != "payload" {
+		t.Errorf("Single slot = %+v", v[1])
+	}
+	joined := l.Join(v, l.Single(1, 9, "newer")).(Vec)
+	if joined[1].Tag != 9 || joined[1].Val != "newer" {
+		t.Errorf("join must pick the higher tag, got %+v", joined[1])
+	}
+}
+
+func TestVectorJoinDoesNotMutate(t *testing.T) {
+	l := Vector{N: 2}
+	a := l.Single(0, 1, "a")
+	b := l.Single(1, 2, "b")
+	_ = l.Join(a, b)
+	if a[1].Tag != 0 || b[0].Tag != 0 {
+		t.Error("Join mutated its arguments")
+	}
+}
+
+func TestVectorDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	l := Vector{N: 2}
+	l.Join(make(Vec, 2), make(Vec, 3))
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet("b", "a", "c")
+	if !s.Has("a") || s.Has("z") {
+		t.Error("membership wrong")
+	}
+	keys := s.Keys()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestSetUnionJoinDoesNotMutate(t *testing.T) {
+	l := SetUnion{}
+	a, b := NewSet("x"), NewSet("y")
+	_ = l.Join(a, b)
+	if a.Has("y") || b.Has("x") {
+		t.Error("Join mutated its arguments")
+	}
+}
+
+func TestMapMaxJoin(t *testing.T) {
+	l := MapMax{}
+	a := IntMap{"x": 3, "y": 10}
+	b := IntMap{"x": 7, "z": 1}
+	j := l.Join(a, b).(IntMap)
+	if j["x"] != 7 || j["y"] != 10 || j["z"] != 1 {
+		t.Errorf("Join = %v", j)
+	}
+}
+
+func TestMaxFloatRejectsNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on NaN")
+		}
+	}()
+	nan := 0.0
+	nan /= nan // silence constant-folding; produce NaN at run time
+	MaxFloat{}.Join(nan, 1.0)
+}
+
+func TestComparable(t *testing.T) {
+	l := Vector{N: 2}
+	a := l.Single(0, 1, nil)
+	b := l.Single(1, 1, nil)
+	if Comparable(l, a, b) {
+		t.Error("disjoint singles must be incomparable")
+	}
+	j := l.Join(a, b)
+	if !Comparable(l, a, j) || !Comparable(l, b, j) {
+		t.Error("join must be comparable with both operands")
+	}
+}

@@ -1,0 +1,84 @@
+package lattice
+
+// MaxInt is the ∨-semilattice of int64 values ordered by ≤, extended
+// with a distinct bottom element below every integer. It is the
+// simplest useful lattice: ReadMax over it yields a wait-free
+// "maximum so far" register.
+type MaxInt struct{}
+
+// maxIntBottom is the ⊥ element of MaxInt. It is a private sentinel so
+// that math.MinInt64 remains a usable carrier value.
+type maxIntBottom struct{}
+
+// Bottom returns ⊥.
+func (MaxInt) Bottom() any { return maxIntBottom{} }
+
+// Join returns the larger of a and b, treating ⊥ as the identity.
+func (MaxInt) Join(a, b any) any {
+	if _, ok := a.(maxIntBottom); ok {
+		return b
+	}
+	if _, ok := b.(maxIntBottom); ok {
+		return a
+	}
+	x, y := a.(int64), b.(int64)
+	if x >= y {
+		return x
+	}
+	return y
+}
+
+// Leq reports a ≤ b.
+func (MaxInt) Leq(a, b any) bool {
+	if _, ok := a.(maxIntBottom); ok {
+		return true
+	}
+	if _, ok := b.(maxIntBottom); ok {
+		return false
+	}
+	return a.(int64) <= b.(int64)
+}
+
+// MaxFloat is the ∨-semilattice of float64 values ordered by ≤ with a
+// distinct bottom. NaN values are rejected by Join and Leq via panic:
+// they have no place in a partial order.
+type MaxFloat struct{}
+
+type maxFloatBottom struct{}
+
+// Bottom returns ⊥.
+func (MaxFloat) Bottom() any { return maxFloatBottom{} }
+
+// Join returns the larger of a and b, treating ⊥ as the identity.
+func (MaxFloat) Join(a, b any) any {
+	if _, ok := a.(maxFloatBottom); ok {
+		return b
+	}
+	if _, ok := b.(maxFloatBottom); ok {
+		return a
+	}
+	x, y := mustFloat(a), mustFloat(b)
+	if x >= y {
+		return x
+	}
+	return y
+}
+
+// Leq reports a ≤ b.
+func (MaxFloat) Leq(a, b any) bool {
+	if _, ok := a.(maxFloatBottom); ok {
+		return true
+	}
+	if _, ok := b.(maxFloatBottom); ok {
+		return false
+	}
+	return mustFloat(a) <= mustFloat(b)
+}
+
+func mustFloat(v any) float64 {
+	f := v.(float64)
+	if f != f {
+		panic("lattice: NaN is not a lattice element")
+	}
+	return f
+}

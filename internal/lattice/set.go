@@ -1,0 +1,142 @@
+package lattice
+
+import "sort"
+
+// Set is an element of the set-union lattice: an immutable set of
+// string keys. The zero value is the empty set (which is also ⊥).
+type Set map[string]struct{}
+
+// NewSet builds a Set from keys.
+func NewSet(keys ...string) Set {
+	s := make(Set, len(keys))
+	for _, k := range keys {
+		s[k] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(k string) bool { _, ok := s[k]; return ok }
+
+// Keys returns the members in sorted order.
+func (s Set) Keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetUnion is the ∨-semilattice of string sets under union, with the
+// empty set as ⊥. It models grow-only set abstractions ("certain kinds
+// of set abstractions", Section 1).
+type SetUnion struct{}
+
+// Bottom returns the empty set.
+func (SetUnion) Bottom() any { return Set(nil) }
+
+// Join returns the union of a and b without mutating either.
+func (SetUnion) Join(a, b any) any {
+	x, y := a.(Set), b.(Set)
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make(Set, len(x)+len(y))
+	for k := range x {
+		out[k] = struct{}{}
+	}
+	for k := range y {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Leq reports a ⊆ b.
+func (SetUnion) Leq(a, b any) bool {
+	x, y := a.(Set), b.(Set)
+	if len(x) > len(y) {
+		return false
+	}
+	for k := range x {
+		if _, ok := y[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MapMax is the ∨-semilattice of string→int64 maps joined by key-wise
+// maximum, with the empty map as ⊥. It models vector clocks and other
+// per-key monotone counters.
+type MapMax struct{}
+
+// IntMap is an element of MapMax. Treated as immutable.
+type IntMap map[string]int64
+
+// Bottom returns the empty map.
+func (MapMax) Bottom() any { return IntMap(nil) }
+
+// Join returns the key-wise maximum of a and b.
+func (MapMax) Join(a, b any) any {
+	x, y := a.(IntMap), b.(IntMap)
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make(IntMap, len(x)+len(y))
+	for k, v := range x {
+		out[k] = v
+	}
+	for k, v := range y {
+		if cur, ok := out[k]; !ok || v > cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Leq reports whether every key of a maps to a value ≤ b's value for
+// that key (missing keys count as −∞).
+func (MapMax) Leq(a, b any) bool {
+	x, y := a.(IntMap), b.(IntMap)
+	for k, v := range x {
+		w, ok := y[k]
+		if !ok || v > w {
+			return false
+		}
+	}
+	return true
+}
+
+// Product is the component-wise product of two lattices: elements are
+// Pair values, joined component-wise. Products let callers snapshot two
+// unrelated monotone quantities atomically with a single scan.
+type Product struct {
+	A, B Lattice
+}
+
+// Pair is an element of a Product lattice.
+type Pair struct {
+	First, Second any
+}
+
+// Bottom returns the pair of component bottoms.
+func (l Product) Bottom() any { return Pair{l.A.Bottom(), l.B.Bottom()} }
+
+// Join joins component-wise.
+func (l Product) Join(a, b any) any {
+	x, y := a.(Pair), b.(Pair)
+	return Pair{l.A.Join(x.First, y.First), l.B.Join(x.Second, y.Second)}
+}
+
+// Leq compares component-wise.
+func (l Product) Leq(a, b any) bool {
+	x, y := a.(Pair), b.(Pair)
+	return l.A.Leq(x.First, y.First) && l.B.Leq(x.Second, y.Second)
+}

@@ -1,0 +1,77 @@
+package lattice
+
+// Cell is one slot of a tagged vector: a payload plus a monotonically
+// increasing tag. The maximum of two cells is the one with the higher
+// tag. A zero tag denotes "empty" (the ⊥ contribution for that slot),
+// matching the paper's construction in Section 6: "Each array entry has
+// an associated tag, and the maximum of two entries is the one with the
+// higher tag. ... The ⊥ value is just an array whose tags are all
+// zero."
+type Cell struct {
+	Tag uint64 // 0 means empty
+	Val any    // payload; must be treated as immutable
+}
+
+// Vec is an element of the tagged-vector lattice: one cell per process.
+// It is the lattice the paper uses to turn the semilattice scan into an
+// atomic snapshot of an n-element single-writer array. Vec values are
+// immutable; Join allocates a fresh vector.
+type Vec []Cell
+
+// Vector is the ∨-semilattice of N-cell tagged vectors. The join is
+// the element-wise tag maximum. Ties on tag are benign because each
+// slot is written by a single process with strictly increasing tags, so
+// equal tags imply equal cells.
+type Vector struct {
+	// N is the vector length (number of processes).
+	N int
+}
+
+// Bottom returns the all-empty vector.
+func (l Vector) Bottom() any { return make(Vec, l.N) }
+
+// Join returns the element-wise maximum-tag vector of a and b.
+func (l Vector) Join(a, b any) any {
+	x, y := a.(Vec), b.(Vec)
+	l.check(x)
+	l.check(y)
+	out := make(Vec, l.N)
+	for i := range out {
+		if x[i].Tag >= y[i].Tag {
+			out[i] = x[i]
+		} else {
+			out[i] = y[i]
+		}
+	}
+	return out
+}
+
+// Leq reports whether every cell of a has a tag ≤ the corresponding
+// cell of b.
+func (l Vector) Leq(a, b any) bool {
+	x, y := a.(Vec), b.(Vec)
+	l.check(x)
+	l.check(y)
+	for i := range x {
+		if x[i].Tag > y[i].Tag {
+			return false
+		}
+	}
+	return true
+}
+
+func (l Vector) check(v Vec) {
+	if len(v) != l.N {
+		panic("lattice: vector length does not match lattice dimension")
+	}
+}
+
+// Single returns the vector that is empty everywhere except slot i,
+// which holds (tag, val). This is how process i publishes a new value:
+// the single-cell vector joins into the array state as "process i's
+// latest value", exactly as described at the end of Section 6.
+func (l Vector) Single(i int, tag uint64, val any) Vec {
+	v := make(Vec, l.N)
+	v[i] = Cell{Tag: tag, Val: val}
+	return v
+}

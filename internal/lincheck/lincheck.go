@@ -1,0 +1,126 @@
+// Package lincheck decides whether a recorded concurrent history is
+// linearizable with respect to a sequential specification — the
+// correctness condition of Section 3.2 (Herlihy & Wing). It is the
+// test oracle for every concurrent implementation in this repository:
+// record a history with history.Recorder, then Check it.
+//
+// The checker is the classic Wing–Gong permutation search with the
+// standard memoization on (set of linearized operations, object
+// state): an operation may be linearized next only if every operation
+// that precedes it in real time has already been linearized, and only
+// if the specification reproduces its recorded response. The search is
+// exponential in the worst case; histories fed to it should stay below
+// a few dozen operations.
+package lincheck
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// MaxOps bounds the history size Check accepts; beyond it the search
+// is unlikely to finish.
+const MaxOps = 63
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	// Ok is true when a legal linearization exists.
+	Ok bool
+	// Witness is one legal linearization (in order) when Ok.
+	Witness []history.Op
+	// Explored counts search states visited, for diagnostics.
+	Explored int
+}
+
+// Check decides linearizability of h against s. It returns an error
+// only for malformed input (ill-formed history, too many operations);
+// "not linearizable" is Ok == false, not an error.
+func Check(s spec.Spec, h history.History) (Result, error) {
+	if err := h.WellFormed(); err != nil {
+		return Result{}, err
+	}
+	ops := h.ByStart()
+	if len(ops) > MaxOps {
+		return Result{}, fmt.Errorf("lincheck: %d operations exceed the %d-op search bound", len(ops), MaxOps)
+	}
+	c := &checker{
+		s:      s,
+		ops:    ops,
+		failed: make(map[string]bool),
+	}
+	order := make([]history.Op, 0, len(ops))
+	ok := c.search(0, s.Init(), &order)
+	return Result{Ok: ok, Witness: order, Explored: c.explored}, nil
+}
+
+type checker struct {
+	s        spec.Spec
+	ops      []history.Op
+	failed   map[string]bool // (mask, state-key) combinations known to fail
+	explored int
+}
+
+// search tries to extend the linearization given the bitmask of
+// already-linearized ops and the current object state.
+func (c *checker) search(mask uint64, st spec.State, order *[]history.Op) bool {
+	c.explored++
+	if mask == (uint64(1)<<len(c.ops))-1 {
+		return true
+	}
+	key := fmt.Sprintf("%x|%s", mask, c.s.Key(st))
+	if c.failed[key] {
+		return false
+	}
+	for i, op := range c.ops {
+		bit := uint64(1) << i
+		if mask&bit != 0 {
+			continue
+		}
+		if !c.minimal(mask, i) {
+			continue
+		}
+		next, resp := c.s.Apply(st, spec.Inv{Op: op.Name, Arg: op.Arg})
+		if !reflect.DeepEqual(resp, op.Resp) {
+			continue
+		}
+		*order = append(*order, op)
+		if c.search(mask|bit, next, order) {
+			return true
+		}
+		*order = (*order)[:len(*order)-1]
+	}
+	c.failed[key] = true
+	return false
+}
+
+// minimal reports whether op i may be linearized next: no unlinearized
+// operation completes before i begins.
+func (c *checker) minimal(mask uint64, i int) bool {
+	for j, op := range c.ops {
+		if j == i || mask&(uint64(1)<<j) != 0 {
+			continue
+		}
+		if op.End < c.ops[i].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckSequential verifies that a sequential history (already totally
+// ordered) is legal: each response matches the specification. It is a
+// cheaper oracle for tests that control the order themselves.
+func CheckSequential(s spec.Spec, ops []history.Op) error {
+	st := s.Init()
+	for i, op := range ops {
+		var resp any
+		st, resp = s.Apply(st, spec.Inv{Op: op.Name, Arg: op.Arg})
+		if !reflect.DeepEqual(resp, op.Resp) {
+			return fmt.Errorf("lincheck: op %d (%v) responded %v, spec says %v", i, op, op.Resp, resp)
+		}
+	}
+	return nil
+}

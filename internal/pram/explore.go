@@ -1,0 +1,127 @@
+package pram
+
+import "errors"
+
+// Explore enumerates EVERY schedule of the system exhaustively: at
+// each state it forks the system once per runnable process and
+// recurses. When all machines finish, it calls onDone with the final
+// configuration. This turns the simulator into a model checker for
+// small configurations — random-schedule testing samples behaviours,
+// Explore covers all of them.
+//
+// The number of schedules is the multinomial of the processes' step
+// counts, so this is only feasible for a handful of processes and a
+// few operations; budget bounds the total number of forks and Explore
+// returns ErrBudget when it would be exceeded. Machines must support
+// Clone faithfully (every machine in this repository does).
+//
+// Explore returns the number of complete schedules visited.
+func Explore(sys *System, budget int, onDone func(*System)) (int, error) {
+	e := &explorer{budget: budget, onDone: onDone}
+	if err := e.walk(sys); err != nil {
+		return e.leaves, err
+	}
+	return e.leaves, nil
+}
+
+// ErrBudget reports that Explore ran out of its fork budget.
+var ErrBudget = errors.New("pram: exploration budget exhausted")
+
+type explorer struct {
+	budget int
+	leaves int
+	onDone func(*System)
+}
+
+func (e *explorer) walk(sys *System) error {
+	running := sys.Running()
+	if len(running) == 0 {
+		e.leaves++
+		if e.onDone != nil {
+			e.onDone(sys)
+		}
+		return nil
+	}
+	for _, p := range running {
+		if e.budget == 0 {
+			return ErrBudget
+		}
+		e.budget--
+		var next *System
+		if p == running[len(running)-1] {
+			// Tail call: the last branch may consume the current
+			// system instead of forking it.
+			next = sys
+		} else {
+			next = sys.Clone()
+		}
+		next.Step(p)
+		if err := e.walk(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExploreCrashes enumerates every schedule AND every crash pattern in
+// which up to maxCrashes processes stop for ever at an arbitrary point.
+// onDone receives the final system plus the set of crashed processes
+// (a process that crashed is simply never stepped again; its machine
+// may be mid-operation). It composes crash choice into the same
+// exhaustive walk: at every state, besides stepping any runnable
+// process, any live process may crash.
+func ExploreCrashes(sys *System, maxCrashes, budget int, onDone func(*System, []int)) (int, error) {
+	e := &crashExplorer{budget: budget, max: maxCrashes, onDone: onDone}
+	if err := e.walk(sys, nil); err != nil {
+		return e.leaves, err
+	}
+	return e.leaves, nil
+}
+
+type crashExplorer struct {
+	budget int
+	leaves int
+	max    int
+	onDone func(*System, []int)
+}
+
+func (e *crashExplorer) walk(sys *System, crashed []int) error {
+	var runnable []int
+	for _, p := range sys.Running() {
+		if !contains(crashed, p) {
+			runnable = append(runnable, p)
+		}
+	}
+	if len(runnable) == 0 {
+		e.leaves++
+		if e.onDone != nil {
+			e.onDone(sys, append([]int(nil), crashed...))
+		}
+		return nil
+	}
+	for _, p := range runnable {
+		if e.budget == 0 {
+			return ErrBudget
+		}
+		e.budget--
+		next := sys.Clone()
+		next.Step(p)
+		if err := e.walk(next, crashed); err != nil {
+			return err
+		}
+	}
+	if len(crashed) < e.max {
+		for _, p := range runnable {
+			if e.budget == 0 {
+				return ErrBudget
+			}
+			e.budget--
+			// Crashing consumes no steps; reuse the system for the
+			// recursive call but restore the crash list after.
+			if err := e.walk(sys, append(crashed, p)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

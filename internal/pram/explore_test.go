@@ -1,0 +1,125 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+)
+
+// two-step toy machines for counting schedules exactly.
+type twoStep struct {
+	proc int
+	left int
+}
+
+func (m *twoStep) Step(mem *Mem) {
+	mem.Write(m.proc, m.proc, m.left)
+	m.left--
+}
+func (m *twoStep) Done() bool { return m.left == 0 }
+func (m *twoStep) Clone() Machine {
+	cp := *m
+	return &cp
+}
+
+func newToySystem(steps []int) *System {
+	mem := NewMem(len(steps), len(steps))
+	ms := make([]Machine, len(steps))
+	for i, s := range steps {
+		ms[i] = &twoStep{proc: i, left: s}
+	}
+	return NewSystem(mem, ms)
+}
+
+func TestExploreCountsSchedules(t *testing.T) {
+	// Two processes with 2 steps each: C(4,2) = 6 interleavings.
+	leaves, err := Explore(newToySystem([]int{2, 2}), 0e0+1_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 6 {
+		t.Fatalf("leaves = %d, want 6", leaves)
+	}
+	// Three processes with 1 step each: 3! = 6.
+	leaves, err = Explore(newToySystem([]int{1, 1, 1}), 1_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 6 {
+		t.Fatalf("leaves = %d, want 6", leaves)
+	}
+	// 2 and 3 steps: C(5,2) = 10.
+	leaves, err = Explore(newToySystem([]int{2, 3}), 1_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 10 {
+		t.Fatalf("leaves = %d, want 10", leaves)
+	}
+}
+
+func TestExploreBudget(t *testing.T) {
+	_, err := Explore(newToySystem([]int{4, 4, 4}), 10, nil)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestExploreLeavesAreComplete(t *testing.T) {
+	count := 0
+	_, err := Explore(newToySystem([]int{2, 1}), 1_000, func(sys *System) {
+		count++
+		if !sys.Done() {
+			t.Error("onDone called on unfinished system")
+		}
+		// Final memory state is schedule-independent for these toys.
+		if sys.Mem.Peek(0).(int) != 1 || sys.Mem.Peek(1).(int) != 1 {
+			t.Errorf("unexpected final state")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 { // C(3,1)
+		t.Fatalf("onDone ran %d times, want 3", count)
+	}
+}
+
+func TestExploreCrashesCountsPatterns(t *testing.T) {
+	// One process, one step, up to one crash: schedules are {step} and
+	// {crash-immediately}: 2 leaves.
+	leaves, err := ExploreCrashes(newToySystem([]int{1}), 1, 1_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 2 {
+		t.Fatalf("leaves = %d, want 2", leaves)
+	}
+	// With no crashes allowed it degenerates to Explore.
+	leaves, err = ExploreCrashes(newToySystem([]int{2, 2}), 0, 10_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 6 {
+		t.Fatalf("leaves = %d, want 6", leaves)
+	}
+}
+
+func TestExploreCrashesReportsCrashSet(t *testing.T) {
+	sawCrashOf0 := false
+	_, err := ExploreCrashes(newToySystem([]int{1, 1}), 1, 100_000, func(sys *System, crashed []int) {
+		for _, p := range crashed {
+			if p == 0 {
+				sawCrashOf0 = true
+				if sys.Machines[0].Done() && sys.Steps[0] == 0 {
+					t.Error("crashed-at-start process reported done")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawCrashOf0 {
+		t.Fatal("no leaf with process 0 crashed")
+	}
+}

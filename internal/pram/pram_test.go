@@ -1,0 +1,287 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+)
+
+// incMachine repeatedly reads its own register and writes the value
+// plus one, for a fixed number of read+write pairs. It exercises the
+// step accounting and cloning machinery.
+type incMachine struct {
+	proc  int
+	reg   int
+	pairs int // remaining read+write pairs
+	have  bool
+	v     int64
+	done  bool
+}
+
+func (m *incMachine) Step(mem *Mem) {
+	switch {
+	case m.pairs == 0:
+		m.done = true
+	case !m.have:
+		m.v = mem.Read(m.proc, m.reg).(int64)
+		m.have = true
+	default:
+		mem.Write(m.proc, m.reg, m.v+1)
+		m.have = false
+		m.pairs--
+		if m.pairs == 0 {
+			m.done = true
+		}
+	}
+}
+
+func (m *incMachine) Done() bool { return m.done }
+
+func (m *incMachine) Clone() Machine {
+	cp := *m
+	return &cp
+}
+
+// stepN builds a system with n incrementing machines, one register
+// each, k pairs apiece.
+func incSystem(n, k int) *System {
+	mem := NewMem(n, n)
+	machines := make([]Machine, n)
+	for i := 0; i < n; i++ {
+		mem.Init(i, int64(0))
+		mem.SetOwner(i, i)
+		machines[i] = &incMachine{proc: i, reg: i, pairs: k}
+	}
+	return NewSystem(mem, machines)
+}
+
+// rr is a minimal local round-robin to avoid importing internal/sched
+// (which imports this package).
+type rr struct{ last int }
+
+func (s *rr) Next(running []int) int {
+	for _, p := range running {
+		if p > s.last {
+			s.last = p
+			return p
+		}
+	}
+	s.last = running[0]
+	return running[0]
+}
+
+func TestRunToCompletion(t *testing.T) {
+	s := incSystem(3, 5)
+	if err := s.Run(&rr{last: -1}, 0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := s.Mem.Peek(i).(int64); got != 5 {
+			t.Errorf("register %d = %d, want 5", i, got)
+		}
+	}
+	c := s.Mem.Counters()
+	if c.Reads != 15 || c.Writes != 15 {
+		t.Errorf("counters = %d reads, %d writes; want 15, 15", c.Reads, c.Writes)
+	}
+	for i := 0; i < 3; i++ {
+		if c.ReadsBy[i] != 5 || c.WritesBy[i] != 5 {
+			t.Errorf("proc %d counters = %d/%d, want 5/5", i, c.ReadsBy[i], c.WritesBy[i])
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	s := incSystem(2, 100)
+	err := s.Run(&rr{last: -1}, 10)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("Run = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := incSystem(2, 3)
+	stop := schedFunc(func([]int) int { return -1 })
+	if err := s.Run(stop, 0); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+}
+
+func TestSchedulerOutOfRange(t *testing.T) {
+	s := incSystem(2, 1)
+	bad := schedFunc(func([]int) int { return 7 })
+	if err := s.Run(bad, 0); err == nil {
+		t.Fatal("Run accepted an invalid scheduler choice")
+	}
+}
+
+type schedFunc func(running []int) int
+
+func (f schedFunc) Next(running []int) int { return f(running) }
+
+func TestRunSolo(t *testing.T) {
+	s := incSystem(2, 4)
+	if err := s.RunSolo(1, 0); err != nil {
+		t.Fatalf("RunSolo: %v", err)
+	}
+	if got := s.Mem.Peek(1).(int64); got != 4 {
+		t.Errorf("solo register = %d, want 4", got)
+	}
+	if got := s.Mem.Peek(0).(int64); got != 0 {
+		t.Errorf("other register = %d, want untouched 0", got)
+	}
+	if !s.Machines[1].Done() || s.Machines[0].Done() {
+		t.Error("exactly machine 1 should be done")
+	}
+}
+
+func TestRunSoloLimit(t *testing.T) {
+	s := incSystem(1, 1000)
+	if err := s.RunSolo(0, 5); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("RunSolo = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := incSystem(2, 3)
+	s.Step(0) // read
+	s.Step(0) // write -> reg0 = 1
+
+	fork := s.Clone()
+	if err := fork.RunSolo(0, 0); err != nil {
+		t.Fatalf("fork RunSolo: %v", err)
+	}
+	if got := fork.Mem.Peek(0).(int64); got != 3 {
+		t.Errorf("fork register = %d, want 3", got)
+	}
+	// The original must be unaffected by the fork's run.
+	if got := s.Mem.Peek(0).(int64); got != 1 {
+		t.Errorf("original register = %d, want 1", got)
+	}
+	if s.Machines[0].Done() {
+		t.Error("original machine must not be done")
+	}
+	// Counters diverge independently.
+	if s.Mem.Counters().Reads == fork.Mem.Counters().Reads {
+		t.Error("fork counters should have advanced past the original")
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	mem := NewMem(1, 2)
+	mem.SetOwner(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on foreign write")
+		}
+	}()
+	mem.Write(1, 0, "intruder")
+}
+
+func TestOwnershipAllowsOwnerAndReads(t *testing.T) {
+	mem := NewMem(1, 2)
+	mem.SetOwner(0, 0)
+	mem.Write(0, 0, int64(42))
+	if got := mem.Read(1, 0).(int64); got != 42 {
+		t.Errorf("Read = %d, want 42", got)
+	}
+}
+
+func TestObserveHooks(t *testing.T) {
+	mem := NewMem(2, 1)
+	var reads, writes int
+	mem.Observe(
+		func(p, r int, v Value) { reads++ },
+		func(p, r int, v Value) { writes++ },
+	)
+	mem.Write(0, 0, 1)
+	mem.Read(0, 0)
+	mem.Read(0, 1)
+	if reads != 2 || writes != 1 {
+		t.Errorf("hooks saw %d reads, %d writes; want 2, 1", reads, writes)
+	}
+	// Clones must not inherit hooks.
+	cl := mem.Clone()
+	cl.Write(0, 0, 2)
+	if writes != 1 {
+		t.Error("clone write triggered the original's hook")
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	mem := NewMem(1, 2)
+	mem.Write(0, 0, 1)
+	base := mem.Counters()
+	mem.Read(1, 0)
+	mem.Read(1, 0)
+	mem.Write(0, 0, 2)
+	d := mem.Counters().Sub(base)
+	if d.Reads != 2 || d.Writes != 1 {
+		t.Errorf("delta = %d/%d, want 2/1", d.Reads, d.Writes)
+	}
+	if d.ReadsBy[1] != 2 || d.WritesBy[0] != 1 || d.ReadsBy[0] != 0 {
+		t.Errorf("per-proc delta wrong: %+v", d)
+	}
+	if d.Accesses() != 3 || d.AccessesBy(1) != 2 {
+		t.Errorf("access totals wrong: %+v", d)
+	}
+}
+
+func TestInitDoesNotCount(t *testing.T) {
+	mem := NewMem(1, 1)
+	mem.Init(0, "x")
+	if c := mem.Counters(); c.Accesses() != 0 {
+		t.Errorf("Init counted accesses: %+v", c)
+	}
+	if mem.Peek(0) != "x" {
+		t.Error("Init did not set the register")
+	}
+}
+
+func TestProcRangeChecked(t *testing.T) {
+	mem := NewMem(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range process")
+		}
+	}()
+	mem.Read(3, 0)
+}
+
+func TestNewSystemArityChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on machine/process mismatch")
+		}
+	}()
+	NewSystem(NewMem(1, 2), []Machine{&incMachine{}})
+}
+
+func TestStepOnDoneMachineIsNoop(t *testing.T) {
+	s := incSystem(1, 1)
+	if err := s.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Mem.Counters()
+	if done := s.Step(0); !done {
+		t.Error("Step on done machine should report done")
+	}
+	if after := s.Mem.Counters(); after.Accesses() != before.Accesses() {
+		t.Error("Step on done machine performed memory accesses")
+	}
+}
+
+func TestRunningAndDone(t *testing.T) {
+	s := incSystem(3, 1)
+	if s.Done() {
+		t.Error("fresh system reported done")
+	}
+	got := s.Running()
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Running = %v", got)
+	}
+	s.RunSolo(1, 0)
+	got = s.Running()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Running after solo = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package pram
+
+// Progress is implemented by machines that execute a script of
+// operations and can report how many have completed. RunTimed uses it
+// to attribute real-time intervals to individual operations.
+type Progress interface {
+	Machine
+	// Completed returns the number of finished operations.
+	Completed() int
+}
+
+// OpSpan is one completed operation with its real-time interval in
+// scheduler steps. Start and End are chosen so that two operations
+// overlap iff their step intervals overlap (invocation at the step the
+// machine first ran after its previous completion, response at the
+// step it completed).
+type OpSpan struct {
+	Proc, Index int
+	Start, End  int64
+}
+
+// RunTimed drives the system under sched like Run, additionally
+// recording an OpSpan for every operation completed by machines that
+// implement Progress. maxSteps <= 0 means no limit.
+func RunTimed(s *System, sched Scheduler, maxSteps int) ([]OpSpan, error) {
+	var spans []OpSpan
+	n := len(s.Machines)
+	completed := make([]int, n)
+	started := make([]int64, n)
+	for p := range started {
+		started[p] = -1
+	}
+	var step int64
+	for {
+		running := s.Running()
+		if len(running) == 0 {
+			return spans, nil
+		}
+		if maxSteps > 0 && step >= int64(maxSteps) {
+			return spans, ErrStepLimit
+		}
+		p := sched.Next(running)
+		if p == -1 {
+			return spans, ErrStopped
+		}
+		if !contains(running, p) {
+			return spans, errBadChoice(p, running)
+		}
+		if started[p] == -1 {
+			started[p] = step
+		}
+		s.Step(p)
+		if prog, ok := s.Machines[p].(Progress); ok {
+			if got := prog.Completed(); got > completed[p] {
+				spans = append(spans, OpSpan{
+					Proc: p, Index: completed[p],
+					// Stamps are spread so that an op's End precedes a
+					// later op's Start only if it truly finished first.
+					Start: started[p]*2 + 1, End: step*2 + 2,
+				})
+				completed[p] = got
+				started[p] = -1
+			}
+		}
+		step++
+	}
+}
+
+func errBadChoice(p int, running []int) error {
+	return schedError{p: p, running: running}
+}
+
+type schedError struct {
+	p       int
+	running []int
+}
+
+func (e schedError) Error() string {
+	return "pram: scheduler chose a process outside the running set"
+}

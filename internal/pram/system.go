@@ -1,0 +1,162 @@
+package pram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Machine is a process front-end as a step-granular state machine.
+//
+// Each call to Step performs at most one shared-memory access (read or
+// write) plus any amount of local computation; this matches the
+// asynchronous PRAM cost model, where only shared accesses count as
+// steps. Step must not be called after Done reports true.
+//
+// Machines must be deterministic: given the same memory contents and
+// local state, Step behaves identically. Determinism plus Clone is
+// what enables adversarial scheduling with lookahead.
+type Machine interface {
+	// Step advances the machine by one step against m.
+	Step(m *Mem)
+	// Done reports whether the machine's current operation has
+	// completed (its front-end has returned a response).
+	Done() bool
+	// Clone returns an independent copy of the machine's local state.
+	Clone() Machine
+}
+
+// Scheduler chooses which process takes the next step. Implementations
+// live in internal/sched; adversaries with lookahead drive a System
+// directly instead.
+type Scheduler interface {
+	// Next returns the index of the process to step next, given the
+	// indices of processes whose machines are not Done. running is
+	// sorted ascending and non-empty. Returning a value not present
+	// in running is an error; returning -1 stops the run.
+	Next(running []int) int
+}
+
+// ErrStepLimit is returned by Run when the step budget is exhausted
+// before every machine finished. Seeing it for a wait-free algorithm
+// under a fair scheduler is a bug; seeing it for a merely lock-free
+// algorithm under an adversary is Theorem 8's point.
+var ErrStepLimit = errors.New("pram: step limit exceeded")
+
+// ErrStopped is returned by Run when the scheduler returned -1 while
+// machines were still running.
+var ErrStopped = errors.New("pram: scheduler stopped the run")
+
+// System is a set of machines sharing one memory: a complete
+// asynchronous PRAM configuration that can be stepped, run to
+// completion, or forked.
+type System struct {
+	Mem      *Mem
+	Machines []Machine
+	// Steps counts scheduler-granted steps per process. It can exceed
+	// the per-process access counters only if a machine performs a
+	// purely local terminal step.
+	Steps []uint64
+}
+
+// NewSystem assembles a system. The number of machines must equal the
+// memory's process count.
+func NewSystem(m *Mem, machines []Machine) *System {
+	if len(machines) != m.NProc() {
+		panic(fmt.Sprintf("pram: %d machines for %d processes", len(machines), m.NProc()))
+	}
+	return &System{Mem: m, Machines: machines, Steps: make([]uint64, len(machines))}
+}
+
+// Done reports whether every machine has finished.
+func (s *System) Done() bool {
+	for _, mc := range s.Machines {
+		if !mc.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Running returns the ascending indices of unfinished machines.
+func (s *System) Running() []int {
+	var out []int
+	for i, mc := range s.Machines {
+		if !mc.Done() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Step advances process p by one step. It is a no-op if p's machine is
+// already done; it returns whether the machine is done afterwards.
+func (s *System) Step(p int) bool {
+	mc := s.Machines[p]
+	if mc.Done() {
+		return true
+	}
+	s.Steps[p]++
+	mc.Step(s.Mem)
+	return mc.Done()
+}
+
+// Run steps machines under sched until all are done, the scheduler
+// stops, or maxSteps total steps have been taken. maxSteps <= 0 means
+// no limit — only safe for wait-free algorithms under fair schedulers.
+func (s *System) Run(sched Scheduler, maxSteps int) error {
+	taken := 0
+	for {
+		running := s.Running()
+		if len(running) == 0 {
+			return nil
+		}
+		if maxSteps > 0 && taken >= maxSteps {
+			return ErrStepLimit
+		}
+		p := sched.Next(running)
+		if p == -1 {
+			return ErrStopped
+		}
+		if !contains(running, p) {
+			return fmt.Errorf("pram: scheduler chose %d, not in running set %v", p, running)
+		}
+		s.Step(p)
+		taken++
+	}
+}
+
+// RunSolo steps only process p until its machine finishes or maxSteps
+// elapse. It is the paper's "runs by itself until termination" — the
+// preference oracle of Lemma 6.
+func (s *System) RunSolo(p int, maxSteps int) error {
+	for i := 0; !s.Machines[p].Done(); i++ {
+		if maxSteps > 0 && i >= maxSteps {
+			return ErrStepLimit
+		}
+		s.Step(p)
+	}
+	return nil
+}
+
+// Clone forks the entire configuration: memory and every machine. The
+// clone shares nothing mutable with the original.
+func (s *System) Clone() *System {
+	ms := make([]Machine, len(s.Machines))
+	for i, mc := range s.Machines {
+		ms[i] = mc.Clone()
+	}
+	return &System{
+		Mem:      s.Mem.Clone(),
+		Machines: ms,
+		Steps:    append([]uint64(nil), s.Steps...),
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

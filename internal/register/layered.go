@@ -1,0 +1,232 @@
+package register
+
+import "repro/internal/pram"
+
+// This file composes the construction ladder end-to-end: a
+// single-writer multi-reader atomic register built directly on REGULAR
+// cells — every underlying register is a two-step-write regular cell,
+// each (writer cell, reader) and (report cell, reader) pair runs
+// Lamport's timestamp-plus-memory discipline to become SWSR-atomic,
+// and the SWMR write-back layer sits on top. One machine step is one
+// access to a regular cell, so a layered write costs 2k steps and a
+// layered read 3k−2 (k readers): the cost of climbing the whole ladder
+// from the weakest rung, measured rather than asserted.
+
+// LayeredSWMRLayout places the construction: the same geometry as
+// SWMRLayout, but every register is a Regular cell.
+type LayeredSWMRLayout struct {
+	Base    int
+	Writer  int
+	Readers []int
+}
+
+// Regs returns the number of registers used.
+func (l LayeredSWMRLayout) Regs() int { return len(l.Readers) * len(l.Readers) }
+
+func (l LayeredSWMRLayout) cellReg(ri int) Regular {
+	return Regular{Reg: l.Base + ri, Writer: l.Writer}
+}
+
+func (l LayeredSWMRLayout) reportReg(ri, rj int) Regular {
+	k := len(l.Readers)
+	return Regular{
+		Reg:    l.Base + k + ri*(k-1) + adjIndex(rj, ri),
+		Writer: l.Readers[ri],
+	}
+}
+
+// Install initializes every regular cell.
+func (l LayeredSWMRLayout) Install(m *pram.Mem) {
+	for ri := range l.Readers {
+		l.cellReg(ri).Install(m, TimedVal{})
+		for rj := range l.Readers {
+			if ri != rj {
+				l.reportReg(ri, rj).Install(m, TimedVal{})
+			}
+		}
+	}
+}
+
+// LayeredSWMRWriter writes each scripted value to every reader's
+// regular cell with two-step writes.
+type LayeredSWMRWriter struct {
+	lay    LayeredSWMRLayout
+	script []pram.Value
+
+	next      int
+	ts        uint64
+	i         int // reader cell cursor; len(Readers) when idle
+	announced bool
+	last      []TimedVal // last committed value per cell (single writer)
+}
+
+// NewLayeredSWMRWriter returns the writer machine.
+func NewLayeredSWMRWriter(lay LayeredSWMRLayout, script []pram.Value) *LayeredSWMRWriter {
+	return &LayeredSWMRWriter{
+		lay: lay, script: script,
+		i:    len(lay.Readers),
+		last: make([]TimedVal, len(lay.Readers)),
+	}
+}
+
+// Done reports whether the script is exhausted.
+func (w *LayeredSWMRWriter) Done() bool {
+	return w.next == len(w.script) && w.i == len(w.lay.Readers)
+}
+
+// Completed returns finished writes.
+func (w *LayeredSWMRWriter) Completed() int {
+	if w.i < len(w.lay.Readers) {
+		return w.next - 1
+	}
+	return w.next
+}
+
+// Clone returns an independent copy.
+func (w *LayeredSWMRWriter) Clone() pram.Machine {
+	cp := *w
+	cp.script = append([]pram.Value(nil), w.script...)
+	cp.last = append([]TimedVal(nil), w.last...)
+	return &cp
+}
+
+// Step performs one regular-cell half-write.
+func (w *LayeredSWMRWriter) Step(m *pram.Mem) {
+	if w.Done() {
+		panic("register: Step after Done")
+	}
+	if w.i == len(w.lay.Readers) {
+		w.next++
+		w.ts++
+		w.i = 0
+		w.announced = false
+	}
+	tv := TimedVal{V: w.script[w.next-1], TS: w.ts}
+	cell := w.lay.cellReg(w.i)
+	if !w.announced {
+		cell.WriteAnnounce(m, w.last[w.i], tv)
+		w.announced = true
+		return
+	}
+	cell.WriteCommit(m, tv)
+	w.last[w.i] = tv
+	w.announced = false
+	w.i++
+}
+
+// LayeredSWMRReader reads its regular cell and the other readers'
+// regular report cells (Lamport memory per source register), then
+// writes its reports back with two-step regular writes.
+type LayeredSWMRReader struct {
+	lay LayeredSWMRLayout
+	ri  int
+	ch  Chooser
+
+	reads     int
+	done      int
+	phase     int // 0 own cell, 1 reports, 2 write-back
+	others    []int
+	cursor    int
+	announced bool
+	best      TimedVal
+	// Lamport reader memory, one slot per source register this reader
+	// consumes: index 0 is the writer's cell, 1.. are reports.
+	mem []TimedVal
+	// lastReport is the last value committed to our own report cells.
+	lastReport []TimedVal
+	results    []pram.Value
+}
+
+// NewLayeredSWMRReader returns the reader machine for lay.Readers[ri].
+func NewLayeredSWMRReader(lay LayeredSWMRLayout, ri, reads int, ch Chooser) *LayeredSWMRReader {
+	var others []int
+	for j := range lay.Readers {
+		if j != ri {
+			others = append(others, j)
+		}
+	}
+	return &LayeredSWMRReader{
+		lay: lay, ri: ri, ch: ch, reads: reads,
+		others:     others,
+		mem:        make([]TimedVal, len(lay.Readers)),
+		lastReport: make([]TimedVal, len(lay.Readers)),
+	}
+}
+
+// Done reports whether the script is exhausted.
+func (r *LayeredSWMRReader) Done() bool { return r.done == r.reads }
+
+// Completed returns finished reads.
+func (r *LayeredSWMRReader) Completed() int { return r.done }
+
+// Results returns the returned values in order.
+func (r *LayeredSWMRReader) Results() []pram.Value { return r.results }
+
+// Clone returns an independent copy.
+func (r *LayeredSWMRReader) Clone() pram.Machine {
+	cp := *r
+	cp.mem = append([]TimedVal(nil), r.mem...)
+	cp.lastReport = append([]TimedVal(nil), r.lastReport...)
+	cp.results = append([]pram.Value(nil), r.results...)
+	return &cp
+}
+
+// lamportRead performs one regular read of cell, filtered through the
+// per-register Lamport memory slot.
+func (r *LayeredSWMRReader) lamportRead(m *pram.Mem, cell Regular, slot int) TimedVal {
+	got := cell.Read(m, r.lay.Readers[r.ri], r.ch).(TimedVal)
+	if got.Newer(r.mem[slot]) {
+		r.mem[slot] = got
+	}
+	return r.mem[slot]
+}
+
+// Step performs one regular-cell access of the current read.
+func (r *LayeredSWMRReader) Step(m *pram.Mem) {
+	if r.Done() {
+		panic("register: Step after Done")
+	}
+	switch r.phase {
+	case 0:
+		r.best = r.lamportRead(m, r.lay.cellReg(r.ri), 0)
+		r.cursor = 0
+		if len(r.others) == 0 {
+			r.finish()
+			return
+		}
+		r.phase = 1
+	case 1:
+		o := r.others[r.cursor]
+		got := r.lamportRead(m, r.lay.reportReg(o, r.ri), 1+r.cursor)
+		if got.Newer(r.best) {
+			r.best = got
+		}
+		r.cursor++
+		if r.cursor == len(r.others) {
+			r.phase = 2
+			r.cursor = 0
+			r.announced = false
+		}
+	case 2:
+		o := r.others[r.cursor]
+		cell := r.lay.reportReg(r.ri, o)
+		if !r.announced {
+			cell.WriteAnnounce(m, r.lastReport[r.cursor], r.best)
+			r.announced = true
+			return
+		}
+		cell.WriteCommit(m, r.best)
+		r.lastReport[r.cursor] = r.best
+		r.announced = false
+		r.cursor++
+		if r.cursor == len(r.others) {
+			r.finish()
+		}
+	}
+}
+
+func (r *LayeredSWMRReader) finish() {
+	r.results = append(r.results, r.best.V)
+	r.done++
+	r.phase = 0
+}

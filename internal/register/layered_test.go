@@ -1,0 +1,135 @@
+package register
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/pram"
+	"repro/internal/sched"
+	"repro/internal/types"
+)
+
+func layeredSystem(readers, writes, reads int, ch Chooser) (*pram.System, []*LayeredSWMRReader) {
+	lay := LayeredSWMRLayout{Base: 0, Writer: 0}
+	for i := 0; i < readers; i++ {
+		lay.Readers = append(lay.Readers, i+1)
+	}
+	mem := pram.NewMem(lay.Regs(), readers+1)
+	lay.Install(mem)
+	script := make([]pram.Value, writes)
+	for i := range script {
+		script[i] = fmt.Sprintf("v%d", i+1)
+	}
+	machines := []pram.Machine{NewLayeredSWMRWriter(lay, script)}
+	var rs []*LayeredSWMRReader
+	for i := 0; i < readers; i++ {
+		r := NewLayeredSWMRReader(lay, i, reads, ch)
+		machines = append(machines, r)
+		rs = append(rs, r)
+	}
+	return pram.NewSystem(mem, machines), rs
+}
+
+// TestLayeredAtomicUnderRandomSchedules: the full ladder — SWMR on
+// regular cells — is atomic under random schedules and every chooser
+// policy, including the maximally stale AlwaysOld.
+func TestLayeredAtomicUnderRandomSchedules(t *testing.T) {
+	choosers := map[string]func(seed int64) Chooser{
+		"alwaysOld": func(int64) Chooser { return AlwaysOld{} },
+		"alwaysNew": func(int64) Chooser { return AlwaysNew{} },
+		"seeded":    func(seed int64) Chooser { return NewSeededChooser(seed) },
+	}
+	for name, mk := range choosers {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 15; seed++ {
+				sys, rs := layeredSystem(3, 2, 2, mk(seed))
+				spans, err := pram.RunTimed(sys, sched.NewRandom(seed), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := toHistory(spans, func(p int) (string, func(int) (any, any)) {
+					if p == 0 {
+						return types.OpWrite, func(i int) (any, any) {
+							return fmt.Sprintf("v%d", i+1), nil
+						}
+					}
+					return types.OpReadReg, func(i int) (any, any) {
+						tv := rs[p-1].Results()[i]
+						if tv == nil {
+							return nil, ""
+						}
+						return nil, tv.(string)
+					}
+				})
+				res, err := lincheck.Check(types.Register{}, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Ok {
+					t.Fatalf("seed %d: layered SWMR non-atomic:\n%v", seed, h.Ops)
+				}
+			}
+		})
+	}
+}
+
+// TestLayeredStepCounts: a layered write costs 2k regular-cell
+// accesses and a layered read 3k−2.
+func TestLayeredStepCounts(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		sys, rs := layeredSystem(k, 1, 1, AlwaysNew{})
+		before := sys.Mem.Counters()
+		if err := sys.RunSolo(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		wSteps := sys.Mem.Counters().Sub(before).AccessesBy(0)
+		if wSteps != uint64(2*k) {
+			t.Errorf("k=%d: write = %d steps, want %d", k, wSteps, 2*k)
+		}
+		before = sys.Mem.Counters()
+		for !rs[0].Done() {
+			sys.Step(1)
+		}
+		rSteps := sys.Mem.Counters().Sub(before).AccessesBy(1)
+		if rSteps != uint64(3*k-2) {
+			t.Errorf("k=%d: read = %d steps, want %d", k, rSteps, 3*k-2)
+		}
+	}
+}
+
+// TestLayeredSequentialSemantics: a read strictly after a write sees
+// it, regardless of the chooser.
+func TestLayeredSequentialSemantics(t *testing.T) {
+	sys, rs := layeredSystem(2, 2, 1, AlwaysOld{})
+	if err := sys.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for !rs[0].Done() {
+		sys.Step(1)
+	}
+	if got := rs[0].Results()[0]; got != "v2" {
+		t.Fatalf("post-write read = %v, want v2", got)
+	}
+}
+
+// TestLayeredExhaustiveTiny: every schedule of one 2-step write racing
+// one single-reader read (k=1) — the read returns the old or the new
+// value, never garbage, under both stale and fresh choosers.
+func TestLayeredExhaustiveTiny(t *testing.T) {
+	for _, ch := range []Chooser{AlwaysOld{}, AlwaysNew{}} {
+		sys, _ := layeredSystem(1, 1, 1, ch)
+		leaves, err := pram.Explore(sys, 100_000, func(final *pram.System) {
+			got := final.Machines[1].(*LayeredSWMRReader).Results()[0]
+			if got != nil && got != "v1" {
+				t.Fatalf("read = %v", got)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leaves < 3 {
+			t.Fatalf("leaves = %d", leaves)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package register
+
+import "repro/internal/pram"
+
+// This file builds a MULTI-writer multi-reader atomic register from
+// single-writer multi-reader atomic registers (the classic
+// Vitányi–Awerbuch-style unbounded construction): each writer owns one
+// SWMR register; to write, it first reads every writer's register,
+// takes the maximum timestamp, and publishes its value with a strictly
+// larger one (ties broken by writer id); to read, a process reads
+// every register and returns the (timestamp, id)-maximal value. The
+// naive variant stamps writes with a local counter only, so a write by
+// a slow writer can be published with a stale timestamp and vanish —
+// reads that follow it in real time return an older value, which the
+// linearizability checker rejects.
+
+// MRMWLayout places one SWMR register per writer.
+type MRMWLayout struct {
+	Base    int
+	Writers []int
+}
+
+// Regs returns the number of registers used.
+func (l MRMWLayout) Regs() int { return len(l.Writers) }
+
+// reg returns writer index wi's register.
+func (l MRMWLayout) reg(wi int) int { return l.Base + wi }
+
+// Install initializes the registers and enforces single-writer
+// ownership (readable by everyone).
+func (l MRMWLayout) Install(m *pram.Mem) {
+	for wi, w := range l.Writers {
+		m.Init(l.reg(wi), TimedVal{})
+		m.SetOwner(l.reg(wi), w)
+	}
+}
+
+// MRMWWriter performs scripted writes: read all registers (one per
+// step), then publish with max timestamp + 1. With Naive true it skips
+// the read phase and uses a local counter.
+type MRMWWriter struct {
+	lay    MRMWLayout
+	wi     int
+	script []pram.Value
+	Naive  bool
+
+	next    int
+	phase   int // 0 idle, 1 collecting, 2 ready to publish
+	cursor  int
+	maxSeen uint64
+	localTS uint64
+}
+
+// NewMRMWWriter returns the writer machine for lay.Writers[wi].
+func NewMRMWWriter(lay MRMWLayout, wi int, script []pram.Value) *MRMWWriter {
+	return &MRMWWriter{lay: lay, wi: wi, script: script}
+}
+
+// Done reports whether the script is exhausted.
+func (w *MRMWWriter) Done() bool { return w.next == len(w.script) && w.phase == 0 }
+
+// Completed returns the number of finished writes.
+func (w *MRMWWriter) Completed() int {
+	if w.phase != 0 {
+		return w.next - 1
+	}
+	return w.next
+}
+
+// Clone returns an independent copy.
+func (w *MRMWWriter) Clone() pram.Machine {
+	cp := *w
+	cp.script = append([]pram.Value(nil), w.script...)
+	return &cp
+}
+
+// Step performs the next access of the current write.
+func (w *MRMWWriter) Step(m *pram.Mem) {
+	if w.Done() {
+		panic("register: Step after Done")
+	}
+	me := w.lay.Writers[w.wi]
+	if w.phase == 0 {
+		w.next++
+		w.maxSeen = 0
+		w.cursor = 0
+		if w.Naive {
+			w.phase = 2
+		} else {
+			w.phase = 1
+		}
+		// fall through into the first access of this operation
+	}
+	if w.phase == 1 {
+		got := m.Read(me, w.lay.reg(w.cursor)).(TimedVal)
+		if got.TS > w.maxSeen {
+			w.maxSeen = got.TS
+		}
+		w.cursor++
+		if w.cursor == len(w.lay.Writers) {
+			w.phase = 2
+		}
+		return
+	}
+	// phase 2: publish.
+	var ts uint64
+	if w.Naive {
+		w.localTS++
+		ts = w.localTS
+	} else {
+		ts = w.maxSeen + 1
+	}
+	m.Write(me, w.lay.reg(w.wi), TimedVal{V: w.script[w.next-1], TS: ts, WID: w.wi})
+	w.phase = 0
+}
+
+// MRMWReader performs scripted reads: one register per step, returning
+// the (TS, WID)-maximal value.
+type MRMWReader struct {
+	lay   MRMWLayout
+	proc  int
+	reads int
+
+	done    int
+	cursor  int
+	started bool
+	best    TimedVal
+	results []pram.Value
+}
+
+// NewMRMWReader returns a reader machine for process proc.
+func NewMRMWReader(lay MRMWLayout, proc, reads int) *MRMWReader {
+	return &MRMWReader{lay: lay, proc: proc, reads: reads}
+}
+
+// Done reports whether the script is exhausted.
+func (r *MRMWReader) Done() bool { return r.done == r.reads }
+
+// Completed returns the number of finished reads.
+func (r *MRMWReader) Completed() int { return r.done }
+
+// Results returns the returned values in order.
+func (r *MRMWReader) Results() []pram.Value { return r.results }
+
+// Clone returns an independent copy.
+func (r *MRMWReader) Clone() pram.Machine {
+	cp := *r
+	cp.results = append([]pram.Value(nil), r.results...)
+	return &cp
+}
+
+// Step reads the next writer's register.
+func (r *MRMWReader) Step(m *pram.Mem) {
+	if r.Done() {
+		panic("register: Step after Done")
+	}
+	if !r.started {
+		r.best = TimedVal{}
+		r.cursor = 0
+		r.started = true
+	}
+	got := m.Read(r.proc, r.lay.reg(r.cursor)).(TimedVal)
+	if got.Newer(r.best) {
+		r.best = got
+	}
+	r.cursor++
+	if r.cursor == len(r.lay.Writers) {
+		r.results = append(r.results, r.best.V)
+		r.done++
+		r.started = false
+	}
+}

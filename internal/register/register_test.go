@@ -1,0 +1,473 @@
+package register
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/pram"
+	"repro/internal/sched"
+	"repro/internal/types"
+)
+
+// toHistory converts op spans plus machine scripts/results into a
+// checkable history against the types.Register spec.
+func toHistory(spans []pram.OpSpan, name func(p int) (string, func(idx int) (any, any))) history.History {
+	var h history.History
+	id := 0
+	for _, sp := range spans {
+		op, argresp := name(sp.Proc)
+		arg, resp := argresp(sp.Index)
+		h.Ops = append(h.Ops, history.Op{
+			ID: id, Proc: sp.Proc, Name: op, Arg: arg, Resp: resp,
+			Start: sp.Start, End: sp.End,
+		})
+		id++
+	}
+	return h
+}
+
+// --- regular cell ------------------------------------------------------
+
+func TestRegularReadDuringWriteReturnsOldOrNew(t *testing.T) {
+	mem := pram.NewMem(1, 2)
+	cell := Regular{Reg: 0, Writer: 0}
+	cell.Install(mem, TimedVal{V: "init"})
+	prev := TimedVal{V: "init"}
+	next := TimedVal{V: "next", TS: 1}
+	cell.WriteAnnounce(mem, prev, next)
+	// Overlapping reads: chooser decides.
+	if got := cell.Read(mem, 1, AlwaysOld{}).(TimedVal); got.V != "init" {
+		t.Errorf("AlwaysOld read = %v", got)
+	}
+	if got := cell.Read(mem, 1, AlwaysNew{}).(TimedVal); got.V != "next" {
+		t.Errorf("AlwaysNew read = %v", got)
+	}
+	cell.WriteCommit(mem, next)
+	// After commit only the new value remains, whatever the chooser.
+	if got := cell.Read(mem, 1, AlwaysOld{}).(TimedVal); got.V != "next" {
+		t.Errorf("post-commit read = %v", got)
+	}
+}
+
+// --- SWSR: Lamport construction -----------------------------------------
+
+// swsrSystem builds writer (proc 0) + reader (proc 1) over one regular
+// cell.
+func swsrSystem(writes, reads int, ch Chooser, remember bool) (*pram.System, *SWSRWriter, *SWSRReader) {
+	mem := pram.NewMem(1, 2)
+	cell := Regular{Reg: 0, Writer: 0}
+	cell.Install(mem, TimedVal{})
+	script := make([]pram.Value, writes)
+	for i := range script {
+		script[i] = fmt.Sprintf("v%d", i+1)
+	}
+	w := NewSWSRWriter(cell, script)
+	r := NewSWSRReader(cell, 1, reads, ch)
+	r.Remember = remember
+	return pram.NewSystem(mem, []pram.Machine{w, r}), w, r
+}
+
+// swsrHistory runs the system and produces a register history ("" is
+// the initial value).
+func swsrHistory(t *testing.T, sys *pram.System, w *SWSRWriter, r *SWSRReader, s pram.Scheduler) history.History {
+	t.Helper()
+	spans, err := pram.RunTimed(sys, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toHistory(spans, func(p int) (string, func(int) (any, any)) {
+		if p == 0 {
+			return types.OpWrite, func(i int) (any, any) { return fmt.Sprintf("v%d", i+1), nil }
+		}
+		return types.OpReadReg, func(i int) (any, any) {
+			tv := r.Results()[i]
+			if tv == nil {
+				return nil, ""
+			}
+			return nil, tv.(string)
+		}
+	})
+}
+
+func TestSWSRAtomicUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		var ch Chooser
+		switch seed % 3 {
+		case 0:
+			ch = AlwaysOld{}
+		case 1:
+			ch = AlwaysNew{}
+		default:
+			ch = NewSeededChooser(seed)
+		}
+		sys, w, r := swsrSystem(4, 5, ch, true)
+		h := swsrHistory(t, sys, w, r, sched.NewRandom(seed))
+		res, err := lincheck.Check(types.Register{}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: Lamport SWSR produced non-atomic history:\n%v", seed, h.Ops)
+		}
+	}
+}
+
+// TestSWSRNaiveInversion: without reader memory, a fixed schedule
+// forces the new/old inversion — read new value, then old — which the
+// checker rejects. This is the counterexample that motivates the
+// construction.
+func TestSWSRNaiveInversion(t *testing.T) {
+	sys, w, r := swsrSystem(1, 2, nil, false)
+	// Schedule: writer announces (step 1); reader reads NEW during the
+	// write window; reader reads again, now choosing OLD; writer
+	// commits.
+	choices := []bool{false, true} // first read new, second read old
+	ci := 0
+	r.ch = chooserFunc(func(p, reg int) bool {
+		old := choices[ci]
+		ci++
+		return old
+	})
+	order := []int{0, 1, 1, 0} // announce, read, read, commit
+	for _, p := range order {
+		sys.Step(p)
+	}
+	spans := []pram.OpSpan{
+		{Proc: 0, Index: 0, Start: 1, End: 8}, // write spans everything
+		{Proc: 1, Index: 0, Start: 3, End: 4},
+		{Proc: 1, Index: 1, Start: 5, End: 6},
+	}
+	h := toHistory(spans, func(p int) (string, func(int) (any, any)) {
+		if p == 0 {
+			return types.OpWrite, func(i int) (any, any) { return "v1", nil }
+		}
+		return types.OpReadReg, func(i int) (any, any) {
+			tv := r.Results()[i]
+			if tv == nil {
+				return nil, ""
+			}
+			return nil, tv.(string)
+		}
+	})
+	_ = w
+	if got := r.Results(); got[0] != "v1" || got[1] != nil {
+		t.Fatalf("expected inversion v1 then <nil>; got %v", got)
+	}
+	res, err := lincheck.Check(types.Register{}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("new/old inversion accepted as atomic")
+	}
+}
+
+// chooserFunc adapts a function to Chooser.
+type chooserFunc func(p, r int) bool
+
+func (f chooserFunc) Old(p, r int) bool { return f(p, r) }
+
+// TestSWSRLamportFixesInversion: same adversarial schedule, reader
+// memory on — the second read returns the remembered newer value.
+func TestSWSRLamportFixesInversion(t *testing.T) {
+	sys, _, r := swsrSystem(1, 2, nil, true)
+	choices := []bool{false, true}
+	ci := 0
+	r.ch = chooserFunc(func(p, reg int) bool {
+		old := choices[ci]
+		ci++
+		return old
+	})
+	for _, p := range []int{0, 1, 1, 0} {
+		sys.Step(p)
+	}
+	if got := r.Results(); got[0] != "v1" || got[1] != "v1" {
+		t.Fatalf("Lamport reader returned %v, want [v1 v1]", got)
+	}
+}
+
+// --- SWMR ---------------------------------------------------------------
+
+func swmrSystem(readers, writes, reads int, naive bool) (*pram.System, SWMRLayout, []*SWMRReader) {
+	lay := SWMRLayout{Base: 0, Writer: 0}
+	for i := 0; i < readers; i++ {
+		lay.Readers = append(lay.Readers, i+1)
+	}
+	mem := pram.NewMem(lay.Regs(), readers+1)
+	lay.Install(mem)
+	script := make([]pram.Value, writes)
+	for i := range script {
+		script[i] = fmt.Sprintf("v%d", i+1)
+	}
+	machines := []pram.Machine{NewSWMRWriter(lay, script)}
+	var rs []*SWMRReader
+	for i := 0; i < readers; i++ {
+		r := NewSWMRReader(lay, i, reads)
+		r.Naive = naive
+		machines = append(machines, r)
+		rs = append(rs, r)
+	}
+	return pram.NewSystem(mem, machines), lay, rs
+}
+
+func swmrHistory(spans []pram.OpSpan, rs []*SWMRReader) history.History {
+	return toHistory(spans, func(p int) (string, func(int) (any, any)) {
+		if p == 0 {
+			return types.OpWrite, func(i int) (any, any) { return fmt.Sprintf("v%d", i+1), nil }
+		}
+		return types.OpReadReg, func(i int) (any, any) {
+			tv := rs[p-1].Results()[i]
+			if tv == nil {
+				return nil, ""
+			}
+			return nil, tv.(string)
+		}
+	})
+}
+
+func TestSWMRAtomicUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		sys, _, rs := swmrSystem(3, 3, 3, false)
+		spans, err := pram.RunTimed(sys, sched.NewRandom(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := swmrHistory(spans, rs)
+		res, err := lincheck.Check(types.Register{}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: SWMR produced non-atomic history:\n%v", seed, h.Ops)
+		}
+	}
+}
+
+// TestSWMRNaiveReaderReaderInversion forces the classic anomaly: the
+// writer updates reader 1's cell but not yet reader 2's; reader 1
+// completes a read (new value), then reader 2 completes one (old
+// value) — inconsistent without write-back.
+func TestSWMRNaiveReaderReaderInversion(t *testing.T) {
+	sys, _, rs := swmrSystem(2, 1, 1, true)
+	// Machines: 0 = writer (2 cell writes per op), 1..2 = readers.
+	// Naive 2-reader read = own cell + 1 report read = 2 steps.
+	order := []int{
+		0,    // writer updates cell for reader 1
+		1, 1, // reader 1 completes: sees v1
+		2, 2, // reader 2 completes: sees "" (its cell not yet written)
+		0, // writer updates cell for reader 2
+	}
+	for _, p := range order {
+		sys.Step(p)
+	}
+	if got1, got2 := rs[0].Results()[0], rs[1].Results()[0]; got1 != "v1" || got2 != nil {
+		t.Fatalf("expected inversion, got %v / %v", got1, got2)
+	}
+	spans := []pram.OpSpan{
+		{Proc: 0, Index: 0, Start: 1, End: 20},
+		{Proc: 1, Index: 0, Start: 3, End: 6},
+		{Proc: 2, Index: 0, Start: 8, End: 11},
+	}
+	h := swmrHistory(spans, rs)
+	res, err := lincheck.Check(types.Register{}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("reader-reader inversion accepted as atomic")
+	}
+}
+
+// TestSWMRWriteBackFixesInversion: same schedule with write-back; the
+// second reader learns v1 from reader 1's report cell.
+func TestSWMRWriteBackFixesInversion(t *testing.T) {
+	sys, _, rs := swmrSystem(2, 1, 1, false)
+	// Full 2-reader read = own cell + 1 report read + 1 report write =
+	// 3 steps.
+	order := []int{
+		0,       // writer updates cell for reader 1
+		1, 1, 1, // reader 1 completes: sees v1, reports it
+		2, 2, 2, // reader 2: own cell empty, but report says v1
+		0,
+	}
+	for _, p := range order {
+		sys.Step(p)
+	}
+	got1 := rs[0].Results()[0]
+	got2 := rs[1].Results()[0]
+	if got1 != "v1" || got2 != "v1" {
+		t.Fatalf("write-back failed: %v / %v", got1, got2)
+	}
+}
+
+// --- MRMW ---------------------------------------------------------------
+
+func mrmwSystem(writers, readers, writes, reads int, naive bool) (*pram.System, []*MRMWReader) {
+	lay := MRMWLayout{Base: 0}
+	for w := 0; w < writers; w++ {
+		lay.Writers = append(lay.Writers, w)
+	}
+	mem := pram.NewMem(lay.Regs(), writers+readers)
+	lay.Install(mem)
+	var machines []pram.Machine
+	for w := 0; w < writers; w++ {
+		script := make([]pram.Value, writes)
+		for i := range script {
+			script[i] = fmt.Sprintf("w%d.%d", w, i+1)
+		}
+		wm := NewMRMWWriter(lay, w, script)
+		wm.Naive = naive
+		machines = append(machines, wm)
+	}
+	var rs []*MRMWReader
+	for r := 0; r < readers; r++ {
+		rm := NewMRMWReader(lay, writers+r, reads)
+		machines = append(machines, rm)
+		rs = append(rs, rm)
+	}
+	return pram.NewSystem(mem, machines), rs
+}
+
+func mrmwHistory(spans []pram.OpSpan, writers int, rs []*MRMWReader) history.History {
+	return toHistory(spans, func(p int) (string, func(int) (any, any)) {
+		if p < writers {
+			return types.OpWrite, func(i int) (any, any) {
+				return fmt.Sprintf("w%d.%d", p, i+1), nil
+			}
+		}
+		return types.OpReadReg, func(i int) (any, any) {
+			tv := rs[p-writers].Results()[i]
+			if tv == nil {
+				return nil, ""
+			}
+			return nil, tv.(string)
+		}
+	})
+}
+
+func TestMRMWAtomicUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		const writers = 2
+		sys, rs := mrmwSystem(writers, 2, 2, 3, false)
+		spans, err := pram.RunTimed(sys, sched.NewRandom(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := mrmwHistory(spans, writers, rs)
+		res, err := lincheck.Check(types.Register{}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: MRMW produced non-atomic history:\n%v", seed, h.Ops)
+		}
+	}
+}
+
+// TestMRMWNaiveLosesWrites: with local timestamps, a completed write
+// by a fresh writer is invisible behind an older writer's higher
+// counter — rejected by the checker.
+func TestMRMWNaiveLosesWrites(t *testing.T) {
+	const writers = 2
+	sys, rs := mrmwSystem(writers, 1, 3, 1, true)
+	// Writer 0 completes all 3 writes (naive: 1 step each), then
+	// writer 1 completes 1 write, then the reader reads.
+	for i := 0; i < 3; i++ {
+		sys.Step(0)
+	}
+	sys.Step(1) // writer 1: w1.1 with local ts 1
+	for !rs[0].Done() {
+		sys.Step(2)
+	}
+	if got := rs[0].Results()[0]; got != "w0.3" {
+		t.Fatalf("expected the lost-update symptom (w0.3), got %v", got)
+	}
+	spans := []pram.OpSpan{
+		{Proc: 0, Index: 0, Start: 1, End: 2},
+		{Proc: 0, Index: 1, Start: 3, End: 4},
+		{Proc: 0, Index: 2, Start: 5, End: 6},
+		{Proc: 1, Index: 0, Start: 7, End: 8},
+		{Proc: 2, Index: 0, Start: 9, End: 12},
+	}
+	h := mrmwHistory(spans, writers, rs)
+	res, err := lincheck.Check(types.Register{}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("naive MRMW lost-write history accepted as atomic")
+	}
+	// The proper construction under the same schedule returns w1.1.
+	sys2, rs2 := mrmwSystem(writers, 1, 3, 1, false)
+	for !sys2.Machines[0].Done() {
+		sys2.Step(0)
+	}
+	for !sys2.Machines[1].Done() {
+		sys2.Step(1)
+	}
+	for !rs2[0].Done() {
+		sys2.Step(2)
+	}
+	if got := rs2[0].Results()[0]; got != "w1.3" {
+		t.Fatalf("proper MRMW returned %v, want w1.3 (writer 1's last write)", got)
+	}
+}
+
+// TestMRMWWriterScriptOnly exercises writer completion accounting.
+func TestMRMWWriterScriptOnly(t *testing.T) {
+	sys, _ := mrmwSystem(2, 1, 2, 0, false)
+	w := sys.Machines[0].(*MRMWWriter)
+	if w.Completed() != 0 {
+		t.Fatal("fresh writer completed > 0")
+	}
+	// One write = read both regs + publish = 3 steps.
+	sys.Step(0)
+	if w.Completed() != 0 {
+		t.Fatal("mid-op completion reported")
+	}
+	sys.Step(0)
+	sys.Step(0)
+	if w.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1", w.Completed())
+	}
+}
+
+// TestReaderRestrictionEnforced: a construction reading a register it
+// must not touch panics (the SetReader guard at work).
+func TestReaderRestrictionEnforced(t *testing.T) {
+	lay := SWMRLayout{Base: 0, Writer: 0, Readers: []int{1, 2}}
+	mem := pram.NewMem(lay.Regs(), 3)
+	lay.Install(mem)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on foreign read")
+		}
+	}()
+	mem.Read(2, lay.cellReg(0)) // reader 2 reads reader 1's cell
+}
+
+// TestQuickStyleRandomMixes: heavier randomized soak across all three
+// constructions at once is covered per-construction above; this test
+// varies geometry.
+func TestGeometrySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		readers := 2 + rng.Intn(3)
+		sys, _, rs := swmrSystem(readers, 2, 2, false)
+		spans, err := pram.RunTimed(sys, sched.NewBursty(int64(trial), 5), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := swmrHistory(spans, rs)
+		res, err := lincheck.Check(types.Register{}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("trial %d: non-atomic SWMR history", trial)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package register reproduces the atomic-register construction layer
+// the paper's model rests on. Section 1 takes atomic single-writer
+// multi-reader registers as given, noting that "techniques for
+// implementing these memory locations, often called atomic registers,
+// have also received considerable attention [13, 14, 32, 35, 40, 43,
+// 44]". This package builds that ladder explicitly, in simulation
+// mode, with the classic counterexamples alongside the constructions:
+//
+//   - a *regular* single-writer cell (reads overlapping a write may
+//     return the old or the new value), modelled as a two-step write;
+//   - Lamport's SWSR atomic register from a regular cell via unbounded
+//     timestamps and reader memory — plus the naive timestamp-free
+//     reader that exhibits new/old inversion;
+//   - a SWMR atomic register from SWSR registers via per-reader cells
+//     and reader-to-reader write-back — plus the naive variant whose
+//     reader-reader inversion a fixed schedule forces;
+//   - a MRMW atomic register from SWMR registers via read-all
+//     timestamps — plus the naive local-timestamp variant that loses
+//     writes.
+//
+// Every construction is validated against the linearizability checker;
+// every naive variant is shown to fail it.
+package register
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pram"
+)
+
+// Chooser resolves a regular register's freedom: when a read overlaps
+// a write, does it return the old value? Deterministic choosers make
+// anomalies reproducible; the seeded chooser explores both.
+type Chooser interface {
+	// Old reports whether the overlapping read by process p of
+	// register r should return the pre-write value.
+	Old(p, r int) bool
+}
+
+// AlwaysOld returns the stale value at every opportunity — the
+// adversary's favourite.
+type AlwaysOld struct{}
+
+// Old always says yes.
+func (AlwaysOld) Old(p, r int) bool { return true }
+
+// AlwaysNew returns the fresh value at every opportunity.
+type AlwaysNew struct{}
+
+// Old always says no.
+func (AlwaysNew) Old(p, r int) bool { return false }
+
+// SeededChooser flips a reproducible coin per overlapping read.
+type SeededChooser struct{ Rng *rand.Rand }
+
+// NewSeededChooser returns a chooser seeded with seed.
+func NewSeededChooser(seed int64) *SeededChooser {
+	return &SeededChooser{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Old flips the coin.
+func (c *SeededChooser) Old(p, r int) bool { return c.Rng.Intn(2) == 0 }
+
+// regCell is the simulated contents of a regular register.
+type regCell struct {
+	Old     pram.Value
+	New     pram.Value
+	Writing bool
+}
+
+// Regular is a single-writer regular register at a fixed location in
+// simulated memory. A write takes two steps (announce, commit); a read
+// takes one step and, if it lands between the two, consults the
+// Chooser.
+type Regular struct {
+	Reg    int
+	Writer int
+}
+
+// Install initializes the cell with an initial value and sets the
+// owner.
+func (c Regular) Install(m *pram.Mem, initial pram.Value) {
+	m.Init(c.Reg, regCell{Old: initial, New: initial})
+	m.SetOwner(c.Reg, c.Writer)
+}
+
+// WriteAnnounce is the first write step: the new value becomes
+// available to overlapping readers while the old one remains valid.
+// prev must be the writer's local copy of the last committed value
+// (the writer is the single writer, so it always knows it).
+func (c Regular) WriteAnnounce(m *pram.Mem, prev, v pram.Value) {
+	m.Write(c.Writer, c.Reg, regCell{Old: prev, New: v, Writing: true})
+}
+
+// WriteCommit is the second write step: the write completes and only
+// the new value remains.
+func (c Regular) WriteCommit(m *pram.Mem, v pram.Value) {
+	m.Write(c.Writer, c.Reg, regCell{Old: v, New: v})
+}
+
+// Read performs the single-step regular read by process p.
+func (c Regular) Read(m *pram.Mem, p int, ch Chooser) pram.Value {
+	cell := m.Read(p, c.Reg).(regCell)
+	if cell.Writing && ch.Old(p, c.Reg) {
+		return cell.Old
+	}
+	return cell.New
+}
+
+// TimedVal is a timestamped value, the currency of every construction
+// in this package. Timestamps are unbounded, as in the simplest
+// classic constructions (the paper's own scan makes the same choice —
+// Section 2 contrasts it with the bounded-counter alternatives).
+type TimedVal struct {
+	V  pram.Value
+	TS uint64
+	// WID breaks timestamp ties in the multi-writer construction.
+	WID int
+}
+
+// Newer reports whether a supersedes b in (TS, WID) order.
+func (a TimedVal) Newer(b TimedVal) bool {
+	if a.TS != b.TS {
+		return a.TS > b.TS
+	}
+	return a.WID > b.WID
+}
+
+// String renders the value.
+func (a TimedVal) String() string { return fmt.Sprintf("%v@%d.%d", a.V, a.TS, a.WID) }

@@ -1,0 +1,214 @@
+package register
+
+import "repro/internal/pram"
+
+// This file builds a single-writer MULTI-reader atomic register from
+// single-writer single-reader atomic registers (the classic unbounded
+// construction): the writer keeps one cell per reader; a reader reads
+// its own cell plus every other reader's report cell, adopts the
+// newest value, and writes it back to its report cells so that no
+// other reader can subsequently return anything older. Without the
+// write-back (the naive variant), two readers can order themselves
+// against an in-progress write inconsistently — the reader-reader
+// inversion the tests force with a fixed schedule.
+//
+// The underlying SWSR registers are simulated by plain atomic cells
+// with both the single-writer and single-reader restrictions enforced
+// by the memory itself, so a construction that cheats (reads a cell it
+// may not) panics instead of silently working.
+
+// SWMRLayout places the construction's registers: for w the writer and
+// readers R = {r_1..r_k},
+//
+//	cell(i):      writer → reader i        (k registers)
+//	report(i, j): reader i → reader j      (k·(k−1) registers)
+type SWMRLayout struct {
+	Base    int
+	Writer  int
+	Readers []int
+}
+
+// Regs returns the number of registers used.
+func (l SWMRLayout) Regs() int { return len(l.Readers) * len(l.Readers) }
+
+// cellReg returns the register the writer uses to reach reader index
+// ri (index into l.Readers).
+func (l SWMRLayout) cellReg(ri int) int { return l.Base + ri }
+
+// reportReg returns reader ri's report register for reader rj.
+func (l SWMRLayout) reportReg(ri, rj int) int {
+	k := len(l.Readers)
+	return l.Base + k + ri*(k-1) + adjIndex(rj, ri)
+}
+
+// adjIndex maps rj (≠ ri) to 0..k-2.
+func adjIndex(rj, ri int) int {
+	if rj > ri {
+		return rj - 1
+	}
+	return rj
+}
+
+// Install initializes every register with TimedVal{} and enforces the
+// SWSR restrictions.
+func (l SWMRLayout) Install(m *pram.Mem) {
+	for ri, reader := range l.Readers {
+		reg := l.cellReg(ri)
+		m.Init(reg, TimedVal{})
+		m.SetOwner(reg, l.Writer)
+		m.SetReader(reg, reader)
+	}
+	for ri, owner := range l.Readers {
+		for rj, reader := range l.Readers {
+			if ri == rj {
+				continue
+			}
+			reg := l.reportReg(ri, rj)
+			m.Init(reg, TimedVal{})
+			m.SetOwner(reg, owner)
+			m.SetReader(reg, reader)
+		}
+	}
+}
+
+// SWMRWriter writes each scripted value to every reader's cell, one
+// cell per step.
+type SWMRWriter struct {
+	lay    SWMRLayout
+	script []pram.Value
+
+	next int
+	ts   uint64
+	i    int // next reader cell to write, or len(Readers) when idle
+}
+
+// NewSWMRWriter returns the writer machine.
+func NewSWMRWriter(lay SWMRLayout, script []pram.Value) *SWMRWriter {
+	return &SWMRWriter{lay: lay, script: script, i: len(lay.Readers)}
+}
+
+// Done reports whether the script is exhausted.
+func (w *SWMRWriter) Done() bool {
+	return w.next == len(w.script) && w.i == len(w.lay.Readers)
+}
+
+// Completed returns the number of finished writes.
+func (w *SWMRWriter) Completed() int {
+	if w.i < len(w.lay.Readers) {
+		return w.next - 1
+	}
+	return w.next
+}
+
+// Clone returns an independent copy.
+func (w *SWMRWriter) Clone() pram.Machine {
+	cp := *w
+	cp.script = append([]pram.Value(nil), w.script...)
+	return &cp
+}
+
+// Step writes the current value to the next reader's cell.
+func (w *SWMRWriter) Step(m *pram.Mem) {
+	if w.Done() {
+		panic("register: Step after Done")
+	}
+	if w.i == len(w.lay.Readers) {
+		w.next++
+		w.ts++
+		w.i = 0
+	}
+	tv := TimedVal{V: w.script[w.next-1], TS: w.ts}
+	m.Write(w.lay.Writer, w.lay.cellReg(w.i), tv)
+	w.i++
+}
+
+// SWMRReader performs reads: own cell, the other readers' reports,
+// then (unless Naive) write-back to its own reports.
+type SWMRReader struct {
+	lay   SWMRLayout
+	ri    int // index into lay.Readers
+	reads int
+	// Naive skips the write-back phase, surrendering reader-reader
+	// atomicity.
+	Naive bool
+
+	done    int
+	phase   int // 0 idle/own-cell, 1 collecting reports, 2 writing back
+	others  []int
+	cursor  int
+	best    TimedVal
+	results []pram.Value
+}
+
+// NewSWMRReader returns the reader machine for lay.Readers[ri].
+func NewSWMRReader(lay SWMRLayout, ri, reads int) *SWMRReader {
+	var others []int
+	for j := range lay.Readers {
+		if j != ri {
+			others = append(others, j)
+		}
+	}
+	return &SWMRReader{lay: lay, ri: ri, reads: reads, others: others}
+}
+
+// Done reports whether the script is exhausted.
+func (r *SWMRReader) Done() bool { return r.done == r.reads }
+
+// Completed returns the number of finished reads.
+func (r *SWMRReader) Completed() int { return r.done }
+
+// Results returns the returned values in order.
+func (r *SWMRReader) Results() []pram.Value { return r.results }
+
+// Clone returns an independent copy.
+func (r *SWMRReader) Clone() pram.Machine {
+	cp := *r
+	cp.results = append([]pram.Value(nil), r.results...)
+	return &cp
+}
+
+// Step performs one shared access of the current read.
+func (r *SWMRReader) Step(m *pram.Mem) {
+	if r.Done() {
+		panic("register: Step after Done")
+	}
+	me := r.lay.Readers[r.ri]
+	switch r.phase {
+	case 0:
+		r.best = m.Read(me, r.lay.cellReg(r.ri)).(TimedVal)
+		r.cursor = 0
+		if len(r.others) == 0 {
+			r.finish()
+			return
+		}
+		r.phase = 1
+	case 1:
+		o := r.others[r.cursor]
+		got := m.Read(me, r.lay.reportReg(o, r.ri)).(TimedVal)
+		if got.Newer(r.best) {
+			r.best = got
+		}
+		r.cursor++
+		if r.cursor == len(r.others) {
+			if r.Naive {
+				r.finish()
+				return
+			}
+			r.phase = 2
+			r.cursor = 0
+		}
+	case 2:
+		o := r.others[r.cursor]
+		m.Write(me, r.lay.reportReg(r.ri, o), r.best)
+		r.cursor++
+		if r.cursor == len(r.others) {
+			r.finish()
+		}
+	}
+}
+
+func (r *SWMRReader) finish() {
+	r.results = append(r.results, r.best.V)
+	r.done++
+	r.phase = 0
+}

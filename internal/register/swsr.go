@@ -1,0 +1,123 @@
+package register
+
+import "repro/internal/pram"
+
+// This file is Lamport's construction of a single-writer single-reader
+// ATOMIC register from a REGULAR one: the writer attaches an unbounded
+// timestamp to every value, and the reader remembers the
+// highest-timestamped value it has returned, returning the newer of
+// (remembered, just-read). Regularity guarantees a read returns either
+// the overlapped write's value or its predecessor's; the reader's
+// memory removes the remaining anomaly — the "new/old inversion" in
+// which a later read returns an older value than an earlier one. The
+// naive reader (timestamp-free) exhibits exactly that inversion; see
+// the tests.
+
+// SWSRWriter executes a script of writes to a regular cell, two steps
+// per write (announce, commit), stamping each value.
+type SWSRWriter struct {
+	cell   Regular
+	script []pram.Value
+
+	next      int
+	ts        uint64
+	last      TimedVal
+	announced bool
+}
+
+// NewSWSRWriter returns a writer machine over cell with the given
+// script. The cell must already be installed with initial value
+// TimedVal{}.
+func NewSWSRWriter(cell Regular, script []pram.Value) *SWSRWriter {
+	return &SWSRWriter{cell: cell, script: script}
+}
+
+// Done reports whether the script is exhausted.
+func (w *SWSRWriter) Done() bool { return w.next == len(w.script) && !w.announced }
+
+// Completed returns the number of finished writes.
+func (w *SWSRWriter) Completed() int {
+	if w.announced {
+		return w.next - 1
+	}
+	return w.next
+}
+
+// Clone returns an independent copy.
+func (w *SWSRWriter) Clone() pram.Machine {
+	cp := *w
+	cp.script = append([]pram.Value(nil), w.script...)
+	return &cp
+}
+
+// Step performs the next write half-step.
+func (w *SWSRWriter) Step(m *pram.Mem) {
+	if w.Done() {
+		panic("register: Step after Done")
+	}
+	if !w.announced {
+		v := w.script[w.next]
+		w.next++
+		w.ts++
+		tv := TimedVal{V: v, TS: w.ts}
+		w.cell.WriteAnnounce(m, w.last, tv)
+		w.last = tv
+		w.announced = true
+		return
+	}
+	w.cell.WriteCommit(m, w.last)
+	w.announced = false
+}
+
+// SWSRReader executes a script of reads, one regular read per
+// operation, with Lamport's remembered-timestamp rule. With Remember
+// false it degrades to the naive (non-atomic) reader used by the
+// negative tests.
+type SWSRReader struct {
+	cell     Regular
+	proc     int
+	ch       Chooser
+	Remember bool
+
+	reads   int
+	done    int
+	mem     TimedVal
+	results []pram.Value
+}
+
+// NewSWSRReader returns a reader machine performing `reads` reads.
+func NewSWSRReader(cell Regular, proc, reads int, ch Chooser) *SWSRReader {
+	return &SWSRReader{cell: cell, proc: proc, ch: ch, reads: reads, Remember: true}
+}
+
+// Done reports whether the script is exhausted.
+func (r *SWSRReader) Done() bool { return r.done == r.reads }
+
+// Completed returns the number of finished reads.
+func (r *SWSRReader) Completed() int { return r.done }
+
+// Results returns the values the reads returned, in order.
+func (r *SWSRReader) Results() []pram.Value { return r.results }
+
+// Clone returns an independent copy.
+func (r *SWSRReader) Clone() pram.Machine {
+	cp := *r
+	cp.results = append([]pram.Value(nil), r.results...)
+	return &cp
+}
+
+// Step performs one read operation (a single shared access).
+func (r *SWSRReader) Step(m *pram.Mem) {
+	if r.Done() {
+		panic("register: Step after Done")
+	}
+	got := r.cell.Read(m, r.proc, r.ch).(TimedVal)
+	if r.Remember {
+		if got.Newer(r.mem) {
+			r.mem = got
+		}
+		got = r.mem
+	}
+	r.results = append(r.results, got.V)
+	r.done++
+}

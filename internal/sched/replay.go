@@ -1,0 +1,62 @@
+package sched
+
+import "repro/internal/pram"
+
+// Trace wraps a scheduler and records every decision, so a failing
+// randomized run can be replayed exactly — the sim-mode analogue of a
+// core dump. Combine with Replay:
+//
+//	tr := sched.NewTrace(sched.NewRandom(seed))
+//	sys.Run(tr, 0)                   // something went wrong...
+//	sys2.Run(sched.NewReplay(tr.Decisions()), 0) // ...watch it again
+type Trace struct {
+	Inner     pram.Scheduler
+	decisions []int
+}
+
+// NewTrace returns a recording wrapper around inner.
+func NewTrace(inner pram.Scheduler) *Trace { return &Trace{Inner: inner} }
+
+// Next delegates and records.
+func (t *Trace) Next(running []int) int {
+	p := t.Inner.Next(running)
+	t.decisions = append(t.decisions, p)
+	return p
+}
+
+// Decisions returns the recorded schedule so far.
+func (t *Trace) Decisions() []int {
+	return append([]int(nil), t.decisions...)
+}
+
+// Replay feeds back a recorded schedule. When the script runs out (or
+// names a process that is no longer running, which means the replayed
+// system diverged from the recorded one), it stops the run; callers
+// see pram.ErrStopped.
+type Replay struct {
+	script []int
+	pos    int
+}
+
+// NewReplay returns a scheduler that replays script.
+func NewReplay(script []int) *Replay {
+	return &Replay{script: append([]int(nil), script...)}
+}
+
+// Next returns the next recorded decision.
+func (r *Replay) Next(running []int) int {
+	if r.pos >= len(r.script) {
+		return -1
+	}
+	p := r.script[r.pos]
+	r.pos++
+	for _, q := range running {
+		if q == p {
+			return p
+		}
+	}
+	return -1 // divergence from the recorded run
+}
+
+// Remaining reports how many decisions are left unplayed.
+func (r *Replay) Remaining() int { return len(r.script) - r.pos }

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/pram"
+)
+
+// TestTraceReplayReproducesRun: record a random schedule of an
+// agreement run, replay it, and require bit-identical outcomes.
+func TestTraceReplayReproducesRun(t *testing.T) {
+	inputs := []float64{0, 1, 0.5}
+	eps := 1e-3
+
+	sys1 := agreement.NewSystem(inputs, eps)
+	tr := NewTrace(NewRandom(99))
+	out1, err := agreement.Run(sys1, tr, inputs, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys2 := agreement.NewSystem(inputs, eps)
+	out2, err := agreement.Run(sys2, NewReplay(tr.Decisions()), inputs, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range out1.Results {
+		if out1.Results[p] != out2.Results[p] || out1.StepsBy[p] != out2.StepsBy[p] {
+			t.Fatalf("replay diverged at process %d: %+v vs %+v", p, out1, out2)
+		}
+	}
+}
+
+func TestReplayStopsAtScriptEnd(t *testing.T) {
+	inputs := []float64{0, 100}
+	sys := agreement.NewSystem(inputs, 1e-6)
+	err := sys.Run(NewReplay([]int{0, 1, 0}), 0)
+	if err != pram.ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	// A script naming a finished process stops the run instead of
+	// crashing it.
+	inputs := []float64{5}
+	sys := agreement.NewSystem(inputs, 1)
+	// Single process finishes in 3 steps; the 4th decision diverges.
+	err := sys.Run(NewReplay([]int{0, 0, 0, 0, 0}), 0)
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	r := NewReplay([]int{7})
+	if got := r.Next([]int{0, 1}); got != -1 {
+		t.Fatalf("divergent decision returned %d, want -1", got)
+	}
+}
+
+func TestTraceDecisionsIsCopy(t *testing.T) {
+	tr := NewTrace(NewRoundRobin())
+	tr.Next([]int{0, 1})
+	d := tr.Decisions()
+	d[0] = 99
+	if tr.Decisions()[0] == 99 {
+		t.Fatal("Decisions exposed internal state")
+	}
+	if rem := NewReplay([]int{1, 2}); rem.Remaining() != 2 {
+		t.Fatalf("Remaining = %d", rem.Remaining())
+	}
+}

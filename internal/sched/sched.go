@@ -1,0 +1,169 @@
+// Package sched provides schedulers for the asynchronous PRAM
+// simulation engine: fair ones (round-robin, seeded random), unfair
+// ones (bursts, priorities), and failure-injecting ones (crash, sleep).
+//
+// In the asynchronous PRAM model the scheduler is the adversary: a
+// wait-free algorithm must complete each operation under every
+// scheduler in this package (and any other), while merely lock-free or
+// lock-based algorithms can be starved or blocked by the unfair ones.
+// The bespoke lookahead adversary of Lemma 6 is not a Scheduler — it
+// needs to fork the system — and lives in internal/agreement.
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/pram"
+)
+
+// RoundRobin cycles through running processes in index order. It is
+// the fairest schedule and a reasonable stand-in for the synchronous
+// PRAM the paper contrasts against.
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next returns the first running process with index greater than the
+// previously scheduled one, wrapping around.
+func (s *RoundRobin) Next(running []int) int {
+	for _, p := range running {
+		if p > s.last {
+			s.last = p
+			return p
+		}
+	}
+	s.last = running[0]
+	return running[0]
+}
+
+// Random picks a uniformly random running process using a seeded
+// source, so runs are reproducible.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a random scheduler seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a uniformly random running process.
+func (s *Random) Next(running []int) int {
+	return running[s.rng.Intn(len(running))]
+}
+
+// Bursty runs a random process for a geometric burst of steps before
+// switching, modelling the timing anomalies the paper lists: page
+// faults, cache misses, pre-emption, swapping. Long bursts are the
+// schedules that defeat lock-based and retry-based algorithms.
+type Bursty struct {
+	rng     *rand.Rand
+	current int
+	left    int
+	// MeanBurst is the expected burst length (default 8).
+	MeanBurst int
+}
+
+// NewBursty returns a bursty scheduler seeded with seed.
+func NewBursty(seed int64, meanBurst int) *Bursty {
+	if meanBurst <= 0 {
+		meanBurst = 8
+	}
+	return &Bursty{rng: rand.New(rand.NewSource(seed)), current: -1, MeanBurst: meanBurst}
+}
+
+// Next continues the current burst if its process is still running,
+// otherwise starts a new burst on a random running process.
+func (s *Bursty) Next(running []int) int {
+	if s.left > 0 && containsInt(running, s.current) {
+		s.left--
+		return s.current
+	}
+	s.current = running[s.rng.Intn(len(running))]
+	// Geometric burst length with mean MeanBurst.
+	s.left = 1
+	for s.rng.Intn(s.MeanBurst) != 0 {
+		s.left++
+	}
+	s.left--
+	return s.current
+}
+
+// Crash wraps another scheduler and permanently stops scheduling
+// process Victim after it has taken After steps. A crashed process
+// simply stops taking steps — exactly the paper's failure model. The
+// wait-free property demands all other processes still finish.
+type Crash struct {
+	Inner  pram.Scheduler
+	Victim int
+	After  uint64
+
+	taken uint64
+}
+
+// Next delegates to Inner with the victim filtered out once crashed.
+func (s *Crash) Next(running []int) int {
+	alive := running
+	if s.taken >= s.After {
+		alive = nil
+		for _, p := range running {
+			if p != s.Victim {
+				alive = append(alive, p)
+			}
+		}
+		if len(alive) == 0 {
+			return -1 // only the crashed process remains
+		}
+	}
+	p := s.Inner.Next(alive)
+	if p == s.Victim {
+		s.taken++
+	}
+	return p
+}
+
+// Priority starves every process except Favored for Budget steps, then
+// behaves like round-robin. It models a "sleepy" process that suspends
+// arbitrarily and later resumes — the paper's long-lived object
+// scenario where one operation is overtaken by an arbitrary sequence
+// of others.
+type Priority struct {
+	Favored int
+	Budget  int
+	rr      *RoundRobin
+}
+
+// NewPriority returns a scheduler that runs favored alone for budget
+// steps (when possible) before becoming fair.
+func NewPriority(favored, budget int) *Priority {
+	return &Priority{Favored: favored, Budget: budget, rr: NewRoundRobin()}
+}
+
+// Next schedules the favored process while budget remains and it is
+// running; afterwards round-robin.
+func (s *Priority) Next(running []int) int {
+	if s.Budget > 0 && containsInt(running, s.Favored) {
+		s.Budget--
+		return s.Favored
+	}
+	return s.rr.Next(running)
+}
+
+// Func adapts a plain function to the Scheduler interface, for tests
+// and one-off adversaries.
+type Func func(running []int) int
+
+// Next calls the function.
+func (f Func) Next(running []int) int { return f(running) }
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := NewRoundRobin()
+	running := []int{0, 1, 2}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := s.Next(running); got != w {
+			t.Fatalf("step %d: Next = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRoundRobinSkipsFinished(t *testing.T) {
+	s := NewRoundRobin()
+	if got := s.Next([]int{0, 2, 4}); got != 0 {
+		t.Fatalf("Next = %d, want 0", got)
+	}
+	if got := s.Next([]int{2, 4}); got != 2 {
+		t.Fatalf("Next = %d, want 2", got)
+	}
+	if got := s.Next([]int{2, 4}); got != 4 {
+		t.Fatalf("Next = %d, want 4", got)
+	}
+	if got := s.Next([]int{2}); got != 2 {
+		t.Fatalf("wraparound Next = %d, want 2", got)
+	}
+}
+
+func TestRandomIsReproducibleAndValid(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	running := []int{1, 3, 5, 9}
+	seen := make(map[int]int)
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(running), b.Next(running)
+		if x != y {
+			t.Fatalf("same seed diverged at step %d: %d vs %d", i, x, y)
+		}
+		seen[x]++
+	}
+	for _, p := range running {
+		if seen[p] == 0 {
+			t.Errorf("process %d never scheduled in 200 draws", p)
+		}
+	}
+	for p := range seen {
+		found := false
+		for _, q := range running {
+			if p == q {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scheduled process %d not in running set", p)
+		}
+	}
+}
+
+func TestBurstyStaysOnBurst(t *testing.T) {
+	s := NewBursty(1, 10)
+	running := []int{0, 1, 2, 3}
+	switches := 0
+	prev := -1
+	const draws = 1000
+	for i := 0; i < draws; i++ {
+		p := s.Next(running)
+		if p != prev {
+			switches++
+		}
+		prev = p
+	}
+	// With mean burst 10, expect roughly draws/10 switches; allow wide
+	// slack but rule out per-step switching.
+	if switches > draws/3 {
+		t.Errorf("bursty scheduler switched %d times in %d draws", switches, draws)
+	}
+}
+
+func TestBurstyAbandonsFinishedProcess(t *testing.T) {
+	s := NewBursty(3, 1000) // near-infinite burst
+	first := s.Next([]int{0, 1})
+	other := 1 - first
+	if got := s.Next([]int{other}); got != other {
+		t.Fatalf("bursty returned %d for running set {%d}", got, other)
+	}
+}
+
+func TestCrashStopsVictim(t *testing.T) {
+	c := &Crash{Inner: NewRoundRobin(), Victim: 1, After: 3}
+	running := []int{0, 1, 2}
+	victimSteps := 0
+	for i := 0; i < 60; i++ {
+		p := c.Next(running)
+		if p == 1 {
+			victimSteps++
+		}
+	}
+	if victimSteps != 3 {
+		t.Errorf("victim took %d steps, want exactly 3", victimSteps)
+	}
+}
+
+func TestCrashStopsWhenOnlyVictimRemains(t *testing.T) {
+	c := &Crash{Inner: NewRoundRobin(), Victim: 0, After: 0}
+	if got := c.Next([]int{0}); got != -1 {
+		t.Errorf("Next = %d, want -1 (halt)", got)
+	}
+}
+
+func TestPriorityFavorsThenFair(t *testing.T) {
+	s := NewPriority(2, 5)
+	running := []int{0, 1, 2}
+	for i := 0; i < 5; i++ {
+		if got := s.Next(running); got != 2 {
+			t.Fatalf("step %d: Next = %d, want favored 2", i, got)
+		}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		seen[s.Next(running)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Error("after budget, scheduler should be fair to all")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	var f pram.Scheduler = Func(func(running []int) int { return running[len(running)-1] })
+	if got := f.Next([]int{4, 7}); got != 7 {
+		t.Errorf("Next = %d, want 7", got)
+	}
+}

@@ -1,0 +1,198 @@
+package snapshot
+
+import "repro/internal/pram"
+
+// Simulator machines for the Afek et al. snapshot, completing the E7
+// comparison: under the same update-between-collects adversary that
+// starves the double-collect scan for ever, the Afek scan finishes in
+// a bounded number of its own steps — after observing some process
+// move twice it borrows that process's embedded view. This is the
+// related-work algorithm's wait-freedom made measurable next to ours.
+
+// afekSimCell is the simulated register contents: a sequence number,
+// the payload, and the view embedded at update time.
+type afekSimCell struct {
+	Seq  uint64
+	Val  any
+	View []any
+}
+
+// AfekLayout places n cells in simulated memory.
+type AfekLayout struct {
+	Base int
+	N    int
+}
+
+// Reg returns process p's cell register.
+func (l AfekLayout) Reg(p int) int { return l.Base + p }
+
+// Install initializes the cells and assigns owners.
+func (l AfekLayout) Install(m *pram.Mem) {
+	for p := 0; p < l.N; p++ {
+		m.Init(l.Reg(p), afekSimCell{})
+		m.SetOwner(l.Reg(p), p)
+	}
+}
+
+// AfekScanMachine performs one Afek scan: repeated collects, one cell
+// read per Step, borrowing an embedded view from any process observed
+// to move twice.
+type AfekScanMachine struct {
+	proc int
+	lay  AfekLayout
+
+	prev    []afekSimCell
+	cur     []afekSimCell
+	i       int
+	moved   map[int]bool
+	done    bool
+	result  []any
+	borrows int
+}
+
+// NewAfekScanMachine returns a scanner for process proc.
+func NewAfekScanMachine(proc int, lay AfekLayout) *AfekScanMachine {
+	return &AfekScanMachine{
+		proc: proc, lay: lay,
+		cur:   make([]afekSimCell, lay.N),
+		moved: map[int]bool{},
+	}
+}
+
+// Done reports completion.
+func (mc *AfekScanMachine) Done() bool { return mc.done }
+
+// Result returns the scanned view; it panics before Done.
+func (mc *AfekScanMachine) Result() []any {
+	if !mc.done {
+		panic("snapshot: Result before Done")
+	}
+	return mc.result
+}
+
+// Borrowed reports whether the result came from an embedded view.
+func (mc *AfekScanMachine) Borrowed() bool { return mc.borrows > 0 && mc.done }
+
+// Clone returns an independent copy.
+func (mc *AfekScanMachine) Clone() pram.Machine {
+	cp := *mc
+	cp.prev = append([]afekSimCell(nil), mc.prev...)
+	cp.cur = append([]afekSimCell(nil), mc.cur...)
+	cp.result = append([]any(nil), mc.result...)
+	cp.moved = make(map[int]bool, len(mc.moved))
+	for k, v := range mc.moved {
+		cp.moved[k] = v
+	}
+	return &cp
+}
+
+// Step reads the next cell of the current collect and resolves the
+// scan at collect boundaries.
+func (mc *AfekScanMachine) Step(m *pram.Mem) {
+	if mc.done {
+		panic("snapshot: Step after Done")
+	}
+	mc.cur[mc.i] = m.Read(mc.proc, mc.lay.Reg(mc.i)).(afekSimCell)
+	mc.i++
+	if mc.i < mc.lay.N {
+		return
+	}
+	mc.i = 0
+	if mc.prev == nil {
+		mc.prev = append(mc.prev[:0], mc.cur...)
+		return
+	}
+	clean := true
+	for q := range mc.cur {
+		if mc.cur[q].Seq == mc.prev[q].Seq {
+			continue
+		}
+		clean = false
+		if mc.moved[q] {
+			// q completed a whole update inside this scan: borrow its
+			// embedded view.
+			mc.result = append([]any(nil), mc.cur[q].View...)
+			mc.borrows++
+			mc.done = true
+			return
+		}
+		mc.moved[q] = true
+	}
+	if clean {
+		mc.result = make([]any, mc.lay.N)
+		for q, c := range mc.cur {
+			if c.Seq != 0 {
+				mc.result[q] = c.Val
+			}
+		}
+		mc.done = true
+		return
+	}
+	mc.prev = append(mc.prev[:0], mc.cur...)
+}
+
+// AfekUpdateMachine performs a script of updates, each an embedded
+// scan followed by one write.
+type AfekUpdateMachine struct {
+	proc   int
+	lay    AfekLayout
+	script []any
+
+	next    int
+	seq     uint64
+	scanner *AfekScanMachine // non-nil while the embedded scan runs
+	pending any
+}
+
+// NewAfekUpdateMachine returns an updater for process proc.
+func NewAfekUpdateMachine(proc int, lay AfekLayout, script []any) *AfekUpdateMachine {
+	return &AfekUpdateMachine{proc: proc, lay: lay, script: append([]any(nil), script...)}
+}
+
+// Done reports whether the script is exhausted.
+func (mc *AfekUpdateMachine) Done() bool {
+	return mc.next == len(mc.script) && mc.scanner == nil
+}
+
+// Completed returns finished updates.
+func (mc *AfekUpdateMachine) Completed() int {
+	if mc.scanner != nil {
+		return mc.next - 1
+	}
+	return mc.next
+}
+
+// Clone returns an independent copy.
+func (mc *AfekUpdateMachine) Clone() pram.Machine {
+	cp := *mc
+	cp.script = append([]any(nil), mc.script...)
+	if mc.scanner != nil {
+		cp.scanner = mc.scanner.Clone().(*AfekScanMachine)
+	}
+	return &cp
+}
+
+// Step advances the embedded scan or performs the final write.
+func (mc *AfekUpdateMachine) Step(m *pram.Mem) {
+	if mc.Done() {
+		panic("snapshot: Step after Done")
+	}
+	if mc.scanner == nil {
+		mc.pending = mc.script[mc.next]
+		mc.next++
+		mc.scanner = NewAfekScanMachine(mc.proc, mc.lay)
+		// fall through into the scan's first step
+	}
+	if !mc.scanner.Done() {
+		mc.scanner.Step(m)
+		if !mc.scanner.Done() {
+			return
+		}
+		return // the write happens on the next step
+	}
+	mc.seq++
+	m.Write(mc.proc, mc.lay.Reg(mc.proc), afekSimCell{
+		Seq: mc.seq, Val: mc.pending, View: mc.scanner.Result(),
+	})
+	mc.scanner = nil
+}

@@ -1,0 +1,127 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/sched"
+)
+
+func afekSystem(updates int) (*pram.System, *AfekScanMachine, *AfekUpdateMachine) {
+	lay := AfekLayout{Base: 0, N: 2}
+	mem := pram.NewMem(2, 2)
+	lay.Install(mem)
+	script := make([]any, updates)
+	for i := range script {
+		script[i] = i
+	}
+	scanner := NewAfekScanMachine(0, lay)
+	updater := NewAfekUpdateMachine(1, lay, script)
+	return pram.NewSystem(mem, []pram.Machine{scanner, updater}), scanner, updater
+}
+
+// TestAfekSimBoundedUnderAdversary is the wait-freedom contrast with
+// double-collect: under the same update-between-collects adversary
+// that starves DCScanMachine for ever, the Afek scan terminates after
+// a bounded number of its own steps by borrowing an embedded view.
+func TestAfekSimBoundedUnderAdversary(t *testing.T) {
+	sys, scanner, _ := afekSystem(100_000)
+	phase := 0
+	adv := sched.Func(func(running []int) int {
+		if len(running) == 1 {
+			return running[0]
+		}
+		// Two scanner steps, then updater steps until it completes one
+		// whole update (scan 2×2 reads + 1 write when clean), looping.
+		p := 0
+		if phase >= 2 {
+			p = 1
+		}
+		phase = (phase + 1) % 8
+		return p
+	})
+	for !scanner.Done() {
+		p := adv.Next(sys.Running())
+		sys.Step(p)
+		if sys.Steps[0] > 100 {
+			t.Fatalf("Afek scan not bounded: %d steps and counting", sys.Steps[0])
+		}
+	}
+	if scanner.Result() == nil {
+		t.Fatal("nil result")
+	}
+	t.Logf("scan finished in %d steps (borrowed=%v)", sys.Steps[0], scanner.Borrowed())
+}
+
+// TestAfekSimCleanScan: with no interference, two clean collects.
+func TestAfekSimCleanScan(t *testing.T) {
+	sys, scanner, updater := afekSystem(2)
+	if err := sys.RunSolo(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !updater.Done() {
+		t.Fatal("updater unfinished")
+	}
+	before := sys.Mem.Counters()
+	if err := sys.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := sys.Mem.Counters().Sub(before)
+	if d.Reads != 4 { // two collects of two cells
+		t.Errorf("clean Afek scan used %d reads, want 4", d.Reads)
+	}
+	view := scanner.Result()
+	if view[1] != 1 || view[0] != nil {
+		t.Errorf("view = %v, want [nil 1]", view)
+	}
+}
+
+// TestAfekSimExhaustive: every schedule of one scan racing one update
+// yields a legal view — either the pre-update or post-update array —
+// and the scanner always terminates.
+func TestAfekSimExhaustive(t *testing.T) {
+	sys, _, _ := afekSystem(1)
+	leaves, err := pram.Explore(sys, 5_000_000, func(final *pram.System) {
+		view := final.Machines[0].(*AfekScanMachine).Result()
+		switch {
+		case view[0] == nil && view[1] == nil: // before the update
+		case view[0] == nil && view[1] == 0: // after the update
+		default:
+			t.Fatalf("illegal view %v", view)
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v after %d leaves", err, leaves)
+	}
+	t.Logf("exhaustively verified %d schedules", leaves)
+}
+
+// TestAfekSimBorrowedViewIsFresh: the borrowed view must reflect a
+// state within the scan's interval — in particular it can never miss
+// an update that completed before the scan began.
+func TestAfekSimBorrowedViewIsFresh(t *testing.T) {
+	lay := AfekLayout{Base: 0, N: 2}
+	mem := pram.NewMem(2, 2)
+	lay.Install(mem)
+	scanner := NewAfekScanMachine(0, lay)
+	updater := NewAfekUpdateMachine(1, lay, []any{"a", "b", "c"})
+	sys := pram.NewSystem(mem, []pram.Machine{scanner, updater})
+	// First update completes entirely before the scan starts.
+	for updater.Completed() == 0 {
+		sys.Step(1)
+	}
+	// Now interleave so the scanner sees two more moves and borrows.
+	for !scanner.Done() {
+		sys.Step(0)
+		sys.Step(0)
+		if !updater.Done() {
+			for start := updater.Completed(); !updater.Done() && updater.Completed() == start; {
+				sys.Step(1)
+			}
+		}
+	}
+	view := scanner.Result()
+	if view[1] == nil {
+		t.Fatalf("scan missed the completed first update: %v", view)
+	}
+}

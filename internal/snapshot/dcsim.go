@@ -1,0 +1,159 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/pram"
+)
+
+// This file contains simulator machines for the double-collect
+// snapshot. Their purpose is Theorem 8's moral in miniature: the
+// double-collect Scan is lock-free but not wait-free, and under an
+// adversarial schedule that slips one Update between every pair of
+// collects, the scanner runs for ever. The simulator makes that
+// starvation schedule deterministic and observable, in contrast to the
+// wait-free ScanMachine, which finishes in exactly n²+n+3 accesses no
+// matter what the scheduler does.
+
+// DCLayout places n double-collect cells in simulated memory.
+type DCLayout struct {
+	Base int
+	N    int
+}
+
+// Reg returns the register holding process p's cell.
+func (l DCLayout) Reg(p int) int { return l.Base + p }
+
+// Install initializes the cells and assigns owners.
+func (l DCLayout) Install(m *pram.Mem) {
+	for p := 0; p < l.N; p++ {
+		m.Init(l.Reg(p), dcSimCell{})
+		m.SetOwner(l.Reg(p), p)
+	}
+}
+
+// dcSimCell is the simulated register contents: sequence number plus
+// payload.
+type dcSimCell struct {
+	Seq uint64
+	Val any
+}
+
+// DCUpdateMachine performs a script of double-collect updates, one
+// write per update.
+type DCUpdateMachine struct {
+	proc  int
+	lay   DCLayout
+	queue []any
+	seq   uint64
+}
+
+// NewDCUpdateMachine returns an updater for process proc that writes
+// each value in script, one write per Step.
+func NewDCUpdateMachine(proc int, lay DCLayout, script []any) *DCUpdateMachine {
+	return &DCUpdateMachine{proc: proc, lay: lay, queue: append([]any(nil), script...)}
+}
+
+// Done reports whether the script is exhausted.
+func (mc *DCUpdateMachine) Done() bool { return len(mc.queue) == 0 }
+
+// Clone returns an independent copy.
+func (mc *DCUpdateMachine) Clone() pram.Machine {
+	cp := *mc
+	cp.queue = append([]any(nil), mc.queue...)
+	return &cp
+}
+
+// Step writes the next scripted value with a fresh sequence number.
+func (mc *DCUpdateMachine) Step(m *pram.Mem) {
+	if mc.Done() {
+		panic("snapshot: Step after Done")
+	}
+	mc.seq++
+	m.Write(mc.proc, mc.lay.Reg(mc.proc), dcSimCell{Seq: mc.seq, Val: mc.queue[0]})
+	mc.queue = mc.queue[1:]
+}
+
+// DCScanMachine performs a single double-collect Scan: it repeatedly
+// collects all n cells and finishes only when two consecutive collects
+// carry identical sequence numbers.
+type DCScanMachine struct {
+	proc int
+	lay  DCLayout
+
+	prev    []dcSimCell // previous collect, nil before the first
+	cur     []dcSimCell
+	i       int // next cell to read in the current collect
+	retries int
+	done    bool
+	result  []any
+}
+
+// NewDCScanMachine returns a scanner for process proc.
+func NewDCScanMachine(proc int, lay DCLayout) *DCScanMachine {
+	return &DCScanMachine{proc: proc, lay: lay, cur: make([]dcSimCell, lay.N)}
+}
+
+// Done reports whether the scan completed (two identical collects).
+func (mc *DCScanMachine) Done() bool { return mc.done }
+
+// Retries returns the number of failed collect pairs so far.
+func (mc *DCScanMachine) Retries() int { return mc.retries }
+
+// Result returns the scanned view. It panics before Done.
+func (mc *DCScanMachine) Result() []any {
+	if !mc.done {
+		panic("snapshot: Result before Done")
+	}
+	return mc.result
+}
+
+// Clone returns an independent copy.
+func (mc *DCScanMachine) Clone() pram.Machine {
+	cp := *mc
+	cp.prev = append([]dcSimCell(nil), mc.prev...)
+	cp.cur = append([]dcSimCell(nil), mc.cur...)
+	cp.result = append([]any(nil), mc.result...)
+	return &cp
+}
+
+// Step reads the next cell of the current collect; at the end of a
+// collect it either finishes (clean pair) or starts another collect.
+func (mc *DCScanMachine) Step(m *pram.Mem) {
+	if mc.done {
+		panic("snapshot: Step after Done")
+	}
+	mc.cur[mc.i] = m.Read(mc.proc, mc.lay.Reg(mc.i)).(dcSimCell)
+	mc.i++
+	if mc.i < mc.lay.N {
+		return
+	}
+	// Collect complete.
+	if mc.prev != nil {
+		clean := true
+		for q := range mc.cur {
+			if mc.cur[q].Seq != mc.prev[q].Seq {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			mc.result = make([]any, mc.lay.N)
+			for q, c := range mc.cur {
+				if c.Seq != 0 {
+					mc.result[q] = c.Val
+				}
+			}
+			mc.done = true
+			return
+		}
+		mc.retries++
+	}
+	mc.prev = append(mc.prev[:0], mc.cur...)
+	mc.i = 0
+}
+
+// String aids debugging.
+func (mc *DCScanMachine) String() string {
+	return fmt.Sprintf("DCScan{proc %d, retries %d, done %v}", mc.proc, mc.retries, mc.done)
+}

@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/sched"
+)
+
+// dcSystem builds: process 0 = scanner, process 1 = updater with the
+// given script length.
+func dcSystem(updates int) (*pram.System, *DCScanMachine, *DCUpdateMachine) {
+	lay := DCLayout{Base: 0, N: 2}
+	mem := pram.NewMem(2, 2)
+	lay.Install(mem)
+	script := make([]any, updates)
+	for i := range script {
+		script[i] = i
+	}
+	scanner := NewDCScanMachine(0, lay)
+	updater := NewDCUpdateMachine(1, lay, script)
+	sys := pram.NewSystem(mem, []pram.Machine{scanner, updater})
+	return sys, scanner, updater
+}
+
+// TestDoubleCollectStarvation is the deterministic non-wait-freedom
+// demonstration: an adversary that slips one update between every two
+// collects keeps the scanner running for as long as the updater has
+// steps — the scanner's work is unbounded in the adversary's budget,
+// which is exactly why double-collect fails Theorem 8's bar while the
+// Figure 5 scan does not.
+func TestDoubleCollectStarvation(t *testing.T) {
+	const updates = 500
+	sys, scanner, _ := dcSystem(updates)
+	// Adversary: let the scanner do one full collect (2 reads), then
+	// one update write, for ever.
+	phase := 0
+	adv := sched.Func(func(running []int) int {
+		if len(running) == 1 {
+			return running[0]
+		}
+		// 2 scanner steps, then 1 updater step, repeating.
+		p := 0
+		if phase == 2 {
+			p = 1
+		}
+		phase = (phase + 1) % 3
+		return p
+	})
+	if err := sys.Run(adv, 0); err != nil {
+		t.Fatal(err)
+	}
+	if scanner.Retries() < updates-2 {
+		t.Errorf("scanner retried %d times; adversary should force ~%d", scanner.Retries(), updates)
+	}
+	if !scanner.Done() {
+		t.Error("scanner should finish once the updater's script ends")
+	}
+}
+
+// TestDoubleCollectStarvationUnbounded: with an endless updater, the
+// scanner exceeds any step limit.
+func TestDoubleCollectStarvationUnbounded(t *testing.T) {
+	sys, scanner, _ := dcSystem(100_000)
+	phase := 0
+	adv := sched.Func(func(running []int) int {
+		if len(running) == 1 {
+			return running[0]
+		}
+		p := 0
+		if phase == 2 {
+			p = 1
+		}
+		phase = (phase + 1) % 3
+		return p
+	})
+	err := sys.Run(adv, 30_000)
+	if !errors.Is(err, pram.ErrStepLimit) {
+		t.Fatalf("Run = %v, want ErrStepLimit (scan starved)", err)
+	}
+	if scanner.Done() {
+		t.Error("scanner should still be starving")
+	}
+}
+
+// TestDoubleCollectCleanRun: without interference the scan finishes in
+// exactly two collects.
+func TestDoubleCollectCleanRun(t *testing.T) {
+	sys, scanner, updater := dcSystem(3)
+	if err := sys.RunSolo(1, 0); err != nil { // updater finishes first
+		t.Fatal(err)
+	}
+	if !updater.Done() {
+		t.Fatal("updater not done")
+	}
+	before := sys.Mem.Counters()
+	if err := sys.RunSolo(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := sys.Mem.Counters().Sub(before)
+	if d.Reads != 4 { // two collects of two cells
+		t.Errorf("clean scan used %d reads, want 4", d.Reads)
+	}
+	if scanner.Retries() != 0 {
+		t.Errorf("clean scan retried %d times", scanner.Retries())
+	}
+	view := scanner.Result()
+	if view[1] != 2 || view[0] != nil {
+		t.Errorf("view = %v, want [nil 2]", view)
+	}
+}
+
+func TestDCScanMachineCloneIsolation(t *testing.T) {
+	sys, scanner, _ := dcSystem(2)
+	sys.Step(0)
+	cl := scanner.Clone().(*DCScanMachine)
+	sys.Step(0)
+	if cl.i == scanner.i {
+		t.Error("clone shares scan cursor with original")
+	}
+}
+
+func TestDCMachinePanics(t *testing.T) {
+	sys, scanner, updater := dcSystem(1)
+	if err := sys.RunSolo(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("updater Step after Done should panic")
+			}
+		}()
+		updater.Step(sys.Mem)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Result before Done should panic")
+			}
+		}()
+		scanner.Result()
+	}()
+}

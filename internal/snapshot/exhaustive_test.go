@@ -1,0 +1,104 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/pram"
+)
+
+// Exhaustive model checking of the atomic scan: every interleaving of
+// two concurrent Scan operations is enumerated and Lemma 32
+// (comparability) plus self-inclusion are asserted at every leaf.
+
+func TestExhaustiveTwoScansComparable(t *testing.T) {
+	for _, optimized := range []bool{false, true} {
+		lat := lattice.SetUnion{}
+		sys, ms := newSimSystem(2, lat, optimized)
+		ms[0].Enqueue(lattice.NewSet("a"))
+		ms[1].Enqueue(lattice.NewSet("b"))
+		leaves, err := pram.Explore(sys, 10_000_000, func(final *pram.System) {
+			r0 := final.Machines[0].(*ScanMachine).Results()[0]
+			r1 := final.Machines[1].(*ScanMachine).Results()[0]
+			if !lattice.Comparable(lat, r0, r1) {
+				t.Fatalf("opt=%v: incomparable scan results %v / %v", optimized, r0, r1)
+			}
+			if !lat.Leq(lattice.NewSet("a"), r0) || !lat.Leq(lattice.NewSet("b"), r1) {
+				t.Fatalf("opt=%v: scan missed its own contribution", optimized)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v after %d leaves", err, leaves)
+		}
+		t.Logf("opt=%v: exhaustively verified %d schedules", optimized, leaves)
+	}
+}
+
+// TestExhaustiveTwoScansEach: two processes, two scans each, all
+// schedules — pairwise comparability across all four results (Lemma
+// 32) plus per-process monotonicity (Lemma 28).
+func TestExhaustiveTwoScansEach(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive test")
+	}
+	lat := lattice.SetUnion{}
+	sys, ms := newSimSystem(2, lat, true)
+	ms[0].Enqueue(lattice.NewSet("a1"))
+	ms[0].Enqueue(lattice.NewSet("a2"))
+	ms[1].Enqueue(lattice.NewSet("b1"))
+	ms[1].Enqueue(lattice.NewSet("b2"))
+	leaves, err := pram.Explore(sys, 60_000_000, func(final *pram.System) {
+		var rs []any
+		for p := 0; p < 2; p++ {
+			res := final.Machines[p].(*ScanMachine).Results()
+			if !lat.Leq(res[0], res[1]) {
+				t.Fatalf("p%d results not monotone: %v then %v", p, res[0], res[1])
+			}
+			rs = append(rs, res...)
+		}
+		for i := range rs {
+			for j := i + 1; j < len(rs); j++ {
+				if !lattice.Comparable(lat, rs[i], rs[j]) {
+					t.Fatalf("incomparable results %v / %v", rs[i], rs[j])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v after %d leaves", err, leaves)
+	}
+	t.Logf("exhaustively verified %d schedules", leaves)
+}
+
+// TestExhaustiveScanWithCrash: a scanner racing an updater that may
+// crash at any register access — the scanner always completes with a
+// comparable-to-everything (here: any) result that includes its own
+// contribution.
+func TestExhaustiveScanWithCrash(t *testing.T) {
+	lat := lattice.MaxInt{}
+	sys, ms := newSimSystem(2, lat, true)
+	ms[0].Enqueue(int64(5))
+	ms[1].Enqueue(int64(9))
+	leaves, err := pram.ExploreCrashes(sys, 1, 20_000_000, func(final *pram.System, crashed []int) {
+		for p := 0; p < 2; p++ {
+			m := final.Machines[p].(*ScanMachine)
+			if !m.Done() {
+				if len(crashed) == 0 || crashed[0] != p {
+					t.Fatalf("process %d blocked without crashing", p)
+				}
+				continue
+			}
+			own := int64(5)
+			if p == 1 {
+				own = 9
+			}
+			if !lat.Leq(own, m.Results()[0]) {
+				t.Fatalf("process %d result %v misses own value", p, m.Results()[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v after %d leaves", err, leaves)
+	}
+	t.Logf("exhaustively verified %d schedule+crash combinations", leaves)
+}

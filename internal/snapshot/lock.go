@@ -1,0 +1,44 @@
+package snapshot
+
+import "sync"
+
+// Lock is the conventional-synchronization baseline the paper argues
+// against (Section 1): a mutex around a plain array. It is simple and
+// fast in the absence of failures, but it is not wait-free — or even
+// lock-free: a process that stalls inside the critical section blocks
+// every other process for ever. Experiment E8 injects exactly that
+// failure.
+type Lock struct {
+	mu    sync.Mutex
+	elems []any
+}
+
+// NewLock returns an n-element lock-based snapshot.
+func NewLock(n int) *Lock { return &Lock{elems: make([]any, n)} }
+
+// Update sets process p's element under the lock.
+func (l *Lock) Update(p int, v any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.elems[p] = v
+}
+
+// Scan copies the array under the lock.
+func (l *Lock) Scan(p int) []any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]any(nil), l.elems...)
+}
+
+// N returns the array length.
+func (l *Lock) N() int { return len(l.elems) }
+
+// DoLocked runs f while holding the snapshot's lock. It exists for
+// failure injection: passing a blocking f models a process that is
+// pre-empted, swapped out, or crashed inside its critical section —
+// the precise scenario wait-freedom is defined to survive.
+func (l *Lock) DoLocked(f func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f()
+}

@@ -1,0 +1,79 @@
+package spec
+
+import "testing"
+
+func TestComposeBasics(t *testing.T) {
+	c := Compose(toy{}, toy{})
+	if c.Name() != "toy×toy" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	st := c.Init()
+	st, _ = c.Apply(st, TagA(put(5)))
+	st, _ = c.Apply(st, TagB(put(9)))
+	_, ra := c.Apply(st, TagA(get()))
+	_, rb := c.Apply(st, TagB(get()))
+	if ra != 5 || rb != 9 {
+		t.Errorf("component reads = %v, %v", ra, rb)
+	}
+}
+
+func TestComposeCrossObjectAlgebra(t *testing.T) {
+	c := Compose(toy{}, toy{})
+	// Cross-object ops commute and never overwrite.
+	if !c.Commutes(TagA(put(1)), TagB(put(2))) {
+		t.Error("cross-object ops must commute")
+	}
+	if c.Overwrites(TagA(put(9)), TagB(put(1))) {
+		t.Error("cross-object ops must not overwrite")
+	}
+	// Same-object pairs defer to the component.
+	if !c.Overwrites(TagA(put(9)), TagA(put(1))) {
+		t.Error("within-component overwrite lost")
+	}
+	if !c.Commutes(TagB(get()), TagB(get())) {
+		t.Error("within-component commute lost")
+	}
+}
+
+// TestComposePreservesProperty1: the product of Property 1 types is
+// Property 1 — the locality of the characterization.
+func TestComposePreservesProperty1(t *testing.T) {
+	c := Compose(toy{}, toy{})
+	var invs []Inv
+	for _, in := range []Inv{put(1), put(5), get()} {
+		invs = append(invs, TagA(in), TagB(in))
+	}
+	if ok, w := SatisfiesProperty1(c, invs); !ok {
+		t.Fatalf("composed spec fails Property 1 on %v / %v", w[0], w[1])
+	}
+	var states []State
+	st := c.Init()
+	states = append(states, st)
+	for _, in := range invs[:4] {
+		st, _ = c.Apply(st, in)
+		states = append(states, st)
+	}
+	for _, v := range CheckAlgebra(c, states, invs) {
+		t.Errorf("%s", v)
+	}
+}
+
+func TestUntagErrors(t *testing.T) {
+	if _, _, err := Untag(Inv{Op: "naked"}); err == nil {
+		t.Error("untagged invocation accepted")
+	}
+	comp, in, err := Untag(TagA(put(3)))
+	if err != nil || comp != "a" || in.Op != "put" || in.Arg != 3 {
+		t.Errorf("Untag = %v %v %v", comp, in, err)
+	}
+}
+
+func TestComposeApplyPanicsOnUntagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c := Compose(toy{}, toy{})
+	c.Apply(c.Init(), put(1))
+}

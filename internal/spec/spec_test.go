@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// toy is a minimal spec for exercising the package directly: a
+// write-max register with put/get.
+type toy struct{}
+
+func (toy) Name() string { return "toy" }
+func (toy) Init() State  { return 0 }
+func (toy) Apply(s State, inv Inv) (State, any) {
+	v := s.(int)
+	switch inv.Op {
+	case "put":
+		if w := inv.Arg.(int); w > v {
+			return w, nil
+		}
+		return v, nil
+	case "get":
+		return v, v
+	}
+	panic("toy: bad op")
+}
+func (toy) Equal(a, b State) bool { return a.(int) == b.(int) }
+func (toy) Key(s State) string    { return fmt.Sprint(s) }
+func (toy) Commutes(p, q Inv) bool {
+	return p.Op == q.Op && (p.Op == "put" || p.Op == "get")
+}
+func (toy) Overwrites(q, p Inv) bool {
+	if p.Op == "get" {
+		return true
+	}
+	return q.Op == "put" && p.Op == "put" && q.Arg.(int) >= p.Arg.(int)
+}
+
+func put(v int) Inv { return Inv{Op: "put", Arg: v} }
+func get() Inv      { return Inv{Op: "get"} }
+
+func TestInvString(t *testing.T) {
+	if got := get().String(); got != "get()" {
+		t.Errorf("String = %q", got)
+	}
+	if got := put(3).String(); got != "put(3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	s := toy{}
+	// put(5) overwrites put(3) but not vice versa: dominance regardless
+	// of process.
+	if !Dominates(s, put(5), 0, put(3), 1) {
+		t.Error("one-way overwrite must dominate")
+	}
+	if Dominates(s, put(3), 1, put(5), 0) {
+		t.Error("overwritten op must not dominate")
+	}
+	// put(4) and put(4) overwrite each other: process index breaks the
+	// tie.
+	if !Dominates(s, put(4), 2, put(4), 1) {
+		t.Error("higher process must dominate on mutual overwrite")
+	}
+	if Dominates(s, put(4), 1, put(4), 2) {
+		t.Error("lower process must not dominate")
+	}
+	// gets are mutually overwriting too (both act as reads).
+	if !Dominates(s, get(), 1, get(), 0) {
+		t.Error("mutually-overwriting gets tie-break by process")
+	}
+}
+
+func TestSatisfiesProperty1(t *testing.T) {
+	ok, _ := SatisfiesProperty1(toy{}, []Inv{put(1), put(2), get()})
+	if !ok {
+		t.Error("toy satisfies Property 1")
+	}
+}
+
+func TestCheckAlgebraCleanSpec(t *testing.T) {
+	vs := CheckAlgebra(toy{}, []State{0, 3, 9}, []Inv{put(1), put(5), get()})
+	for _, v := range vs {
+		t.Errorf("unexpected violation: %s", v)
+	}
+}
+
+func TestCheckAlgebraViolationString(t *testing.T) {
+	v := Violation{Kind: "commute", State: 0, P: put(1), Q: get(), Why: "because"}
+	if v.String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	st, rs := Replay(toy{}, []Inv{put(4), get(), put(2), get()})
+	if st.(int) != 4 {
+		t.Errorf("final state %v", st)
+	}
+	if rs[1] != 4 || rs[3] != 4 {
+		t.Errorf("responses %v", rs)
+	}
+}

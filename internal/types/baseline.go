@@ -1,0 +1,48 @@
+package types
+
+import "sync"
+
+// LockCounter is the conventional mutex-protected counter — the
+// baseline experiment E8 stalls to demonstrate why the paper insists
+// on wait-freedom. It is intentionally the simplest possible correct
+// shared counter.
+type LockCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// NewLockCounter returns a zeroed lock-based counter.
+func NewLockCounter() *LockCounter { return &LockCounter{} }
+
+// Inc adds amount under the lock.
+func (c *LockCounter) Inc(amount int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v += amount
+}
+
+// Dec subtracts amount under the lock.
+func (c *LockCounter) Dec(amount int64) { c.Inc(-amount) }
+
+// Reset sets the value under the lock.
+func (c *LockCounter) Reset(value int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v = value
+}
+
+// Read returns the value under the lock.
+func (c *LockCounter) Read() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// DoLocked runs f while holding the counter's lock — the failure
+// injection hook: a blocking f models a process stalled inside its
+// critical section.
+func (c *LockCounter) DoLocked(f func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f()
+}

@@ -1,0 +1,116 @@
+package types
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/spec"
+)
+
+func TestDirectorySequential(t *testing.T) {
+	_, rs := spec.Replay(Directory{}, []spec.Inv{
+		Put("a", "1"), Put("b", "2"), Get("a"), Put("a", "3"),
+		Get("a"), Del("b"), Get("b"), GetAll(),
+	})
+	if rs[2] != "1" || rs[4] != "3" || rs[6] != "" {
+		t.Errorf("gets = %v %v %v", rs[2], rs[4], rs[6])
+	}
+	all := rs[7].([]string)
+	if len(all) != 1 || all[0] != "a=3" {
+		t.Errorf("getall = %v", all)
+	}
+}
+
+func TestDirectoryDeleteAbsentKeyIsNoop(t *testing.T) {
+	d := Directory{}
+	st := d.Init()
+	st2, _ := d.Apply(st, Del("nope"))
+	if !d.Equal(st, st2) {
+		t.Error("deleting an absent key changed the state")
+	}
+}
+
+func TestDirectorySameKeyPutsDominateByProcess(t *testing.T) {
+	// Two concurrent puts to the same key through the universal
+	// construction: the higher process's put dominates and wins.
+	s := Directory{}
+	e0 := &core.Entry{Proc: 0, Seq: 1, Inv: Put("k", "low"), Prev: make([]*core.Entry, 2)}
+	e1 := &core.Entry{Proc: 1, Seq: 1, Inv: Put("k", "high"), Prev: make([]*core.Entry, 2)}
+	resp, _, err := core.Respond(s, []*core.Entry{e0, e1}, Get("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "high" {
+		t.Fatalf("get = %v, want high (P1's put dominates P0's)", resp)
+	}
+}
+
+func TestDirectoryConcurrentLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		const n = 4
+		u := core.New(Directory{}, n)
+		var rec history.Recorder
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*37 + int64(p)))
+				invs := Directory{}.SampleInvocations()
+				for k := 0; k < 3; k++ {
+					inv := invs[rng.Intn(len(invs))]
+					rec.Invoke(p, inv.Op, inv.Arg, func() any { return u.Execute(p, inv) })
+				}
+			}(p)
+		}
+		wg.Wait()
+		res, err := lincheck.Check(Directory{}, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: directory history not linearizable:\n%v", seed, rec.History().Ops)
+		}
+	}
+}
+
+func TestStickyBitSemantics(t *testing.T) {
+	_, rs := spec.Replay(StickyBit{}, []spec.Inv{
+		ReadBit(), Set(1), Set(0), ReadBit(),
+	})
+	if rs[0] != int64(-1) {
+		t.Errorf("unset read = %v", rs[0])
+	}
+	if rs[3] != int64(1) {
+		t.Errorf("read after set(1);set(0) = %v, want 1 (first set sticks)", rs[3])
+	}
+}
+
+func TestStickyBitFailsProperty1(t *testing.T) {
+	s := StickyBit{}
+	ok, w := spec.SatisfiesProperty1(s, s.SampleInvocations())
+	if ok {
+		t.Fatal("sticky bit unexpectedly satisfies Property 1")
+	}
+	// The witness must be the conflicting sets — the consensus core.
+	if w[0].Op != OpSet || w[1].Op != OpSet || w[0].Arg == w[1].Arg {
+		t.Errorf("witness = %v/%v, want conflicting sets", w[0], w[1])
+	}
+	// The declared relations must still be self-consistent.
+	for _, v := range spec.CheckAlgebra(s, s.SampleStates(), s.SampleInvocations()) {
+		if v.Kind != "property1" {
+			t.Errorf("sticky bit declaration inconsistent: %s", v)
+		}
+	}
+}
+
+func TestStickyBitRejectedByConstruction(t *testing.T) {
+	s := StickyBit{}
+	if _, err := core.NewChecked(s, 2, s.SampleStates(), s.SampleInvocations()); err == nil {
+		t.Fatal("sticky bit accepted by NewChecked — it solves consensus!")
+	}
+}

@@ -1,0 +1,179 @@
+package types
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/lattice"
+	"repro/internal/lincheck"
+)
+
+func TestDirectCounterSequential(t *testing.T) {
+	c := NewDirectCounter(2)
+	if got := c.Read(0); got != 0 {
+		t.Fatalf("fresh Read = %d", got)
+	}
+	c.Inc(0, 5)
+	c.Dec(1, 2)
+	if got := c.Read(0); got != 3 {
+		t.Fatalf("Read = %d, want 3", got)
+	}
+	c.Reset(1, 100)
+	if got := c.Read(0); got != 100 {
+		t.Fatalf("Read after reset = %d, want 100", got)
+	}
+	c.Inc(0, 1)
+	if got := c.Read(1); got != 101 {
+		t.Fatalf("Read = %d, want 101", got)
+	}
+}
+
+func TestDirectCounterResetDropsStaleContributions(t *testing.T) {
+	c := NewDirectCounter(3)
+	c.Inc(0, 7)
+	c.Inc(1, 7)
+	c.Reset(2, 0)
+	if got := c.Read(0); got != 0 {
+		t.Fatalf("Read = %d, want 0 (reset overwrites earlier incs)", got)
+	}
+	// New contributions attach to the new epoch.
+	c.Inc(1, 3)
+	if got := c.Read(2); got != 3 {
+		t.Fatalf("Read = %d, want 3", got)
+	}
+}
+
+func TestDirectCounterConcurrentTotals(t *testing.T) {
+	const n, per = 8, 100
+	c := NewDirectCounter(n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				if p%2 == 0 {
+					c.Inc(p, 2)
+				} else {
+					c.Dec(p, 1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	want := int64(n/2*per*2 - n/2*per)
+	if got := c.Read(0); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}
+
+// TestDirectCounterLinearizable is the strong oracle: record concurrent
+// histories with resets and check them against the sequential Counter
+// spec.
+func TestDirectCounterLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		const n, per = 4, 3
+		c := NewDirectCounter(n)
+		var rec history.Recorder
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*100 + int64(p)))
+				for k := 0; k < per; k++ {
+					switch rng.Intn(5) {
+					case 0:
+						amt := int64(rng.Intn(5))
+						rec.Invoke(p, OpInc, amt, func() any { c.Inc(p, amt); return nil })
+					case 1:
+						amt := int64(rng.Intn(5))
+						rec.Invoke(p, OpDec, amt, func() any { c.Dec(p, amt); return nil })
+					case 2:
+						amt := int64(rng.Intn(50))
+						rec.Invoke(p, OpReset, amt, func() any { c.Reset(p, amt); return nil })
+					default:
+						rec.Invoke(p, OpRead, nil, func() any { return c.Read(p) })
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		res, err := lincheck.Check(Counter{}, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: direct counter produced a non-linearizable history:\n%v",
+				seed, rec.History().Ops)
+		}
+	}
+}
+
+func TestDirectCounterStalledPeerDoesNotBlock(t *testing.T) {
+	// A peer that never takes steps is irrelevant to wait-freedom:
+	// operations by the others complete regardless.
+	c := NewDirectCounter(3)
+	c.Inc(1, 4)
+	c.Inc(2, 6)
+	if got := c.Read(1); got != 10 {
+		t.Fatalf("Read = %d, want 10", got)
+	}
+}
+
+func TestDirectClockBasics(t *testing.T) {
+	c := NewDirectClock(2)
+	if got := c.Read(0); len(got) != 0 {
+		t.Fatalf("fresh Read = %v", got)
+	}
+	c.Merge(0, lattice.IntMap{"a": 3})
+	c.Merge(1, lattice.IntMap{"a": 1, "b": 2})
+	got := c.Read(0)
+	if got["a"] != 3 || got["b"] != 2 {
+		t.Fatalf("Read = %v", got)
+	}
+}
+
+func TestDirectClockTick(t *testing.T) {
+	c := NewDirectClock(2)
+	ts := c.Tick(0, "x")
+	if ts["x"] != 1 {
+		t.Fatalf("Tick = %v", ts)
+	}
+	ts = c.Tick(0, "x")
+	if ts["x"] != 2 {
+		t.Fatalf("second Tick = %v", ts)
+	}
+}
+
+func TestDirectClockMonotoneUnderConcurrency(t *testing.T) {
+	const n = 4
+	c := NewDirectClock(n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			prev := lattice.IntMap(nil)
+			mm := lattice.MapMax{}
+			for k := 0; k < 50; k++ {
+				c.Tick(p, "shared")
+				cur := c.Read(p)
+				if !mm.Leq(prev, cur) {
+					t.Errorf("p=%d: clock went backwards: %v then %v", p, prev, cur)
+					return
+				}
+				prev = cur
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Each process ticked 50 times; the final component is at least 50
+	// (concurrent ticks may coincide, so ≤ 200).
+	final := c.Read(0)["shared"]
+	if final < 50 || final > 200 {
+		t.Errorf("final clock = %d, want within [50,200]", final)
+	}
+}

@@ -1,0 +1,171 @@
+package types
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/spec"
+)
+
+func families() []CommutingFamily {
+	return []CommutingFamily{AddFamily{Init: 10}, MaxFamily{Init: 0}, XorFamily{Init: 0}}
+}
+
+// TestFamilyLaws property-checks the commutative-monoid laws every
+// family must satisfy.
+func TestFamilyLaws(t *testing.T) {
+	gens := map[string]func(r *rand.Rand) any{
+		"add": func(r *rand.Rand) any { return int64(r.Intn(100) - 50) },
+		"max": func(r *rand.Rand) any { return int64(r.Intn(1000)) },
+		"xor": func(r *rand.Rand) any { return uint64(r.Intn(1 << 16)) },
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	for _, f := range families() {
+		f := f
+		gen := gens[f.Name()]
+		t.Run(f.Name(), func(t *testing.T) {
+			if err := quick.Check(func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				a, b, c := gen(r), gen(r), gen(r)
+				if f.Merge(a, b) != f.Merge(b, a) {
+					return false
+				}
+				if f.Merge(f.Merge(a, b), c) != f.Merge(a, f.Merge(b, c)) {
+					return false
+				}
+				return f.Merge(f.Identity(), a) == a
+			}, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestPRMWSequential(t *testing.T) {
+	o := NewPRMW(2, AddFamily{Init: 10})
+	if got := o.Read(0); got != int64(10) {
+		t.Fatalf("fresh Read = %v", got)
+	}
+	o.Update(0, int64(5))
+	o.Update(1, int64(-2))
+	if got := o.Read(1); got != int64(13) {
+		t.Fatalf("Read = %v, want 13", got)
+	}
+}
+
+func TestPRMWConcurrentTotals(t *testing.T) {
+	const n, per = 6, 50
+	o := NewPRMW(n, AddFamily{})
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				o.Update(p, int64(1))
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := o.Read(0); got != int64(n*per) {
+		t.Fatalf("Read = %v, want %d", got, n*per)
+	}
+}
+
+// TestPRMWSpecAlgebra: the derived spec passes the executable algebra
+// checks and Property 1 for every family.
+func TestPRMWSpecAlgebra(t *testing.T) {
+	samples := map[string][]spec.Inv{
+		"add": {PRMWUpdate(int64(1)), PRMWUpdate(int64(-3)), PRMWRead()},
+		"max": {PRMWUpdate(int64(4)), PRMWUpdate(int64(9)), PRMWRead()},
+		"xor": {PRMWUpdate(uint64(5)), PRMWUpdate(uint64(12)), PRMWRead()},
+	}
+	for _, f := range families() {
+		s := PRMWSpec{Fam: f}
+		invs := samples[f.Name()]
+		states := []spec.State{s.Init()}
+		for _, inv := range invs[:2] {
+			st, _ := s.Apply(states[len(states)-1], inv)
+			states = append(states, st)
+		}
+		if vs := spec.CheckAlgebra(s, states, invs); len(vs) > 0 {
+			t.Errorf("%s: %s", s.Name(), vs[0])
+		}
+		if ok, w := spec.SatisfiesProperty1(s, invs); !ok {
+			t.Errorf("%s: Property 1 fails on %v/%v", s.Name(), w[0], w[1])
+		}
+	}
+}
+
+// TestPRMWLinearizable: concurrent histories of the direct PRMW object
+// check out against the derived sequential spec.
+func TestPRMWLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		const n = 4
+		fam := AddFamily{Init: 0}
+		o := NewPRMW(n, fam)
+		s := PRMWSpec{Fam: fam}
+		var rec history.Recorder
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*31 + int64(p)))
+				for k := 0; k < 3; k++ {
+					if rng.Intn(2) == 0 {
+						d := int64(rng.Intn(9) - 4)
+						rec.Invoke(p, OpPRMWUpdate, d, func() any { o.Update(p, d); return nil })
+					} else {
+						rec.Invoke(p, OpPRMWRead, nil, func() any { return o.Read(p) })
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		res, err := lincheck.Check(s, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Ok {
+			t.Fatalf("seed %d: PRMW history not linearizable:\n%v", seed, rec.History().Ops)
+		}
+	}
+}
+
+// TestPRMWCrossValidation: the direct PRMW object and the universal
+// construction over PRMWSpec compute the same results for the same
+// sequential script.
+func TestPRMWCrossValidation(t *testing.T) {
+	fam := MaxFamily{Init: 3}
+	direct := NewPRMW(2, fam)
+	universal := core.New(PRMWSpec{Fam: fam}, 2)
+	script := []struct {
+		p   int
+		inv spec.Inv
+	}{
+		{0, PRMWUpdate(int64(7))},
+		{1, PRMWRead()},
+		{1, PRMWUpdate(int64(2))},
+		{0, PRMWRead()},
+		{1, PRMWUpdate(int64(50))},
+		{0, PRMWRead()},
+	}
+	for i, step := range script {
+		var dGot any
+		if step.inv.Op == OpPRMWUpdate {
+			direct.Update(step.p, step.inv.Arg)
+		} else {
+			dGot = direct.Read(step.p)
+		}
+		uGot := universal.Execute(step.p, step.inv)
+		if step.inv.Op == OpPRMWRead && dGot != uGot {
+			t.Fatalf("step %d: direct %v != universal %v", i, dGot, uGot)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Register ops.
+const (
+	OpWrite   = "write"
+	OpReadReg = "readreg"
+)
+
+// Write builds a write(v) invocation.
+func Write(v string) spec.Inv { return spec.Inv{Op: OpWrite, Arg: v} }
+
+// ReadReg builds a readreg() invocation.
+func ReadReg() spec.Inv { return spec.Inv{Op: OpReadReg} }
+
+// Register is the sequential specification of a read/write register —
+// the model's own primitive, included both as the oracle for the
+// internal/register constructions and as another Property 1 type:
+// every write overwrites every earlier write (last write wins), and
+// everything overwrites a read. Its presence in the constructible
+// class is reassuring rather than surprising: registers are what the
+// model is made of.
+type Register struct{}
+
+// Name identifies the type.
+func (Register) Name() string { return "register" }
+
+// Init returns the empty register (reads return "").
+func (Register) Init() spec.State { return "" }
+
+// Apply executes one operation.
+func (Register) Apply(s spec.State, inv spec.Inv) (spec.State, any) {
+	switch inv.Op {
+	case OpWrite:
+		return inv.Arg.(string), nil
+	case OpReadReg:
+		return s, s.(string)
+	default:
+		panic(fmt.Sprintf("register: unknown operation %q", inv.Op))
+	}
+}
+
+// Equal compares states.
+func (Register) Equal(a, b spec.State) bool { return a == b }
+
+// Key encodes the state.
+func (Register) Key(s spec.State) string { return s.(string) }
+
+// Commutes: reads commute with reads; identical writes commute
+// trivially.
+func (Register) Commutes(p, q spec.Inv) bool {
+	if p.Op == OpReadReg && q.Op == OpReadReg {
+		return true
+	}
+	return p.Op == OpWrite && q.Op == OpWrite && p.Arg == q.Arg
+}
+
+// Overwrites: any write overwrites any operation; everything
+// overwrites a read.
+func (Register) Overwrites(q, p spec.Inv) bool {
+	return q.Op == OpWrite || p.Op == OpReadReg
+}
+
+// SampleInvocations returns a representative invocation set.
+func (Register) SampleInvocations() []spec.Inv {
+	return []spec.Inv{Write("a"), Write("b"), Write("a"), ReadReg()}
+}
+
+// SampleStates returns representative states.
+func (Register) SampleStates() []spec.State {
+	return []spec.State{"", "a", "z"}
+}
+
+// Pure declares readreg as having no effect.
+func (Register) Pure(inv spec.Inv) bool { return inv.Op == OpReadReg }

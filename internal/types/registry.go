@@ -1,0 +1,27 @@
+package types
+
+import "repro/internal/spec"
+
+// Sampler is a sequential specification bundled with representative
+// states and invocations for property-based algebra checking.
+type Sampler interface {
+	spec.Spec
+	// SampleInvocations returns a representative set of invocations.
+	SampleInvocations() []spec.Inv
+	// SampleStates returns a representative set of reachable states.
+	SampleStates() []spec.State
+}
+
+// Property1Types returns every type in this package that satisfies
+// Property 1 and is therefore constructible by the universal
+// construction.
+func Property1Types() []Sampler {
+	return []Sampler{Counter{}, Clock{}, GSet{}, MaxReg{}, Register{}, Directory{}}
+}
+
+// AllTypes returns every type in this package, including the two
+// deliberate Property 1 failures: the queue and the sticky bit (a
+// consensus object).
+func AllTypes() []Sampler {
+	return append(Property1Types(), Queue{}, StickyBit{})
+}

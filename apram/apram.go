@@ -35,6 +35,25 @@
 // registers (the paper's Section 1, citing Herlihy's impossibility
 // results). NewCheckedObject detects such types by their algebra and
 // refuses them.
+//
+// # Options and observability
+//
+// Every constructor accepts trailing functional options — WithProbe,
+// WithSeed, WithName — while keeping its positional form unchanged.
+// WithProbe attaches an observability probe (package repro/apram/obs)
+// that receives exact per-slot register read/write counts, structural
+// events, and per-operation step attribution, wired through every
+// layer of the object:
+//
+//	st := apram.NewStats(n)
+//	s := apram.NewSnapshot(n, apram.MaxInt{}, apram.WithProbe(st))
+//	s.Scan(0, apram.MaxInt{}.Bottom())
+//	sum := st.Snapshot() // sum.Reads == n²−1, sum.Writes == n+1
+//
+// The probe path is itself wait-free, and without a probe the
+// overhead is one predictable branch per operation. For adversarial
+// simulation of register algorithms (schedulers, crash injection,
+// exhaustive exploration), see the sibling package repro/apram/sim.
 package apram
 
 import (
@@ -81,7 +100,15 @@ func NewSet(keys ...string) Set { return lattice.NewSet(keys...) }
 type Snapshot = snapshot.Snapshot
 
 // NewSnapshot returns an n-slot snapshot over lat.
-func NewSnapshot(n int, lat Lattice) *Snapshot { return snapshot.New(n, lat) }
+func NewSnapshot(n int, lat Lattice, opts ...Option) *Snapshot {
+	s := snapshot.New(n, lat)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		s.Instrument(cfg.probe, true)
+	}
+	cfg.register(s)
+	return s
+}
 
 // ArraySnapshot is an n-element array in which slot p writes element p
 // and Scan returns an instantaneous view of the whole array.
@@ -89,7 +116,15 @@ type ArraySnapshot = snapshot.ArraySnapshot
 
 // NewArraySnapshot returns the paper's array snapshot (the semilattice
 // scan over tagged vectors).
-func NewArraySnapshot(n int) ArraySnapshot { return snapshot.NewArray(n) }
+func NewArraySnapshot(n int, opts ...Option) ArraySnapshot {
+	a := snapshot.NewArray(n)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		a.Instrument(cfg.probe, true)
+	}
+	cfg.register(a)
+	return a
+}
 
 // Agreement is the wait-free approximate agreement object of Section 4
 // (Figure 2): processes Input real values and every Output is within
@@ -98,7 +133,15 @@ type Agreement = agreement.Native
 
 // NewAgreement returns an n-slot approximate agreement object with
 // tolerance eps > 0.
-func NewAgreement(n int, eps float64) *Agreement { return agreement.NewNative(n, eps) }
+func NewAgreement(n int, eps float64, opts ...Option) *Agreement {
+	a := agreement.NewNative(n, eps)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		a.Instrument(cfg.probe)
+	}
+	cfg.register(a)
+	return a
+}
 
 // Spec is a sequential specification with declared commute/overwrite
 // algebra; see package documentation for the Property 1 requirement.
@@ -114,14 +157,31 @@ type Object = core.Universal
 // NewObject returns an n-slot wait-free object implementing s. The
 // spec's algebra is trusted; prefer NewCheckedObject for specs that
 // have not been independently validated.
-func NewObject(s Spec, n int) *Object { return core.New(s, n) }
+func NewObject(s Spec, n int, opts ...Option) *Object {
+	u := core.New(s, n)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		u.Instrument(cfg.probe)
+	}
+	cfg.register(u)
+	return u
+}
 
 // NewCheckedObject validates the spec's declared algebra (and
 // Property 1) on the provided sample states and invocations before
 // construction, returning an error for types — like FIFO queues — that
 // cannot be implemented wait-free from registers.
-func NewCheckedObject(s Spec, n int, states []spec.State, invs []Inv) (*Object, error) {
-	return core.NewChecked(s, n, states, invs)
+func NewCheckedObject(s Spec, n int, states []spec.State, invs []Inv, opts ...Option) (*Object, error) {
+	u, err := core.NewChecked(s, n, states, invs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		u.Instrument(cfg.probe)
+	}
+	cfg.register(u)
+	return u, nil
 }
 
 // Ready-made Property 1 specifications for use with NewObject.
@@ -206,7 +266,15 @@ type (
 )
 
 // NewPRMW returns an n-slot pseudo read-modify-write object over fam.
-func NewPRMW(n int, fam CommutingFamily) *PRMW { return types.NewPRMW(n, fam) }
+func NewPRMW(n int, fam CommutingFamily, opts ...Option) *PRMW {
+	o := types.NewPRMW(n, fam)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		o.Instrument(cfg.probe, true)
+	}
+	cfg.register(o)
+	return o
+}
 
 // Counter is the type-specific optimized wait-free counter (inc, dec,
 // reset, read) — the Section 5.4 closing-remark optimization. It is
@@ -215,13 +283,29 @@ func NewPRMW(n int, fam CommutingFamily) *PRMW { return types.NewPRMW(n, fam) }
 type Counter = types.DirectCounter
 
 // NewCounter returns an n-slot wait-free counter.
-func NewCounter(n int) *Counter { return types.NewDirectCounter(n) }
+func NewCounter(n int, opts ...Option) *Counter {
+	c := types.NewDirectCounter(n)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		c.Instrument(cfg.probe, true)
+	}
+	cfg.register(c)
+	return c
+}
 
 // Clock is the type-specific optimized wait-free vector logical clock.
 type Clock = types.DirectClock
 
 // NewClock returns an n-slot wait-free logical clock.
-func NewClock(n int) *Clock { return types.NewDirectClock(n) }
+func NewClock(n int, opts ...Option) *Clock {
+	c := types.NewDirectClock(n)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		c.Instrument(cfg.probe, true)
+	}
+	cfg.register(c)
+	return c
+}
 
 // Consensus is randomized wait-free binary consensus from registers —
 // the construction deterministic register algorithms cannot achieve
@@ -234,8 +318,20 @@ type Consensus = consensus.Consensus
 
 // NewConsensus returns an n-slot binary consensus object. The seed
 // controls the local randomness of the shared coins (reproducibility);
-// safety never depends on it.
-func NewConsensus(n int, seed int64) *Consensus { return consensus.New(n, seed) }
+// safety never depends on it. WithSeed, when given, overrides the
+// positional seed.
+func NewConsensus(n int, seed int64, opts ...Option) *Consensus {
+	cfg := buildConfig(opts)
+	if cfg.hasSeed {
+		seed = cfg.seed
+	}
+	c := consensus.New(n, seed)
+	if cfg.probe != nil {
+		c.Instrument(cfg.probe)
+	}
+	cfg.register(c)
+	return c
+}
 
 // AdoptCommit is the wait-free adopt-commit object underlying
 // Consensus, exposed because it is independently useful: if any
@@ -244,4 +340,12 @@ type AdoptCommit = consensus.AdoptCommit
 
 // NewAdoptCommit returns an n-slot adopt-commit object for
 // non-negative integer proposals.
-func NewAdoptCommit(n int) *AdoptCommit { return consensus.NewAdoptCommit(n) }
+func NewAdoptCommit(n int, opts ...Option) *AdoptCommit {
+	ac := consensus.NewAdoptCommit(n)
+	cfg := buildConfig(opts)
+	if cfg.probe != nil {
+		ac.Instrument(cfg.probe, true)
+	}
+	cfg.register(ac)
+	return ac
+}

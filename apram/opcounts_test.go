@@ -1,0 +1,159 @@
+package apram_test
+
+// TestOpCounts pins the Section 6.2 cost accounting of the native
+// objects to *measured* register traffic: an obs.Stats probe counts
+// every atomic Load and Store the implementations actually perform,
+// and the totals must equal the paper's closed forms exactly — not
+// approximately, and not derived from the formulas being re-evaluated.
+//
+// Section 6.2: one atomic Scan performs n+1 register writes and n²−1
+// register reads. A universal-construction operation costs two Scans
+// (scan the anchor array, publish the new entry), except pure
+// operations which skip the publish and cost one Scan. The direct
+// counter's Inc/Reset are collect+publish (two Scans); its Read is one
+// collect (one Scan). Adopt-commit's Apply is two phases of one Scan
+// each.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/apram"
+	"repro/apram/obs"
+)
+
+// scanCost returns the Section 6.2 per-Scan cost for n processes.
+func scanCost(n int) (reads, writes uint64) {
+	return uint64(n*n - 1), uint64(n + 1)
+}
+
+// measure runs body against a fresh Stats probe for n slots and
+// returns total register reads and writes.
+func measure(n int, build func(p obs.Probe) func()) (reads, writes uint64) {
+	st := obs.NewStats(n)
+	build(st)()
+	sum := st.Snapshot()
+	return sum.Reads, sum.Writes
+}
+
+func TestOpCountsSnapshotScan(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const ops = 10
+			r, w := measure(n, func(p obs.Probe) func() {
+				s := apram.NewSnapshot(n, apram.MaxInt{}, apram.WithProbe(p))
+				return func() {
+					for i := 0; i < ops; i++ {
+						s.Scan(i%n, int64(i))
+					}
+				}
+			})
+			wantR, wantW := scanCost(n)
+			if r != ops*wantR || w != ops*wantW {
+				t.Errorf("%d Scans: measured %d reads %d writes, Section 6.2 predicts %d reads %d writes",
+					ops, r, w, ops*wantR, ops*wantW)
+			}
+		})
+	}
+}
+
+func TestOpCountsUniversalExecute(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		wantR, wantW := scanCost(n)
+
+		t.Run(fmt.Sprintf("n=%d/non-pure", n), func(t *testing.T) {
+			// Inc is published: scan + publish = two Scans.
+			r, w := measure(n, func(p obs.Probe) func() {
+				u := apram.NewObject(apram.CounterSpec{}, n, apram.WithProbe(p))
+				return func() { u.Execute(0, apram.Inc(1)) }
+			})
+			if r != 2*wantR || w != 2*wantW {
+				t.Errorf("non-pure Execute: measured %d/%d, want two Scans = %d/%d reads/writes",
+					r, w, 2*wantR, 2*wantW)
+			}
+		})
+
+		t.Run(fmt.Sprintf("n=%d/pure", n), func(t *testing.T) {
+			// Read is pure: the publish is elided, one Scan.
+			r, w := measure(n, func(p obs.Probe) func() {
+				u := apram.NewObject(apram.CounterSpec{}, n, apram.WithProbe(p))
+				return func() { u.Execute(0, apram.Read()) }
+			})
+			if r != wantR || w != wantW {
+				t.Errorf("pure Execute: measured %d/%d, want one Scan = %d/%d reads/writes",
+					r, w, wantR, wantW)
+			}
+		})
+	}
+}
+
+func TestOpCountsDirectCounter(t *testing.T) {
+	for _, n := range []int{2, 5, 8} {
+		wantR, wantW := scanCost(n)
+		cases := []struct {
+			name  string
+			op    func(c *apram.Counter)
+			scans uint64
+		}{
+			{"inc", func(c *apram.Counter) { c.Inc(0, 1) }, 2},
+			{"reset", func(c *apram.Counter) { c.Reset(0, 0) }, 2},
+			{"read", func(c *apram.Counter) { c.Read(0) }, 1},
+		}
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("n=%d/%s", n, tc.name), func(t *testing.T) {
+				r, w := measure(n, func(p obs.Probe) func() {
+					c := apram.NewCounter(n, apram.WithProbe(p))
+					return func() { tc.op(c) }
+				})
+				if r != tc.scans*wantR || w != tc.scans*wantW {
+					t.Errorf("%s: measured %d/%d, want %d Scans = %d/%d reads/writes",
+						tc.name, r, w, tc.scans, tc.scans*wantR, tc.scans*wantW)
+				}
+			})
+		}
+	}
+}
+
+func TestOpCountsAdoptCommit(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			// Apply = phase 1 + phase 2, one Scan each.
+			r, w := measure(n, func(p obs.Probe) func() {
+				ac := apram.NewAdoptCommit(n, apram.WithProbe(p))
+				return func() { ac.Apply(0, 1) }
+			})
+			wantR, wantW := scanCost(n)
+			if r != 2*wantR || w != 2*wantW {
+				t.Errorf("Apply: measured %d/%d, want two Scans = %d/%d reads/writes",
+					r, w, 2*wantR, 2*wantW)
+			}
+		})
+	}
+}
+
+// TestOpCountsAttribution checks that OpDone attribution charges the
+// whole cost of an operation — including the traffic of embedded
+// snapshots — to the outermost object's op kind.
+func TestOpCountsAttribution(t *testing.T) {
+	const n = 4
+	st := obs.NewStats(n)
+	c := apram.NewCounter(n, apram.WithProbe(st))
+	c.Inc(0, 1)
+	c.Read(0)
+	sum := st.Snapshot()
+	wantR, wantW := scanCost(n)
+	if got := sum.Ops["counter-add"].Count; got != 1 {
+		t.Fatalf("counter-add count = %d, want 1", got)
+	}
+	if got := sum.Ops["scan"].Count; got != 0 {
+		t.Errorf("embedded snapshot leaked %d scan ops into attribution", got)
+	}
+	// Inc = 2 Scans, Read = 1 Scan: the add op's step window must hold
+	// exactly the two-Scan traffic.
+	if got, want := sum.Ops["counter-add"].Steps, 2*(wantR+wantW); got != want {
+		t.Errorf("counter-add steps = %d, want %d (two Scans of reads+writes)", got, want)
+	}
+	if got, want := sum.Ops["counter-read"].Steps, wantR+wantW; got != want {
+		t.Errorf("counter-read steps = %d, want %d (one Scan)", got, want)
+	}
+}

@@ -1,0 +1,109 @@
+package apram
+
+import (
+	"sync"
+
+	"repro/apram/obs"
+)
+
+// This file is the options-based construction surface. Every
+// constructor in this package accepts trailing Options, added as
+// variadic parameters so all pre-existing positional call sites
+// compile unchanged:
+//
+//	// before (still valid)
+//	c := apram.NewCounter(8)
+//	// after: same constructor, observability attached
+//	st := apram.NewStats(8)
+//	c := apram.NewCounter(8, apram.WithProbe(st), apram.WithName("requests"))
+//
+// Migration guidance: there is nothing to migrate — the positional
+// forms are not deprecated. Options exist for the cross-cutting
+// concerns (probes, names, seeds) that would otherwise multiply
+// constructor arities.
+
+// Probe is the observability callback interface; see package
+// repro/apram/obs for the contract (wait-free implementations only)
+// and the ready-made Stats implementation.
+type Probe = obs.Probe
+
+// Stats is the lock-free per-slot statistics probe from package obs:
+// attach one with WithProbe, read it with its Snapshot method.
+type Stats = obs.Stats
+
+// StatsSummary is a point-in-time aggregation of a Stats probe
+// (obs.Summary): totals, per-op breakdown, per-slot breakdown, and a
+// steps-per-op histogram, all JSON-marshalable.
+type StatsSummary = obs.Summary
+
+// OpSummary is one operation kind's row in a StatsSummary.
+type OpSummary = obs.OpSummary
+
+// NewStats returns a Stats probe sized for objects with n process
+// slots.
+func NewStats(n int) *Stats { return obs.NewStats(n) }
+
+// Option configures an object at construction time; build them with
+// WithProbe, WithSeed and WithName.
+type Option func(*config)
+
+type config struct {
+	probe   obs.Probe
+	name    string
+	seed    int64
+	hasSeed bool
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithProbe attaches an observability probe to the constructed object:
+// exact register read/write accounting, structural events, and
+// per-operation step attribution (see package obs). The probe is wired
+// through every layer of the object — a Consensus reports the register
+// traffic of the adopt-commit snapshots and shared-coin counters
+// inside it. The probe must be wait-free; obs.NewStats is, and the
+// no-probe default costs one predictable branch per operation.
+func WithProbe(p obs.Probe) Option {
+	return func(c *config) { c.probe = p }
+}
+
+// WithSeed sets the seed for objects with local randomness (currently
+// Consensus, whose shared coins it drives), overriding any positional
+// seed argument. Objects without randomness ignore it. Safety never
+// depends on the seed — it exists for reproducibility.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed, c.hasSeed = seed, true }
+}
+
+// WithName labels the object; NameOf retrieves the label. Names are
+// for telemetry plumbing — wiring one object's stats to one expvar or
+// JSON key — and have no semantic effect.
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// objectNames maps constructed objects to their WithName labels. A
+// sync.Map keyed by pointer identity: reads are lock-free, and writes
+// happen only at construction time, never on an operation path.
+var objectNames sync.Map
+
+func (c config) register(obj any) {
+	if c.name != "" {
+		objectNames.Store(obj, c.name)
+	}
+}
+
+// NameOf returns the WithName label the object was constructed with,
+// or "" if it has none.
+func NameOf(obj any) string {
+	if v, ok := objectNames.Load(obj); ok {
+		return v.(string)
+	}
+	return ""
+}

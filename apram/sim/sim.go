@@ -32,8 +32,6 @@ type (
 	Machine = pram.Machine
 	// System is a set of machines sharing one memory.
 	System = pram.System
-	// Scheduler chooses which process steps next.
-	Scheduler = pram.Scheduler
 	// Counters reports reads/writes, in total and per process.
 	Counters = pram.Counters
 	// OpSpan is a completed operation's real-time interval.
@@ -41,6 +39,23 @@ type (
 	// Progress is implemented by machines that report completed ops.
 	Progress = pram.Progress
 )
+
+// Scheduler chooses which process steps next — in the asynchronous
+// PRAM model, the scheduler IS the adversary, and a wait-free
+// algorithm must complete every operation under every implementation
+// of this interface. Next receives the indices of the processes still
+// running (ascending, non-empty) and returns one of them; returning a
+// value outside the slice stops the run (the caller sees ErrStopped).
+//
+// This is the package's own interface, not an alias into internal/:
+// implement it directly to write bespoke adversaries, or use the
+// ready-made fair (NewRoundRobin, NewRandom), unfair (NewBursty,
+// NewPriority), failure-injecting (NewCrash) and replay (NewTrace,
+// NewReplay) schedulers. Everything here is structurally compatible
+// with System.Run.
+type Scheduler interface {
+	Next(running []int) int
+}
 
 // Errors surfaced by runs.
 var (
@@ -108,6 +123,15 @@ func NewBursty(seed int64, meanBurst int) *Bursty { return sched.NewBursty(seed,
 
 // NewPriority returns a starvation scheduler.
 func NewPriority(favored, budget int) *Priority { return sched.NewPriority(favored, budget) }
+
+// NewCrash returns a scheduler that delegates to inner until victim
+// has taken after steps, then permanently stops scheduling it — the
+// paper's failure model (a crashed process simply stops taking steps).
+// Wait-free algorithms must still complete every other process's
+// operations; run one against your own Machine to check.
+func NewCrash(inner Scheduler, victim int, after uint64) *Crash {
+	return &Crash{Inner: inner, Victim: victim, After: after}
+}
 
 // NewTrace returns a recording wrapper around inner.
 func NewTrace(inner Scheduler) *Trace { return sched.NewTrace(inner) }

@@ -1,17 +1,26 @@
 // Command aprambench regenerates every quantitative result of Aspnes &
 // Herlihy's "Wait-Free Data Structures in the Asynchronous PRAM Model"
-// as a table: run with no arguments for the full suite, or select
-// experiments with -exp.
+// as a table, and emits machine-readable per-structure benchmarks of
+// the native objects as JSON.
 //
 // Usage:
 //
-//	aprambench               # run every experiment (E1..E11)
-//	aprambench -exp e3,e5    # run a subset
-//	aprambench -list         # list experiments
-//	aprambench -markdown     # emit GitHub-flavoured markdown
+//	aprambench                    # run every experiment (E1..E11)
+//	aprambench -exp e3,e5         # run a subset
+//	aprambench -list              # list experiments
+//	aprambench -markdown          # emit GitHub-flavoured markdown
+//	aprambench -json out.json     # per-structure benchmark JSON ("-" = stdout)
+//	aprambench -json - -structures snapshot,counter -n 16 -ops 5000
 //
-// See DESIGN.md for the experiment index and EXPERIMENTS.md for a
-// recorded reference run.
+// The JSON document (schema "apram-bench/v1") carries, per structure,
+// ops/sec and allocations from a probe-free timing pass, measured
+// register reads/writes per operation from an instrumented pass, the
+// paper's Section 6.2 predictions for comparison, and structural event
+// totals. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for a recorded reference run.
+//
+// Malformed invocations — unknown flags, stray positional arguments,
+// unknown structure names, -structures without -json — exit non-zero.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/benchjson"
 	"repro/internal/experiments"
 )
 
@@ -27,7 +37,20 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	markdown := flag.Bool("markdown", false, "render tables as markdown")
+	jsonPath := flag.String("json", "", "write per-structure benchmark JSON to this path (\"-\" = stdout)")
+	structs := flag.String("structures", "", "comma-separated structure names for -json (default: all; see -json -structures list)")
+	nslots := flag.Int("n", 8, "process slots per structure for -json")
+	ops := flag.Int("ops", 2000, "operations per structure for -json")
 	flag.Parse()
+
+	// The flag package stops at the first non-flag argument; silently
+	// ignoring the rest has hidden real typos (e.g. "aprambench exp=e3").
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (did you mean a flag? e.g. aprambench -exp e3)", flag.Args()))
+	}
+	if *structs != "" && *jsonPath == "" {
+		fatal(fmt.Errorf("-structures requires -json"))
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -37,6 +60,11 @@ func main() {
 			}
 			fmt.Printf("%-4s %s\n", id, tab)
 		}
+		return
+	}
+
+	if *jsonPath != "" {
+		runJSON(*jsonPath, *structs, *nslots, *ops)
 		return
 	}
 
@@ -54,6 +82,44 @@ func main() {
 		} else {
 			fmt.Println(tab.String())
 		}
+	}
+}
+
+// runJSON executes the native-structure benchmarks and writes the
+// report.
+func runJSON(path, structs string, n, ops int) {
+	cfg := benchjson.Config{N: n, Ops: ops}
+	if structs == "list" {
+		for _, name := range benchjson.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if structs != "" {
+		for _, name := range strings.Split(structs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Structures = append(cfg.Structures, name)
+			}
+		}
+		if len(cfg.Structures) == 0 {
+			fatal(fmt.Errorf("-structures given but empty"))
+		}
+	}
+	rep, err := benchjson.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		fatal(err)
 	}
 }
 

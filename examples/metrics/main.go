@@ -35,11 +35,21 @@ func main() {
 	const workers = 6
 	admin := workers // extra slot for the reporting goroutine
 
-	requests := apram.NewCounter(workers + 1)
-	peakRSS := apram.NewPRMW(workers+1, apram.MaxFamily{})
-	lastSample := apram.NewArraySnapshot(workers + 1)
-	meta := apram.NewObject(apram.DirectorySpec{}, workers+1)
-	flushVote := apram.NewConsensus(workers+1, 7)
+	// One probe across the registry: telemetry for the telemetry. The
+	// probe is itself wait-free (per-slot single-writer counters), so
+	// instrumenting costs the workers nothing they can block on.
+	stats := apram.NewStats(workers + 1)
+
+	requests := apram.NewCounter(workers+1,
+		apram.WithProbe(stats), apram.WithName("requests"))
+	peakRSS := apram.NewPRMW(workers+1, apram.MaxFamily{},
+		apram.WithProbe(stats), apram.WithName("peak-rss"))
+	lastSample := apram.NewArraySnapshot(workers+1,
+		apram.WithProbe(stats), apram.WithName("last-sample"))
+	meta := apram.NewObject(apram.DirectorySpec{}, workers+1,
+		apram.WithProbe(stats), apram.WithName("meta"))
+	flushVote := apram.NewConsensus(workers+1, 0,
+		apram.WithProbe(stats), apram.WithSeed(7), apram.WithName("flush-vote"))
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -80,4 +90,15 @@ func main() {
 	what := map[int]string{0: "keep buffering", 1: "flush"}[decision]
 	fmt.Printf("cluster-wide flush decision: %d (%s) — unanimous by construction\n",
 		decision, what)
+
+	sum := stats.Snapshot()
+	fmt.Printf("registry cost: %d register reads, %d writes across %d wait-free ops\n",
+		sum.Reads, sum.Writes, opsTotal(sum.Ops))
+}
+
+func opsTotal(ops map[string]apram.OpSummary) (total uint64) {
+	for _, op := range ops {
+		total += op.Count
+	}
+	return total
 }

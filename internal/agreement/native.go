@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"repro/apram/obs"
 )
 
 // Native is the goroutine-ready implementation of the approximate
@@ -16,6 +18,8 @@ import (
 type Native struct {
 	eps  float64
 	regs []atomic.Pointer[Entry]
+
+	probe obs.Probe // nil when uninstrumented
 }
 
 // NewNative returns an n-process approximate agreement object with
@@ -35,6 +39,12 @@ func NewNative(n int, eps float64) *Native {
 	return a
 }
 
+// Instrument attaches a probe: exact register read/write counts, an
+// obs.EvRound per preference-halving round, an obs.EvRetry per pass
+// that could neither return nor advance, and an obs.OpAgree per
+// completed Output. Attach before the object is shared.
+func (a *Native) Instrument(p obs.Probe) { a.probe = p }
+
 // N returns the number of process slots.
 func (a *Native) N() int { return len(a.regs) }
 
@@ -46,9 +56,16 @@ func (a *Native) Eps() float64 { return a.eps }
 func (a *Native) Input(p int, x float64) {
 	a.check(p)
 	if e := a.regs[p].Load(); e.Valid {
+		if a.probe != nil {
+			a.probe.RegReads(p, 1)
+		}
 		return
 	}
 	a.regs[p].Store(&Entry{Round: 1, Prefer: x, Valid: true})
+	if a.probe != nil {
+		a.probe.RegReads(p, 1)
+		a.probe.RegWrites(p, 1)
+	}
 }
 
 // Output runs the wait-free approximate agreement protocol for process
@@ -61,12 +78,16 @@ func (a *Native) Output(p int) float64 {
 	if !mine.Valid {
 		panic("agreement: Output before Input")
 	}
+	// Register accesses measured at their callsites; reported when the
+	// operation returns.
+	reads, writes := 1, 0
 	advance := false
 	view := make([]*Entry, len(a.regs))
 	for {
 		for i := range a.regs {
 			view[i] = a.regs[i].Load()
 		}
+		reads += len(a.regs)
 		maxRound := 0
 		for _, e := range view {
 			if e.Valid && e.Round > maxRound {
@@ -96,12 +117,24 @@ func (a *Native) Output(p int) float64 {
 		}
 		switch {
 		case !blocked && eMax-eMin < a.eps/2:
+			if a.probe != nil {
+				a.probe.RegReads(p, reads)
+				a.probe.RegWrites(p, writes)
+				a.probe.OpDone(p, obs.OpAgree)
+			}
 			return mine.Prefer
 		case lMax-lMin < a.eps/2 || advance:
 			mine = &Entry{Round: mine.Round + 1, Prefer: (lMin + lMax) / 2, Valid: true}
 			a.regs[p].Store(mine)
+			writes++
+			if a.probe != nil {
+				a.probe.Event(p, obs.EvRound)
+			}
 			advance = false
 		default:
+			if a.probe != nil {
+				a.probe.Event(p, obs.EvRetry)
+			}
 			advance = true
 		}
 	}

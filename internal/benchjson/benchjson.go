@@ -1,0 +1,341 @@
+// Package benchjson produces the machine-readable per-structure
+// benchmark report behind `aprambench -json`: for each native
+// wait-free structure, throughput (ops/sec), measured register reads
+// and writes per operation (from an attached obs probe), the paper's
+// Section 6.2 predictions for comparison, allocation counts, and the
+// structural event totals the probes collected.
+//
+// Two passes per structure keep the numbers honest: a timing pass with
+// no probe attached (what users of the uninstrumented objects pay) and
+// a counting pass with an obs.Stats attached (what the operations
+// actually did to the registers). The report's schema is stable —
+// tests pin the field set — so successive runs are comparable.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/apram"
+	"repro/apram/obs"
+)
+
+// Schema identifies the report format; bump only with a new version
+// suffix, never in place.
+const Schema = "apram-bench/v1"
+
+// Config selects what to run.
+type Config struct {
+	// N is the number of process slots per structure (default 8).
+	N int
+	// Ops is the number of operations per structure (default 2000).
+	Ops int
+	// Structures filters by name; nil or empty runs all. Unknown
+	// names are an error.
+	Structures []string
+}
+
+// Result is one structure's measurements.
+type Result struct {
+	// Name identifies the structure.
+	Name string `json:"name"`
+	// N is the number of process slots it was built with.
+	N int `json:"n_slots"`
+	// Ops is the number of operations measured.
+	Ops int `json:"ops"`
+	// NsPerOp and OpsPerSec are from the probe-free timing pass.
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp is heap allocations per op in the timing pass.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// ReadsPerOp and WritesPerOp are measured register accesses per
+	// op from the counting pass.
+	ReadsPerOp  float64 `json:"reads_per_op"`
+	WritesPerOp float64 `json:"writes_per_op"`
+	// PaperReadsPerOp and PaperWritesPerOp are the Section 6.2
+	// predictions (0 when the paper gives no closed form).
+	PaperReadsPerOp  float64 `json:"paper_reads_per_op,omitempty"`
+	PaperWritesPerOp float64 `json:"paper_writes_per_op,omitempty"`
+	// Events are the structural event totals from the counting pass.
+	Events map[string]uint64 `json:"events,omitempty"`
+	// OpStats breaks the counting pass down by operation kind.
+	OpStats map[string]obs.OpSummary `json:"op_stats,omitempty"`
+}
+
+// Report is the full document written by aprambench -json.
+type Report struct {
+	// Schema is always the package Schema constant.
+	Schema string `json:"schema"`
+	// GoVersion records the toolchain (runtime.Version()).
+	GoVersion string `json:"go_version"`
+	// NSlots and OpsPerStructure echo the configuration.
+	NSlots          int `json:"n_slots"`
+	OpsPerStructure int `json:"ops_per_structure"`
+	// Structures holds one Result per structure, in run order.
+	Structures []Result `json:"structures"`
+}
+
+// driver runs ops operations against a structure built for n slots
+// with the given probe (nil on the timing pass) and returns the time
+// spent inside operations — construction is excluded.
+type driver func(n, ops int, probe obs.Probe) time.Duration
+
+type structure struct {
+	name        string
+	paperReads  func(n int) float64 // per op; nil = no closed form
+	paperWrites func(n int) float64
+	run         driver
+}
+
+// options builds the constructor options for a pass.
+func options(probe obs.Probe) []apram.Option {
+	if probe == nil {
+		return nil
+	}
+	return []apram.Option{apram.WithProbe(probe)}
+}
+
+// scanReads and scanWrites are the Section 6.2 per-Scan costs.
+func scanReads(n int) float64  { return float64(n*n - 1) }
+func scanWrites(n int) float64 { return float64(n + 1) }
+
+func structures() []structure {
+	return []structure{
+		{
+			// One Scan per op: the Figure 5 optimized loop.
+			name:        "snapshot",
+			paperReads:  scanReads,
+			paperWrites: scanWrites,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				s := apram.NewSnapshot(n, apram.MaxInt{}, options(probe)...)
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					s.Scan(i%n, int64(i))
+				}
+				return time.Since(start)
+			},
+		},
+		{
+			// One Update (= one Scan) per op on the tagged-vector array.
+			name:        "array-snapshot",
+			paperReads:  scanReads,
+			paperWrites: scanWrites,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				a := apram.NewArraySnapshot(n, options(probe)...)
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					a.Update(i%n, i)
+				}
+				return time.Since(start)
+			},
+		},
+		{
+			// One Inc per op: collect + publish = two Scans.
+			name:        "counter",
+			paperReads:  func(n int) float64 { return 2 * scanReads(n) },
+			paperWrites: func(n int) float64 { return 2 * scanWrites(n) },
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				c := apram.NewCounter(n, options(probe)...)
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					c.Inc(i%n, 1)
+				}
+				return time.Since(start)
+			},
+		},
+		{
+			// One Merge (= one Scan over MapMax) per op.
+			name:        "clock",
+			paperReads:  scanReads,
+			paperWrites: scanWrites,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				c := apram.NewClock(n, options(probe)...)
+				keys := make([]string, n)
+				for p := 0; p < n; p++ {
+					keys[p] = fmt.Sprintf("c%d", p)
+				}
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					p := i % n
+					c.Merge(p, apram.IntMap{keys[p]: int64(i)})
+				}
+				return time.Since(start)
+			},
+		},
+		{
+			// One commuting Update (= one Scan) per op.
+			name:        "prmw",
+			paperReads:  scanReads,
+			paperWrites: scanWrites,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				o := apram.NewPRMW(n, apram.AddFamily{}, options(probe)...)
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					o.Update(i%n, int64(1))
+				}
+				return time.Since(start)
+			},
+		},
+		{
+			// One universal-construction Execute per op: scan + publish
+			// = two Scans, plus the (register-free) linearization replay
+			// whose cost grows with the entry graph. The object is
+			// rebuilt every 128 ops so the graph stays bounded, as in
+			// bench_test.go.
+			name:        "object",
+			paperReads:  func(n int) float64 { return 2 * scanReads(n) },
+			paperWrites: func(n int) float64 { return 2 * scanWrites(n) },
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				var elapsed time.Duration
+				for done := 0; done < ops; {
+					u := apram.NewObject(apram.CounterSpec{}, n, options(probe)...)
+					start := time.Now()
+					for i := 0; i < 128 && done < ops; i++ {
+						u.Execute(done%n, apram.Inc(1))
+						done++
+					}
+					elapsed += time.Since(start)
+				}
+				return elapsed
+			},
+		},
+		{
+			// One Decide per op; a fresh object every n decides (a
+			// consensus object is single-shot per slot). Register costs
+			// are dominated by the shared-coin random walk, so there is
+			// no closed form — the events column carries the coin and
+			// round counts instead.
+			name: "consensus",
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				var elapsed time.Duration
+				seed := int64(1)
+				for done := 0; done < ops; {
+					c := apram.NewConsensus(n, seed, options(probe)...)
+					seed++
+					start := time.Now()
+					for p := 0; p < n && done < ops; p++ {
+						c.Decide(p, p%2)
+						done++
+					}
+					elapsed += time.Since(start)
+				}
+				return elapsed
+			},
+		},
+	}
+}
+
+// Names lists the available structure names in run order.
+func Names() []string {
+	var out []string
+	for _, s := range structures() {
+		out = append(out, s.name)
+	}
+	return out
+}
+
+// Run executes the configured benchmarks and assembles the report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.N <= 0 {
+		cfg.N = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 2000
+	}
+	all := structures()
+	selected := all
+	if len(cfg.Structures) > 0 {
+		byName := map[string]structure{}
+		for _, s := range all {
+			byName[s.name] = s
+		}
+		selected = nil
+		for _, name := range cfg.Structures {
+			s, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown structure %q (have %v)", name, Names())
+			}
+			selected = append(selected, s)
+		}
+	}
+	rep := &Report{
+		Schema:          Schema,
+		GoVersion:       runtime.Version(),
+		NSlots:          cfg.N,
+		OpsPerStructure: cfg.Ops,
+	}
+	for _, s := range selected {
+		rep.Structures = append(rep.Structures, measure(s, cfg.N, cfg.Ops))
+	}
+	return rep, nil
+}
+
+func measure(s structure, n, ops int) Result {
+	// Timing pass: no probe, the path users of uninstrumented objects
+	// run. Mallocs delta brackets only this pass.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	elapsed := s.run(n, ops, nil)
+	runtime.ReadMemStats(&after)
+
+	// Counting pass: probe attached, untimed.
+	st := obs.NewStats(n)
+	s.run(n, ops, st)
+	sum := st.Snapshot()
+
+	res := Result{
+		Name:        s.name,
+		N:           n,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		ReadsPerOp:  float64(sum.Reads) / float64(ops),
+		WritesPerOp: float64(sum.Writes) / float64(ops),
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	if s.paperReads != nil {
+		res.PaperReadsPerOp = s.paperReads(n)
+	}
+	if s.paperWrites != nil {
+		res.PaperWritesPerOp = s.paperWrites(n)
+	}
+	if len(sum.Events) > 0 {
+		res.Events = sum.Events
+	}
+	if len(sum.Ops) > 0 {
+		res.OpStats = sum.Ops
+	}
+	return res
+}
+
+// WriteJSON writes the report, indented, with a stable key order (Go's
+// encoding/json already sorts map keys).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SortedEventNames is a helper for table renderers: the union of event
+// names across structures, sorted.
+func (r *Report) SortedEventNames() []string {
+	set := map[string]bool{}
+	for _, s := range r.Structures {
+		for name := range s.Events {
+			set[name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

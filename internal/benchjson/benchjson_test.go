@@ -1,0 +1,92 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunSnapshotMatchesPaper checks the counting pass against the
+// Section 6.2 closed forms for the structures that have them.
+func TestRunSnapshotMatchesPaper(t *testing.T) {
+	rep, err := Run(Config{N: 4, Ops: 64, Structures: []string{"snapshot", "counter"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) != 2 {
+		t.Fatalf("got %d structures, want 2", len(rep.Structures))
+	}
+	for _, s := range rep.Structures {
+		if s.ReadsPerOp != s.PaperReadsPerOp {
+			t.Errorf("%s: reads/op = %v, paper predicts %v", s.Name, s.ReadsPerOp, s.PaperReadsPerOp)
+		}
+		if s.WritesPerOp != s.PaperWritesPerOp {
+			t.Errorf("%s: writes/op = %v, paper predicts %v", s.Name, s.WritesPerOp, s.PaperWritesPerOp)
+		}
+		if s.NsPerOp <= 0 || s.OpsPerSec <= 0 {
+			t.Errorf("%s: non-positive timing (ns/op=%v ops/sec=%v)", s.Name, s.NsPerOp, s.OpsPerSec)
+		}
+	}
+}
+
+// TestRunUnknownStructure checks that a typo'd name is an error, not a
+// silent skip.
+func TestRunUnknownStructure(t *testing.T) {
+	if _, err := Run(Config{Structures: []string{"snapsot"}}); err == nil {
+		t.Fatal("unknown structure name did not error")
+	}
+}
+
+// TestReportSchemaStable pins the top-level and per-structure JSON key
+// sets; a field rename is a schema break and must bump Schema.
+func TestReportSchemaStable(t *testing.T) {
+	rep, err := Run(Config{N: 3, Ops: 32, Structures: []string{"snapshot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "go_version", "n_slots", "ops_per_structure", "structures"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("top-level key %q missing", key)
+		}
+	}
+	var schema string
+	if err := json.Unmarshal(doc["schema"], &schema); err != nil || schema != Schema {
+		t.Errorf("schema = %q, want %q", schema, Schema)
+	}
+	var structs []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["structures"], &structs); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "n_slots", "ops", "ns_per_op", "ops_per_sec",
+		"allocs_per_op", "reads_per_op", "writes_per_op"} {
+		if _, ok := structs[0][key]; !ok {
+			t.Errorf("structure key %q missing", key)
+		}
+	}
+}
+
+// TestAllStructuresRun exercises every registered driver at a small
+// size, so a new structure can't land without surviving both passes.
+func TestAllStructuresRun(t *testing.T) {
+	rep, err := Run(Config{N: 3, Ops: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Structures), len(Names()); got != want {
+		t.Fatalf("ran %d structures, want %d", got, want)
+	}
+	for _, s := range rep.Structures {
+		if s.ReadsPerOp <= 0 || s.WritesPerOp <= 0 {
+			t.Errorf("%s: counting pass saw no register traffic (reads=%v writes=%v)",
+				s.Name, s.ReadsPerOp, s.WritesPerOp)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package consensus
 import (
 	"fmt"
 
+	"repro/apram/obs"
 	"repro/internal/lattice"
 	"repro/internal/snapshot"
 )
@@ -72,12 +73,26 @@ type AdoptCommit struct {
 	snap *snapshot.Snapshot
 	vl   lattice.Vector
 	tag  []uint64 // per-process publication tags (owned by the process)
+
+	probe   obs.Probe
+	emitOps bool
 }
 
 // NewAdoptCommit returns an n-process adopt-commit object.
 func NewAdoptCommit(n int) *AdoptCommit {
 	vl := lattice.Vector{N: n}
 	return &AdoptCommit{snap: snapshot.New(n, vl), vl: vl, tag: make([]uint64, n)}
+}
+
+// Instrument attaches a probe. Register accounting flows from the
+// embedded snapshot (Apply is exactly two snapshot operations);
+// phase-2 verdicts surface as obs.EvCommit / obs.EvAdopt. emitOps
+// false suppresses the OpACApply completions for nested use inside
+// Consensus. Attach before sharing.
+func (ac *AdoptCommit) Instrument(p obs.Probe, emitOps bool) {
+	ac.probe = p
+	ac.emitOps = emitOps && p != nil
+	ac.snap.Instrument(p, false)
 }
 
 // N returns the number of process slots.
@@ -136,7 +151,13 @@ func (ac *AdoptCommit) phase2(p, v, u int, first bool) (Outcome, int) {
 		}
 	}
 	if first && unanimous {
+		if ac.probe != nil {
+			ac.probe.Event(p, obs.EvCommit)
+		}
 		return Commit, u
+	}
+	if ac.probe != nil {
+		ac.probe.Event(p, obs.EvAdopt)
 	}
 	if firstClaim != -1 {
 		return Adopt, firstClaim
@@ -151,5 +172,9 @@ func (ac *AdoptCommit) Apply(p, v int) (Outcome, int) {
 		panic(fmt.Sprintf("consensus: proposal %d must be non-negative", v))
 	}
 	u, first := ac.phase1(p, v)
-	return ac.phase2(p, v, u, first)
+	outcome, w := ac.phase2(p, v, u, first)
+	if ac.emitOps {
+		ac.probe.OpDone(p, obs.OpACApply)
+	}
+	return outcome, w
 }

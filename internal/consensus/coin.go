@@ -3,6 +3,7 @@ package consensus
 import (
 	"math/rand"
 
+	"repro/apram/obs"
 	"repro/internal/types"
 )
 
@@ -21,6 +22,8 @@ type SharedCoin struct {
 	counter *types.DirectCounter
 	barrier int64
 	rng     []*rand.Rand // one per process slot, owned by that slot
+
+	probe obs.Probe
 }
 
 // NewSharedCoin returns an n-process shared coin. barrier ≤ 0 selects
@@ -40,8 +43,22 @@ func NewSharedCoin(n int, barrier int64, seed int64) *SharedCoin {
 	return c
 }
 
+// Instrument attaches a probe: register accounting flows from the
+// walk's wait-free counter, each walk iteration surfaces as
+// obs.EvCoinStep and each completed Flip as obs.EvCoinFlip.
+func (c *SharedCoin) Instrument(p obs.Probe) {
+	c.probe = p
+	c.counter.Instrument(p, false)
+}
+
 // Flip runs the random walk for process p and returns 0 or 1.
 func (c *SharedCoin) Flip(p int) int {
+	done := func(out int) int {
+		if c.probe != nil {
+			c.probe.Event(p, obs.EvCoinFlip)
+		}
+		return out
+	}
 	for {
 		if c.rng[p].Intn(2) == 0 {
 			c.counter.Inc(p, 1)
@@ -49,11 +66,14 @@ func (c *SharedCoin) Flip(p int) int {
 			c.counter.Dec(p, 1)
 		}
 		v := c.counter.Read(p)
+		if c.probe != nil {
+			c.probe.Event(p, obs.EvCoinStep)
+		}
 		switch {
 		case v >= c.barrier:
-			return 1
+			return done(1)
 		case v <= -c.barrier:
-			return 0
+			return done(0)
 		}
 	}
 }
@@ -69,6 +89,12 @@ type conciliator struct {
 
 func newConciliator(n int, seed int64) *conciliator {
 	return &conciliator{ac: NewAdoptCommit(n), coin: NewSharedCoin(n, 0, seed)}
+}
+
+// instrument attaches a probe to both building blocks (nested mode).
+func (con *conciliator) instrument(p obs.Probe) {
+	con.ac.Instrument(p, false)
+	con.coin.Instrument(p)
 }
 
 // apply returns the process's next preference.

@@ -1,6 +1,10 @@
 package consensus
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/apram/obs"
+)
 
 // MaxRounds bounds the preallocated per-round objects. The expected
 // number of rounds is a small constant (each conciliator succeeds with
@@ -21,6 +25,8 @@ type Consensus struct {
 	local  []int // cached decision per process slot (owned by the slot)
 	done   []bool
 	rounds []int // rounds used by each slot's Decide (owned by the slot)
+
+	probe obs.Probe
 }
 
 // New returns an n-process consensus object seeded for reproducible
@@ -52,6 +58,20 @@ func NewWithRounds(n int, seed int64, rounds int) *Consensus {
 	return c
 }
 
+// Instrument attaches a probe to the protocol and every round's
+// building blocks: register accounting flows up from the adopt-commit
+// snapshots and the shared-coin counters, rounds surface as
+// obs.EvRound, coin activity as obs.EvCoinStep/obs.EvCoinFlip,
+// verdicts as obs.EvCommit/obs.EvAdopt, and each completed Decide as
+// one obs.OpDecide. Attach before the object is shared.
+func (c *Consensus) Instrument(p obs.Probe) {
+	c.probe = p
+	for r := range c.ac {
+		c.ac[r].Instrument(p, false)
+		c.con[r].instrument(p)
+	}
+}
+
 // N returns the number of process slots.
 func (c *Consensus) N() int { return c.n }
 
@@ -77,10 +97,16 @@ func (c *Consensus) Decide(p, v int) int {
 		// Then adopt-commit: deterministic safety.
 		outcome, u := c.ac[r].Apply(p, v)
 		v = u
+		if c.probe != nil {
+			c.probe.Event(p, obs.EvRound)
+		}
 		if outcome == Commit {
 			c.local[p] = v
 			c.done[p] = true
 			c.rounds[p] = r + 1
+			if c.probe != nil {
+				c.probe.OpDone(p, obs.OpDecide)
+			}
 			return v
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/apram/obs"
 	"repro/internal/lattice"
 	"repro/internal/lingraph"
 	"repro/internal/snapshot"
@@ -200,6 +201,8 @@ type Universal struct {
 	vl   lattice.Vector
 	snap *snapshot.Snapshot
 	seq  []uint64 // per-process sequence numbers (owned by that process)
+
+	probe obs.Probe // nil when uninstrumented
 }
 
 // New returns an n-process wait-free object implementing s. It does
@@ -220,6 +223,16 @@ func NewChecked(s spec.Spec, n int, states []spec.State, invs []spec.Inv) (*Univ
 		return nil, err
 	}
 	return New(s, n), nil
+}
+
+// Instrument attaches a probe. Register accounting flows from the
+// anchor-array snapshot (one OpExecute is one Scan plus, for non-pure
+// operations, one Update — 2(n²−1) reads and 2(n+1) writes); Execute
+// additionally reports obs.EvPublish / obs.EvPureElide events and the
+// OpExecute completions. Attach before the object is shared.
+func (u *Universal) Instrument(p obs.Probe) {
+	u.probe = p
+	u.snap.Instrument(p, false)
 }
 
 // N returns the number of process slots.
@@ -249,11 +262,19 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 	// the entry graph (the generic form of Section 5.4's type-specific
 	// optimization).
 	if spec.IsPure(u.s, inv) {
+		if u.probe != nil {
+			u.probe.Event(p, obs.EvPureElide)
+			u.probe.OpDone(p, obs.OpExecute)
+		}
 		return resp
 	}
 	e := &Entry{Proc: p, Seq: u.seq[p] + 1, Inv: inv, Resp: resp, Prev: view}
 	// Step 2: publish the entry (Write_L on the anchor array).
 	u.seq[p]++
 	u.snap.Update(p, u.vl.Single(p, e.Seq, e))
+	if u.probe != nil {
+		u.probe.Event(p, obs.EvPublish)
+		u.probe.OpDone(p, obs.OpExecute)
+	}
 	return resp
 }

@@ -1,7 +1,5 @@
 package sched
 
-import "repro/internal/pram"
-
 // Trace wraps a scheduler and records every decision, so a failing
 // randomized run can be replayed exactly — the sim-mode analogue of a
 // core dump. Combine with Replay:
@@ -10,12 +8,12 @@ import "repro/internal/pram"
 //	sys.Run(tr, 0)                   // something went wrong...
 //	sys2.Run(sched.NewReplay(tr.Decisions()), 0) // ...watch it again
 type Trace struct {
-	Inner     pram.Scheduler
+	Inner     Scheduler
 	decisions []int
 }
 
 // NewTrace returns a recording wrapper around inner.
-func NewTrace(inner pram.Scheduler) *Trace { return &Trace{Inner: inner} }
+func NewTrace(inner Scheduler) *Trace { return &Trace{Inner: inner} }
 
 // Next delegates and records.
 func (t *Trace) Next(running []int) int {

@@ -10,11 +10,17 @@
 // needs to fork the system — and lives in internal/agreement.
 package sched
 
-import (
-	"math/rand"
+import "math/rand"
 
-	"repro/internal/pram"
-)
+// Scheduler chooses which process takes the next step: Next receives
+// the indices of the processes still running (ascending, non-empty)
+// and returns one of them, or a value outside the slice to stop the
+// run. It is structurally identical to pram.Scheduler and sim.Scheduler
+// — this package deliberately depends on neither, so schedulers remain
+// plain strategy objects usable against any stepper.
+type Scheduler interface {
+	Next(running []int) int
+}
 
 // RoundRobin cycles through running processes in index order. It is
 // the fairest schedule and a reasonable stand-in for the synchronous
@@ -97,7 +103,7 @@ func (s *Bursty) Next(running []int) int {
 // simply stops taking steps — exactly the paper's failure model. The
 // wait-free property demands all other processes still finish.
 type Crash struct {
-	Inner  pram.Scheduler
+	Inner  Scheduler
 	Victim int
 	After  uint64
 

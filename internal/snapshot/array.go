@@ -3,6 +3,7 @@ package snapshot
 import (
 	"sync/atomic"
 
+	"repro/apram/obs"
 	"repro/internal/lattice"
 )
 
@@ -41,6 +42,9 @@ func NewArray(n int) *Array {
 	vl := lattice.Vector{N: n}
 	return &Array{snap: New(n, vl), vl: vl, tag: make([]uint64, n)}
 }
+
+// Instrument attaches a probe (see Snapshot.Instrument).
+func (a *Array) Instrument(p obs.Probe, emitOps bool) { a.snap.Instrument(p, emitOps) }
 
 // Update publishes v as process p's element.
 func (a *Array) Update(p int, v any) {
@@ -91,6 +95,9 @@ type DoubleCollect struct {
 	// exceeding it makes Scan return nil, which keeps benchmarks
 	// finite. Zero means retry for ever (the true algorithm).
 	MaxRetries uint64
+
+	probe   obs.Probe
+	emitOps bool
 }
 
 // NewDoubleCollect returns an n-element double-collect snapshot.
@@ -103,24 +110,53 @@ func NewDoubleCollect(n int) *DoubleCollect {
 	return dc
 }
 
+// Instrument attaches a probe. Retries surface as obs.EvRetry events —
+// the telemetry that distinguishes this merely lock-free Scan from the
+// wait-free ones.
+func (dc *DoubleCollect) Instrument(p obs.Probe, emitOps bool) {
+	dc.probe = p
+	dc.emitOps = emitOps && p != nil
+}
+
 // Update sets process p's element to v.
 func (dc *DoubleCollect) Update(p int, v any) {
 	old := dc.cells[p].Load()
 	dc.cells[p].Store(&dcCell{seq: old.seq + 1, val: v})
+	if dc.probe != nil {
+		dc.probe.RegReads(p, 1)
+		dc.probe.RegWrites(p, 1)
+		if dc.emitOps {
+			dc.probe.OpDone(p, obs.OpScan)
+		}
+	}
 }
 
 // Scan retries double collects until two consecutive collects agree.
 // It returns nil if MaxRetries is positive and exceeded.
 func (dc *DoubleCollect) Scan(p int) []any {
+	done := func(reads int, out []any) []any {
+		if dc.probe != nil {
+			dc.probe.RegReads(p, reads)
+			if dc.emitOps {
+				dc.probe.OpDone(p, obs.OpScan)
+			}
+		}
+		return out
+	}
 	a := dc.collect()
+	reads := len(dc.cells)
 	for tries := uint64(0); ; tries++ {
 		b := dc.collect()
+		reads += len(dc.cells)
 		if sameSeqs(a, b) {
-			return cellValues(b)
+			return done(reads, cellValues(b))
 		}
 		dc.Retries.Add(1)
+		if dc.probe != nil {
+			dc.probe.Event(p, obs.EvRetry)
+		}
 		if dc.MaxRetries > 0 && tries >= dc.MaxRetries {
-			return nil
+			return done(reads, nil)
 		}
 		a = b
 	}
@@ -165,6 +201,9 @@ func cellValues(cs []*dcCell) []any {
 // which is what makes it wait-free, unlike DoubleCollect.
 type Afek struct {
 	cells []atomic.Pointer[dcCell]
+
+	probe   obs.Probe
+	emitOps bool
 }
 
 // NewAfek returns an n-element Afek et al. snapshot.
@@ -177,21 +216,54 @@ func NewAfek(n int) *Afek {
 	return a
 }
 
+// Instrument attaches a probe. A scanner borrowing an updater's
+// embedded view surfaces as obs.EvHelp — the helping step that makes
+// this snapshot wait-free where DoubleCollect is not.
+func (a *Afek) Instrument(p obs.Probe, emitOps bool) {
+	a.probe = p
+	a.emitOps = emitOps && p != nil
+}
+
 // Update embeds a scan in the written register, making the write
 // expensive but scans wait-free.
 func (a *Afek) Update(p int, v any) {
-	view := a.Scan(p)
+	view := a.scan(p)
 	old := a.cells[p].Load()
 	a.cells[p].Store(&dcCell{seq: old.seq + 1, val: v, view: view})
+	if a.probe != nil {
+		a.probe.RegReads(p, 1)
+		a.probe.RegWrites(p, 1)
+		if a.emitOps {
+			a.probe.OpDone(p, obs.OpScan)
+		}
+	}
 }
 
 // Scan returns an instantaneous view: either a clean double collect,
 // or the view embedded by a process observed to move twice.
 func (a *Afek) Scan(p int) []any {
+	out := a.scan(p)
+	if a.probe != nil && a.emitOps {
+		a.probe.OpDone(p, obs.OpScan)
+	}
+	return out
+}
+
+// scan is Scan without the operation report, shared with Update (whose
+// embedded scan is part of the update, not an operation of its own).
+func (a *Afek) scan(p int) []any {
 	moved := make(map[int]bool)
 	prev := a.collect()
+	reads := len(a.cells)
+	done := func(out []any) []any {
+		if a.probe != nil {
+			a.probe.RegReads(p, reads)
+		}
+		return out
+	}
 	for {
 		cur := a.collect()
+		reads += len(a.cells)
 		clean := true
 		for q := range cur {
 			if cur[q].seq == prev[q].seq {
@@ -201,12 +273,18 @@ func (a *Afek) Scan(p int) []any {
 			if moved[q] {
 				// q completed an entire Update inside this Scan, so
 				// its embedded view was taken inside this Scan too.
-				return append([]any(nil), cur[q].view...)
+				if a.probe != nil {
+					a.probe.Event(p, obs.EvHelp)
+				}
+				return done(append([]any(nil), cur[q].view...))
 			}
 			moved[q] = true
 		}
 		if clean {
-			return cellValues(cur)
+			return done(cellValues(cur))
+		}
+		if a.probe != nil {
+			a.probe.Event(p, obs.EvRetry)
 		}
 		prev = cur
 	}

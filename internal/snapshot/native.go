@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/apram/obs"
 	"repro/internal/lattice"
 )
 
@@ -25,6 +26,9 @@ type Snapshot struct {
 	n     int
 	cells [][]atomic.Pointer[box] // cells[p][i] = scan[p][i]
 	local [][]any                 // local[p][i], owned by process p
+
+	probe   obs.Probe // nil when uninstrumented (the fast path)
+	emitOps bool      // report OpScan completions (false when nested)
 }
 
 // New returns an n-process snapshot object over lat.
@@ -56,6 +60,17 @@ func New(n int, lat lattice.Lattice) *Snapshot {
 // N returns the number of process slots.
 func (s *Snapshot) N() int { return s.n }
 
+// Instrument attaches a probe. With emitOps set, every Scan (and so
+// Update/ReadMax) reports an obs.OpScan completion; objects that embed
+// a snapshot pass false so register counts flow to the probe while
+// operation attribution stays with the outer object. Attach before the
+// object is shared between goroutines; probes must be wait-free (see
+// package obs).
+func (s *Snapshot) Instrument(p obs.Probe, emitOps bool) {
+	s.probe = p
+	s.emitOps = emitOps && p != nil
+}
+
 // Lattice returns the lattice the snapshot operates over.
 func (s *Snapshot) Lattice() lattice.Lattice { return s.lat }
 
@@ -65,9 +80,15 @@ func (s *Snapshot) Lattice() lattice.Lattice { return s.lat }
 func (s *Snapshot) Scan(p int, v any) any {
 	s.check(p)
 	local := s.local[p]
+	// reads and writes count the atomic register accesses actually
+	// performed, at their callsites — Section 6.2 predicts exactly
+	// n²−1 and n+1 per Scan, and the probe reports what happened, not
+	// the formula. Plain locals: free when no probe is attached.
+	reads, writes := 0, 0
 	// scan[P][0] := v ∨ scan[P][0], self-read elided via local copy.
 	local[0] = s.lat.Join(v, local[0])
 	s.cells[p][0].Store(&box{local[0]})
+	writes++
 	for i := 1; i <= s.n+1; i++ {
 		var acc any
 		if s.ip != nil {
@@ -80,6 +101,7 @@ func (s *Snapshot) Scan(p int, v any) any {
 					continue
 				}
 				a = s.ip.Accumulate(a, s.cells[q][i-1].Load().v)
+				reads++
 			}
 			acc = s.ip.Freeze(a)
 		} else {
@@ -89,12 +111,21 @@ func (s *Snapshot) Scan(p int, v any) any {
 					continue
 				}
 				acc = s.lat.Join(acc, s.cells[q][i-1].Load().v)
+				reads++
 			}
 		}
 		local[i] = acc
 		if i <= s.n {
 			// The final write (to scan[P][n+1]) is unnecessary.
 			s.cells[p][i].Store(&box{acc})
+			writes++
+		}
+	}
+	if s.probe != nil {
+		s.probe.RegReads(p, reads)
+		s.probe.RegWrites(p, writes)
+		if s.emitOps {
+			s.probe.OpDone(p, obs.OpScan)
 		}
 	}
 	return local[s.n+1]

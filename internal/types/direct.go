@@ -1,6 +1,7 @@
 package types
 
 import (
+	"repro/apram/obs"
 	"repro/internal/lattice"
 	"repro/internal/snapshot"
 )
@@ -56,6 +57,9 @@ type DirectCounter struct {
 	vl   lattice.Vector
 	tag  []uint64      // per-process publication tags
 	mine []counterCell // per-process local copy of own cell
+
+	probe   obs.Probe // nil when uninstrumented
+	emitOps bool      // report operation completions (false when nested)
 }
 
 // NewDirectCounter returns an n-process direct counter.
@@ -67,6 +71,17 @@ func NewDirectCounter(n int) *DirectCounter {
 		tag:  make([]uint64, n),
 		mine: make([]counterCell, n),
 	}
+}
+
+// Instrument attaches a probe. Register accounting flows from the
+// embedded snapshot (Inc/Dec/Reset are two snapshot operations each,
+// Read is one); the counter adds operation completions and
+// obs.EvEpochRestart events. emitOps false suppresses the completions
+// for nested use (the shared coin's counter). Attach before sharing.
+func (c *DirectCounter) Instrument(p obs.Probe, emitOps bool) {
+	c.probe = p
+	c.emitOps = emitOps && p != nil
+	c.snap.Instrument(p, false)
 }
 
 // N returns the number of process slots.
@@ -108,10 +123,16 @@ func (c *DirectCounter) adjust(p int, inc, dec int64) {
 		// new base, but we do not need it — only the resetter's cell
 		// carries it.
 		cell = counterCell{Epoch: top}
+		if c.probe != nil {
+			c.probe.Event(p, obs.EvEpochRestart)
+		}
 	}
 	cell.Inc += inc
 	cell.Dec += dec
 	c.publish(p, cell)
+	if c.emitOps {
+		c.probe.OpDone(p, obs.OpCounterAdd)
+	}
 }
 
 // Inc adds amount to the counter.
@@ -129,6 +150,9 @@ func (c *DirectCounter) Reset(p int, value int64) {
 		Base:  value,
 	}
 	c.publish(p, cell)
+	if c.emitOps {
+		c.probe.OpDone(p, obs.OpCounterReset)
+	}
 }
 
 // Read returns the current counter value.
@@ -140,6 +164,9 @@ func (c *DirectCounter) Read(p int) int64 {
 			continue // overwritten by a newer reset
 		}
 		val += cell.Base + cell.Inc - cell.Dec
+	}
+	if c.emitOps {
+		c.probe.OpDone(p, obs.OpCounterRead)
 	}
 	return val
 }
@@ -155,6 +182,9 @@ func (c *DirectCounter) Read(p int) int64 {
 // far. One snapshot operation per clock operation.
 type DirectClock struct {
 	snap *snapshot.Snapshot
+
+	probe   obs.Probe
+	emitOps bool
 }
 
 // NewDirectClock returns an n-process direct logical clock.
@@ -162,12 +192,30 @@ func NewDirectClock(n int) *DirectClock {
 	return &DirectClock{snap: snapshot.New(n, lattice.MapMax{})}
 }
 
+// Instrument attaches a probe (one snapshot operation per clock
+// operation; Tick reports one Read and one Merge). Attach before
+// sharing.
+func (c *DirectClock) Instrument(p obs.Probe, emitOps bool) {
+	c.probe = p
+	c.emitOps = emitOps && p != nil
+	c.snap.Instrument(p, false)
+}
+
 // Merge joins ts into the clock.
-func (c *DirectClock) Merge(p int, ts lattice.IntMap) { c.snap.Update(p, ts) }
+func (c *DirectClock) Merge(p int, ts lattice.IntMap) {
+	c.snap.Update(p, ts)
+	if c.emitOps {
+		c.probe.OpDone(p, obs.OpClockMerge)
+	}
+}
 
 // Read returns the current vector timestamp.
 func (c *DirectClock) Read(p int) lattice.IntMap {
-	return c.snap.ReadMax(p).(lattice.IntMap)
+	out := c.snap.ReadMax(p).(lattice.IntMap)
+	if c.emitOps {
+		c.probe.OpDone(p, obs.OpClockRead)
+	}
+	return out
 }
 
 // Tick advances the named component by one past the largest value this

@@ -3,6 +3,7 @@ package types
 import (
 	"fmt"
 
+	"repro/apram/obs"
 	"repro/internal/lattice"
 	"repro/internal/snapshot"
 	"repro/internal/spec"
@@ -105,6 +106,9 @@ type PRMW struct {
 	vl   lattice.Vector
 	tag  []uint64
 	mine []any // per-process fold of own deltas (owned by the process)
+
+	probe   obs.Probe
+	emitOps bool
 }
 
 // NewPRMW returns an n-process PRMW object over fam.
@@ -126,11 +130,22 @@ func NewPRMW(n int, fam CommutingFamily) *PRMW {
 // N returns the number of process slots.
 func (o *PRMW) N() int { return o.vl.N }
 
+// Instrument attaches a probe (updates and reads each cost one
+// snapshot operation). Attach before sharing.
+func (o *PRMW) Instrument(p obs.Probe, emitOps bool) {
+	o.probe = p
+	o.emitOps = emitOps && p != nil
+	o.snap.Instrument(p, false)
+}
+
 // Update applies the delta to the object without returning a value.
 func (o *PRMW) Update(p int, delta any) {
 	o.mine[p] = o.fam.Merge(o.mine[p], delta)
 	o.tag[p]++
 	o.snap.Update(p, o.vl.Single(p, o.tag[p], o.mine[p]))
+	if o.emitOps {
+		o.probe.OpDone(p, obs.OpPRMWUpdate)
+	}
 }
 
 // Read returns the current value: the fold of every process's summary
@@ -142,6 +157,9 @@ func (o *PRMW) Read(p int) any {
 		if c.Tag != 0 {
 			acc = o.fam.Merge(acc, c.Val)
 		}
+	}
+	if o.emitOps {
+		o.probe.OpDone(p, obs.OpPRMWRead)
 	}
 	return o.fam.Apply(acc)
 }

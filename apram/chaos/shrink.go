@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"repro/internal/histio"
+	"repro/internal/sched"
+)
+
+// shrinkTrace is the delta-debugging core: it greedily applies
+// size-reducing edits to tr, keeping an edit only when stillFails
+// accepts the candidate, and repeats until a full pass removes
+// nothing. Edits, in order of aggressiveness:
+//
+//  1. Remove a whole process: empty its script and strip its schedule
+//     decisions (skip-replay tolerates the leftovers, but stripping
+//     shrinks the trace further).
+//  2. Drop a process's trailing operation.
+//  3. Remove schedule chunks, ddmin style: halves first, then
+//     quarters, down to single decisions.
+//
+// Faults are provenance, not behaviour (the schedule already encodes
+// their effect), so after convergence the fault plan is pruned to the
+// victims that still have scripted operations.
+func shrinkTrace(tr *histio.TraceFile, stillFails func(*histio.TraceFile) bool) *histio.TraceFile {
+	cur := tr.Clone()
+	for improved := true; improved; {
+		improved = false
+		for p := range cur.Scripts {
+			if len(cur.Scripts[p]) == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Scripts[p] = nil
+			cand.Schedule = withoutProc(cand.Schedule, p)
+			if stillFails(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		for p := range cur.Scripts {
+			if len(cur.Scripts[p]) == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Scripts[p] = cand.Scripts[p][:len(cand.Scripts[p])-1]
+			if stillFails(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		if shrinkSchedule(cur, stillFails) {
+			improved = true
+		}
+	}
+	cur.Faults = pruneFaults(cur)
+	return cur
+}
+
+// shrinkSchedule removes schedule chunks ddmin style, mutating cur in
+// place via accepted candidates. It reports whether anything shrank.
+func shrinkSchedule(cur *histio.TraceFile, stillFails func(*histio.TraceFile) bool) bool {
+	shrank := false
+	for size := len(cur.Schedule) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(cur.Schedule); {
+			cand := cur.Clone()
+			cand.Schedule = append(append([]int(nil), cand.Schedule[:start]...), cand.Schedule[start+size:]...)
+			if stillFails(cand) {
+				*cur = *cand
+				shrank = true
+				// Re-test the same offset: the next chunk slid into it.
+			} else {
+				start += size
+			}
+		}
+	}
+	return shrank
+}
+
+// withoutProc strips every decision naming p. The recorded stop
+// sentinel (-1) is preserved.
+func withoutProc(schedule []int, p int) []int {
+	out := make([]int, 0, len(schedule))
+	for _, d := range schedule {
+		if d != p {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// pruneFaults keeps only faults whose victim still has scripted
+// operations and whose onset lies within the (possibly truncated)
+// schedule.
+func pruneFaults(tr *histio.TraceFile) []sched.Fault {
+	var out []sched.Fault
+	for _, f := range tr.Faults {
+		if f.Proc < len(tr.Scripts) && len(tr.Scripts[f.Proc]) > 0 && f.At <= len(tr.Schedule) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package obs
+
+// Closed-form wait-freedom bounds, per operation, in register accesses
+// (reads + writes) — the Section 6.2 and Section 5.4 arithmetic the
+// chaos harness checks measured per-operation counts against. The
+// formulas are stated here rather than imported so that this package
+// stays import-free for the algorithm packages that report into it;
+// the obs tests cross-check every formula against the authoritative
+// constants in internal/snapshot and internal/core.
+//
+// A bound of 0 means "no closed form": the operation is either
+// unbounded by design (a lock-free baseline) or bounded by a quantity
+// the object alone does not know (approximate agreement's Theorem 5
+// bound depends on the input spread; use agreement.StepBound).
+
+// ScanBound returns the worst-case accesses of one optimized Scan,
+// Update or ReadMax on an n-slot snapshot: (n²−1) reads + (n+1)
+// writes = n²+n (Section 6.2).
+func ScanBound(n int) uint64 { return uint64(n*n + n) }
+
+// LiteralScanBound returns the accesses of one literal Figure 5 Scan:
+// (n²+n+1) reads + (n+2) writes = n²+2n+3 (Section 6.2).
+func LiteralScanBound(n int) uint64 { return uint64(n*n + 2*n + 3) }
+
+// ExecuteBound returns the worst-case accesses of one non-pure
+// universal-construction operation: two optimized scans, 2(n²−1)
+// reads + 2(n+1) writes = 2n²+2n (Section 5.4).
+func ExecuteBound(n int) uint64 { return 2 * ScanBound(n) }
+
+// PureExecuteBound returns the accesses of one pure (unpublished)
+// universal-construction operation: a single optimized scan.
+func PureExecuteBound(n int) uint64 { return ScanBound(n) }
+
+// OpBound returns the closed-form per-operation access bound for op on
+// an n-slot object, or 0 when no closed form applies (see the file
+// comment). OpExecute assumes the non-pure (two-scan) case; pure
+// operations are cheaper, so the bound remains sound.
+func OpBound(op Op, n int) uint64 {
+	switch op {
+	case OpScan:
+		return ScanBound(n)
+	case OpExecute:
+		return ExecuteBound(n)
+	default:
+		return 0
+	}
+}

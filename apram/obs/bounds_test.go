@@ -1,0 +1,41 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/apram/obs"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// TestBoundsMatchAuthoritativeFormulas cross-checks the restated
+// closed forms against the constants the simulator packages derive
+// them from, for every n the repository ever simulates.
+func TestBoundsMatchAuthoritativeFormulas(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		if got, want := obs.ScanBound(n), snapshot.OptimizedReads(n)+snapshot.OptimizedWrites(n); got != want {
+			t.Fatalf("ScanBound(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := obs.LiteralScanBound(n), snapshot.LiteralReads(n)+snapshot.LiteralWrites(n); got != want {
+			t.Fatalf("LiteralScanBound(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := obs.ExecuteBound(n), core.OpReads(n)+core.OpWrites(n); got != want {
+			t.Fatalf("ExecuteBound(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := obs.PureExecuteBound(n), core.PureOpReads(n)+core.PureOpWrites(n); got != want {
+			t.Fatalf("PureExecuteBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOpBound(t *testing.T) {
+	if obs.OpBound(obs.OpScan, 4) != obs.ScanBound(4) {
+		t.Error("OpBound(OpScan) diverged from ScanBound")
+	}
+	if obs.OpBound(obs.OpExecute, 4) != obs.ExecuteBound(4) {
+		t.Error("OpBound(OpExecute) diverged from ExecuteBound")
+	}
+	if obs.OpBound(obs.OpDecide, 4) != 0 {
+		t.Error("randomized consensus has no deterministic bound; want 0")
+	}
+}

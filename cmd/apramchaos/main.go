@@ -1,0 +1,178 @@
+// Command apramchaos fuzzes the repository's wait-free structures
+// under randomized fault-injecting adversaries, checks every run
+// against the chaos oracles (linearizability, wait-freedom bounds,
+// structural invariants), and — when a run fails — shrinks it to a
+// minimal reproducer.
+//
+// Usage:
+//
+//	apramchaos [flags]                 # fuzz
+//	apramchaos -replay trace.json      # re-execute a recorded trace
+//	apramchaos -list                   # list fuzzable structures
+//
+// Fuzzing flags:
+//
+//	-structures s1,s2  structures to fuzz ("all" = every structure)
+//	-n N               processes per run (default 4)
+//	-ops K             scripted operations per process (default 3)
+//	-seeds S           seeds per structure (default 20)
+//	-seed B            first seed (default 0)
+//	-adversary A       random | bursty | priority | roundrobin
+//	-crashes C         crash faults injected per run (default 1)
+//	-stalls T          stall faults injected per run (default 1)
+//	-maxsteps M        step budget per run (0 = derived)
+//	-shrink            shrink failing traces before reporting (default true)
+//	-out DIR           write failing-trace reproducers (JSON + generated
+//	                   Go test) into DIR
+//	-v                 log every run, not just failures
+//
+// Exit status: 0 no oracle failed, 1 at least one failure, 2 usage or
+// I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/apram/chaos"
+	"repro/internal/histio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("apramchaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		structures = fs.String("structures", "all", "comma-separated structures to fuzz, or \"all\"")
+		n          = fs.Int("n", 4, "processes per run")
+		ops        = fs.Int("ops", 3, "operations per process")
+		seeds      = fs.Int("seeds", 20, "seeds per structure")
+		seed0      = fs.Int64("seed", 0, "first seed")
+		adversary  = fs.String("adversary", "random", "base adversary: random, bursty, priority, roundrobin")
+		crashes    = fs.Int("crashes", 1, "crash faults per run")
+		stalls     = fs.Int("stalls", 1, "stall faults per run")
+		maxSteps   = fs.Int("maxsteps", 0, "step budget per run (0 = derived)")
+		doShrink   = fs.Bool("shrink", true, "shrink failing traces")
+		outDir     = fs.String("out", "", "directory for failing-trace reproducers")
+		replay     = fs.String("replay", "", "replay a recorded trace file instead of fuzzing")
+		list       = fs.Bool("list", false, "list fuzzable structures and exit")
+		verbose    = fs.Bool("v", false, "log every run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, s := range chaos.Structures() {
+			fmt.Fprintln(stdout, s)
+		}
+		return 0
+	}
+	if *replay != "" {
+		return runReplay(*replay, stdout, stderr)
+	}
+
+	var names []string
+	if *structures == "all" {
+		names = chaos.Structures()
+	} else {
+		names = strings.Split(*structures, ",")
+	}
+	failures := 0
+	runs := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		for s := 0; s < *seeds; s++ {
+			cfg := chaos.Config{
+				Structure: name, N: *n, OpsPerProc: *ops,
+				Seed: *seed0 + int64(s), Adversary: *adversary,
+				Crashes: *crashes, Stalls: *stalls, MaxSteps: *maxSteps,
+			}
+			rep, err := chaos.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(stderr, "apramchaos:", err)
+				return 2
+			}
+			runs++
+			if *verbose || rep.Failed() {
+				status := "ok"
+				if rep.Failed() {
+					status = "FAIL " + rep.Failures[0].String()
+				}
+				fmt.Fprintf(stdout, "%-16s seed=%-4d steps=%-5d ops=%d+%dp  %s\n",
+					name, cfg.Seed, rep.Steps, len(rep.History.Ops), len(rep.Pending), status)
+			}
+			if !rep.Failed() {
+				continue
+			}
+			failures++
+			tr := rep.Trace
+			if *doShrink {
+				min, err := chaos.Shrink(tr)
+				if err != nil {
+					fmt.Fprintln(stderr, "apramchaos: shrink:", err)
+				} else {
+					fmt.Fprintf(stdout, "  shrunk %d ops/%d decisions -> %d ops/%d decisions\n",
+						tr.TotalOps(), len(tr.Schedule), min.TotalOps(), len(min.Schedule))
+					tr = min
+				}
+			}
+			if *outDir != "" {
+				base := fmt.Sprintf("repro_%s_seed%d", strings.ReplaceAll(name, "-", "_"), cfg.Seed)
+				jsonPath, testPath, err := chaos.WriteReproducer(*outDir, base, tr)
+				if err != nil {
+					fmt.Fprintln(stderr, "apramchaos:", err)
+					return 2
+				}
+				fmt.Fprintf(stdout, "  wrote %s and %s\n", jsonPath, testPath)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "%d runs, %d failing\n", runs, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runReplay(path string, stdout, stderr io.Writer) int {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "apramchaos:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := histio.DecodeTrace(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "apramchaos:", err)
+		return 2
+	}
+	rep, err := chaos.Replay(tr)
+	if err != nil {
+		fmt.Fprintln(stderr, "apramchaos:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s: %d steps, %d completed ops, %d pending\n",
+		tr.Structure, rep.Steps, len(rep.History.Ops), len(rep.Pending))
+	for _, st := range rep.OpStats {
+		fmt.Fprintf(stdout, "  p%d op%d: [%d,%d] %d accesses (bound %d)\n",
+			st.Proc, st.Index, st.Start, st.End, st.Accesses, st.Bound)
+	}
+	if !rep.Failed() {
+		fmt.Fprintln(stdout, "all oracles passed")
+		return 0
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintln(stdout, "FAIL", f.String())
+	}
+	return 1
+}

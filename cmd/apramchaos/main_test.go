@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	// Clean structures under fixed seeds: everything passes.
+	if code := run([]string{"-structures", "counter,snapshot", "-seeds", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("clean fuzz exited %d, stderr: %s", code, errb.String())
+	}
+
+	// The queue violates Property 1; some seed in the first twenty
+	// produces a non-linearizable run.
+	out.Reset()
+	if code := run([]string{"-structures", "queue", "-seeds", "20", "-shrink=false"}, &out, &errb); code != 1 {
+		t.Fatalf("queue fuzz exited %d, want 1; output: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "linearizability") {
+		t.Fatalf("failure output does not name the oracle: %s", out.String())
+	}
+
+	// Unknown structure and unknown flags are usage errors.
+	if code := run([]string{"-structures", "nope", "-seeds", "1"}, &out, &errb); code != 2 {
+		t.Fatal("unknown structure must exit 2")
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatal("unknown flag must exit 2")
+	}
+}
+
+func TestListAndReplay(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatal("-list failed")
+	}
+	if !strings.Contains(out.String(), "queue") || !strings.Contains(out.String(), "agreement") {
+		t.Fatalf("-list output incomplete: %s", out.String())
+	}
+
+	// Find a failing queue run, write its reproducer, replay it: the
+	// replay must exit 1 (failure preserved).
+	dir := t.TempDir()
+	out.Reset()
+	if code := run([]string{"-structures", "queue", "-seeds", "20", "-out", dir}, &out, &errb); code != 1 {
+		t.Fatalf("queue fuzz exited %d; output %s stderr %s", code, out.String(), errb.String())
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "repro_queue_seed*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no reproducer JSON written (err %v)", err)
+	}
+	out.Reset()
+	if code := run([]string{"-replay", matches[0]}, &out, &errb); code != 1 {
+		t.Fatalf("replay of a failing trace exited %d; output %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("replay output lacks FAIL line: %s", out.String())
+	}
+
+	// Replaying garbage is an input error.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-replay", bad}, &out, &errb); code != 2 {
+		t.Fatal("malformed trace must exit 2")
+	}
+}

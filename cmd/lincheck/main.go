@@ -25,9 +25,17 @@ import (
 )
 
 func main() {
-	witness := flag.Bool("witness", false, "print a legal linearization when one exists")
-	listSpecs := flag.Bool("specs", false, "list available specifications and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lincheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	witness := fs.Bool("witness", false, "print a legal linearization when one exists")
+	listSpecs := fs.Bool("specs", false, "list available specifications and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listSpecs {
 		var names []string
@@ -36,20 +44,21 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lincheck [-witness] <history.json | ->")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: lincheck [-witness] <history.json | ->")
+		return 2
 	}
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
+	in := stdin
+	if name := fs.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "lincheck:", err)
+			return 2
 		}
 		defer f.Close()
 		in = f
@@ -57,27 +66,25 @@ func main() {
 
 	s, h, err := histio.Decode(in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lincheck:", err)
+		return 2
 	}
 	res, err := lincheck.Check(s, h)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "lincheck:", err)
+		return 2
 	}
 	if !res.Ok {
-		fmt.Printf("NOT linearizable against %q (%d ops, %d states explored)\n",
+		fmt.Fprintf(stdout, "NOT linearizable against %q (%d ops, %d states explored)\n",
 			s.Name(), len(h.Ops), res.Explored)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("linearizable against %q (%d ops, %d states explored)\n",
+	fmt.Fprintf(stdout, "linearizable against %q (%d ops, %d states explored)\n",
 		s.Name(), len(h.Ops), res.Explored)
 	if *witness {
 		for i, op := range res.Witness {
-			fmt.Printf("  %2d. %v\n", i+1, op)
+			fmt.Fprintf(stdout, "  %2d. %v\n", i+1, op)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lincheck:", err)
-	os.Exit(2)
+	return 0
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Histories in the version-1 histio format. The linearizable one is a
+// sequential counter run; the non-linearizable one has a read that
+// happened entirely after an inc yet saw nothing.
+const linearizable = `{
+  "spec": "counter",
+  "ops": [
+    {"proc": 0, "name": "inc", "arg": 2, "start": 1, "end": 2},
+    {"proc": 1, "name": "read", "resp": 2, "start": 3, "end": 4}
+  ]
+}`
+
+const nonLinearizable = `{
+  "spec": "counter",
+  "ops": [
+    {"proc": 0, "name": "inc", "arg": 2, "start": 1, "end": 2},
+    {"proc": 1, "name": "read", "resp": 0, "start": 3, "end": 4}
+  ]
+}`
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", linearizable)
+	bad := write("bad.json", nonLinearizable)
+	garbage := write("garbage.json", "{not json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{good}, nil, &out, &errb); code != 0 {
+		t.Fatalf("linearizable history exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "linearizable against") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{bad}, nil, &out, &errb); code != 1 {
+		t.Fatalf("non-linearizable history exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "NOT linearizable") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+
+	if code := run([]string{garbage}, nil, &out, &errb); code != 2 {
+		t.Fatal("malformed input must exit 2")
+	}
+	if code := run([]string{"/nonexistent/x.json"}, nil, &out, &errb); code != 2 {
+		t.Fatal("missing file must exit 2")
+	}
+	if code := run([]string{}, nil, &out, &errb); code != 2 {
+		t.Fatal("missing argument must exit 2")
+	}
+	if code := run([]string{"-bogus", good}, nil, &out, &errb); code != 2 {
+		t.Fatal("unknown flag must exit 2")
+	}
+
+	// Stdin via "-", with a witness.
+	out.Reset()
+	if code := run([]string{"-witness", "-"}, strings.NewReader(linearizable), &out, &errb); code != 0 {
+		t.Fatalf("stdin history exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1.") {
+		t.Fatalf("witness not printed: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-specs"}, nil, &out, &errb); code != 0 {
+		t.Fatal("-specs failed")
+	}
+	if !strings.Contains(out.String(), "counter") {
+		t.Fatalf("spec list incomplete: %s", out.String())
+	}
+}

@@ -99,6 +99,15 @@ func NewMachine(proc int, x, eps float64, lay Layout) *Machine {
 // Done reports whether output() has returned.
 func (mc *Machine) Done() bool { return mc.ph == phDone }
 
+// Completed returns 1 once input+output finished (pram.Progress): the
+// machine's whole script is the single agreement operation.
+func (mc *Machine) Completed() int {
+	if mc.ph == phDone {
+		return 1
+	}
+	return 0
+}
+
 // Result returns the value output() returned. It panics if the machine
 // is not done.
 func (mc *Machine) Result() float64 {

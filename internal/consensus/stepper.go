@@ -1,0 +1,111 @@
+package consensus
+
+import "math/rand"
+
+// Stepper drives one process's Decide through the consensus protocol
+// one linearizable shared-memory operation at a time, under external
+// (possibly adversarial) control. Every building block the protocol
+// uses — the snapshot operations inside adopt-commit, the counter
+// operations inside the shared coin — is linearizable, so
+// interleaving at whole-operation granularity explores every
+// distinguishable behaviour; this is what lets deterministic schedule
+// harnesses (the stepper tests, the chaos fuzzer) cover chosen
+// schedules and crash points rather than sampled ones.
+//
+// A Stepper's randomness (its coin-flip choices) comes from its own
+// seeded source, so a fixed (seed, schedule) pair replays
+// bit-for-bit.
+type Stepper struct {
+	c    *Consensus
+	p    int
+	v    int
+	r    int
+	done bool
+	out  int
+
+	phase int // 0 conciliator publish+scan; 1 coin walk; 2 ac.phase1; 3 ac.phase2
+	// conciliator intermediates
+	conUnanimous bool
+	// coin walk intermediates
+	coinPendingRead bool
+	rng             *rand.Rand
+	// adopt-commit intermediates
+	acU     int
+	acFirst bool
+}
+
+// NewStepper returns a stepper for process p proposing v ∈ {0, 1} on
+// c, with seed driving the process's local coin-flip randomness.
+func NewStepper(c *Consensus, p, v int, seed int64) *Stepper {
+	return &Stepper{c: c, p: p, v: v, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Done reports whether the process has decided.
+func (s *Stepper) Done() bool { return s.done }
+
+// Output returns the decided value. It panics before Done.
+func (s *Stepper) Output() int {
+	if !s.done {
+		panic("consensus: Output before Done")
+	}
+	return s.out
+}
+
+// Step performs exactly one linearizable shared-memory operation of
+// the protocol and reports whether the process has decided.
+func (s *Stepper) Step() bool {
+	if s.done {
+		return true
+	}
+	con := s.c.con[s.r]
+	ac := s.c.ac[s.r]
+	switch s.phase {
+	case 0: // conciliator: one atomic publish+scan
+		_, unanimous := con.ac.phase1(s.p, s.v)
+		s.conUnanimous = unanimous
+		if unanimous {
+			s.phase = 2
+		} else {
+			s.phase = 1
+			s.coinPendingRead = false
+		}
+	case 1: // coin walk: alternate one counter update and one read
+		coin := con.coin
+		if !s.coinPendingRead {
+			if s.rng.Intn(2) == 0 {
+				coin.counter.Inc(s.p, 1)
+			} else {
+				coin.counter.Dec(s.p, 1)
+			}
+			s.coinPendingRead = true
+			return false
+		}
+		s.coinPendingRead = false
+		v := coin.counter.Read(s.p)
+		switch {
+		case v >= coin.barrier:
+			s.v = 1
+			s.phase = 2
+		case v <= -coin.barrier:
+			s.v = 0
+			s.phase = 2
+		}
+	case 2: // adopt-commit phase 1: one snapshot op
+		s.acU, s.acFirst = ac.phase1(s.p, s.v)
+		s.phase = 3
+	case 3: // adopt-commit phase 2: one snapshot op
+		outcome, u := ac.phase2(s.p, s.v, s.acU, s.acFirst)
+		s.v = u
+		if outcome == Commit {
+			s.done = true
+			s.out = u
+			return true
+		}
+		s.r++
+		if s.r >= len(s.c.ac) {
+			panic("consensus: stepper exceeded the preallocated rounds; see package doc")
+		}
+		s.phase = 0
+	}
+	return s.done
+}

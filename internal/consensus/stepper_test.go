@@ -13,90 +13,6 @@ import (
 // behaviour — goroutine tests cover "some" schedules, this harness
 // covers chosen ones, including crashes at every point.
 
-// stepKind enumerates the protocol's atomic operations.
-type decideStepper struct {
-	c    *Consensus
-	p    int
-	v    int
-	r    int
-	done bool
-	out  int
-
-	phase int // 0 con.phase1; 1 coin walk; 2 ac.phase1; 3 ac.phase2
-	// conciliator intermediates
-	conUnanimous bool
-	// coin walk intermediates
-	coinPendingRead bool
-	rng             *rand.Rand
-	// adopt-commit intermediates
-	acU     int
-	acFirst bool
-}
-
-func newStepper(c *Consensus, p, v int, seed int64) *decideStepper {
-	return &decideStepper{c: c, p: p, v: v, rng: rand.New(rand.NewSource(seed))}
-}
-
-// step performs exactly one linearizable shared-memory operation of
-// the protocol and returns whether the process has decided.
-func (s *decideStepper) step() bool {
-	if s.done {
-		return true
-	}
-	con := s.c.con[s.r]
-	ac := s.c.ac[s.r]
-	switch s.phase {
-	case 0: // conciliator: one atomic publish+scan
-		u, unanimous := con.ac.phase1(s.p, s.v)
-		_ = u
-		s.conUnanimous = unanimous
-		if unanimous {
-			s.phase = 2
-		} else {
-			s.phase = 1
-			s.coinPendingRead = false
-		}
-	case 1: // coin walk: alternate one counter update and one read
-		coin := con.coin
-		if !s.coinPendingRead {
-			if s.rng.Intn(2) == 0 {
-				coin.counter.Inc(s.p, 1)
-			} else {
-				coin.counter.Dec(s.p, 1)
-			}
-			s.coinPendingRead = true
-			return false
-		}
-		s.coinPendingRead = false
-		v := coin.counter.Read(s.p)
-		switch {
-		case v >= coin.barrier:
-			s.v = 1
-			s.phase = 2
-		case v <= -coin.barrier:
-			s.v = 0
-			s.phase = 2
-		}
-	case 2: // adopt-commit phase 1: one snapshot op
-		s.acU, s.acFirst = ac.phase1(s.p, s.v)
-		s.phase = 3
-	case 3: // adopt-commit phase 2: one snapshot op
-		outcome, u := ac.phase2(s.p, s.v, s.acU, s.acFirst)
-		s.v = u
-		if outcome == Commit {
-			s.done = true
-			s.out = u
-			return true
-		}
-		s.r++
-		if s.r >= len(s.c.ac) {
-			panic("stepper: exceeded rounds")
-		}
-		s.phase = 0
-	}
-	return s.done
-}
-
 // runSchedule drives the steppers under a schedule function until all
 // live processes decide or the step budget runs out. crashAt[p] (when
 // ≥ 0) crashes process p after that many of its own steps.
@@ -104,17 +20,17 @@ func runSchedule(t *testing.T, n int, inputs []int, seed int64,
 	pick func(live []int) int, crashAt []int) []int {
 	t.Helper()
 	c := New(n, seed)
-	steppers := make([]*decideStepper, n)
+	steppers := make([]*Stepper, n)
 	stepsTaken := make([]int, n)
 	for p := 0; p < n; p++ {
-		steppers[p] = newStepper(c, p, inputs[p], seed*1000+int64(p))
+		steppers[p] = NewStepper(c, p, inputs[p], seed*1000+int64(p))
 	}
 	budget := 1_000_000
 	for {
 		var live []int
 		for p := 0; p < n; p++ {
 			crashed := crashAt != nil && crashAt[p] >= 0 && stepsTaken[p] >= crashAt[p]
-			if !steppers[p].done && !crashed {
+			if !steppers[p].Done() && !crashed {
 				live = append(live, p)
 			}
 		}
@@ -126,13 +42,13 @@ func runSchedule(t *testing.T, n int, inputs []int, seed int64,
 		}
 		budget--
 		p := pick(live)
-		steppers[p].step()
+		steppers[p].Step()
 		stepsTaken[p]++
 	}
 	outs := make([]int, n)
 	for p := 0; p < n; p++ {
-		if steppers[p].done {
-			outs[p] = steppers[p].out
+		if steppers[p].Done() {
+			outs[p] = steppers[p].Output()
 		} else {
 			outs[p] = -1 // crashed before deciding
 		}

@@ -82,6 +82,9 @@ func (mc *Machine) Invocation(i int) spec.Inv { return mc.script[i] }
 // Results returns the responses of completed operations, in order.
 func (mc *Machine) Results() []any { return mc.results }
 
+// Completed returns the number of finished operations (pram.Progress).
+func (mc *Machine) Completed() int { return len(mc.results) }
+
 // Done reports whether the script is exhausted.
 func (mc *Machine) Done() bool { return mc.ph == simIdle && mc.next == len(mc.script) }
 

@@ -1,0 +1,161 @@
+package histio
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/lincheck"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files and the fuzz seed corpus")
+
+// goldenHistories builds one real recorded history per spec, through
+// history.Recorder exactly as live executions do, so the golden files
+// pin the encoding of genuinely recorded (not hand-written) traces.
+func goldenHistories() map[string]history.History {
+	out := map[string]history.History{}
+	rec := func(script func(r *history.Recorder)) history.History {
+		var r history.Recorder
+		script(&r)
+		return r.History()
+	}
+	out["counter"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "inc", int64(3), func() any { return nil })
+		r.Invoke(1, "dec", int64(1), func() any { return nil })
+		r.Invoke(0, "read", nil, func() any { return int64(2) })
+		r.Invoke(2, "reset", int64(0), func() any { return nil })
+	})
+	out["register"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "write", "a", func() any { return nil })
+		r.Invoke(1, "readreg", nil, func() any { return "a" })
+	})
+	out["gset"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "add", "x", func() any { return nil })
+		r.Invoke(1, "add", "y", func() any { return nil })
+		r.Invoke(0, "members", nil, func() any { return []string{"x", "y"} })
+		r.Invoke(2, "clear", nil, func() any { return nil })
+	})
+	out["maxreg"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "writemax", int64(7), func() any { return nil })
+		r.Invoke(1, "readmax", nil, func() any { return int64(7) })
+	})
+	out["directory"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "put", map[string]any{"K": "k", "V": "v"}, func() any { return nil })
+		r.Invoke(1, "get", "k", func() any { return "v" })
+		r.Invoke(2, "getall", nil, func() any { return []string{"k"} })
+		r.Invoke(0, "del", "k", func() any { return nil })
+	})
+	out["logical-clock"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "merge", map[string]any{"p0": int64(1)}, func() any { return nil })
+		r.Invoke(1, "readclock", nil, func() any { return map[string]any{"p0": int64(1)} })
+	})
+	out["queue"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "enq", "v1", func() any { return nil })
+		r.Invoke(1, "deq", nil, func() any { return "v1" })
+	})
+	out["stickybit"] = rec(func(r *history.Recorder) {
+		r.Invoke(0, "set", int64(1), func() any { return nil })
+		r.Invoke(1, "readbit", nil, func() any { return int64(1) })
+	})
+	return out
+}
+
+func goldenPath(spec string) string {
+	return filepath.Join("testdata", "v1_"+spec+".json")
+}
+
+// TestGoldenV1RoundTrip pins the version-1 on-disk format: every
+// golden file must decode, re-encode to the identical bytes, and pass
+// the linearizability checker. Run with -update to regenerate the
+// files (and the FuzzDecode seed corpus) from recorded histories.
+func TestGoldenV1RoundTrip(t *testing.T) {
+	if *update {
+		writeGoldens(t)
+	}
+	entries, err := filepath.Glob(goldenPath("*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 {
+		t.Fatalf("found %d golden files, want at least 8 (run go test -update)", len(entries))
+	}
+	for _, path := range entries {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, h, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, s.Name(), h); err != nil {
+			t.Fatalf("%s: encode: %v", path, err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw) {
+			t.Errorf("%s: round trip changed bytes:\n got %s\nwant %s", path, buf.Bytes(), raw)
+		}
+		// Decoded normalized histories must be checkable.
+		if _, _, err := Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%s: re-decode: %v", path, err)
+		}
+		if h.WellFormed() == nil && len(h.Ops) <= 8 {
+			if _, err := lincheck.Check(s, h); err != nil {
+				t.Fatalf("%s: checker rejected golden history: %v", path, err)
+			}
+		}
+	}
+}
+
+// writeGoldens regenerates testdata: golden v1 files plus a seed
+// corpus for FuzzDecode drawn from the same recorded traces.
+func writeGoldens(t *testing.T) {
+	t.Helper()
+	corpusDir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for spec, h := range goldenHistories() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, spec, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(spec), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corpus := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", buf.String())
+		name := filepath.Join(corpusDir, fmt.Sprintf("recorded_%s", spec))
+		if err := os.WriteFile(name, []byte(corpus), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+}
+
+// TestSeedCorpusPresent keeps the checked-in FuzzDecode corpus from
+// silently disappearing: CI's short fuzz smoke depends on it.
+func TestSeedCorpusPresent(t *testing.T) {
+	entries, err := filepath.Glob(filepath.Join("testdata", "fuzz", "FuzzDecode", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 {
+		t.Fatalf("fuzz seed corpus has %d entries, want at least 8 (run go test -update)", len(entries))
+	}
+	for _, path := range entries {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(raw), "go test fuzz v1\n") {
+			t.Errorf("%s is not a go fuzz corpus file", path)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Trace schema (version 2): a complete, replayable record of one
+// simulated chaos run. Version 1 of this package's on-disk format
+// (File) records only an operation history — enough to re-check
+// linearizability, not enough to re-execute. A trace additionally
+// carries everything the execution depended on: the structure under
+// test, the per-process operation scripts, the injected fault plan,
+// and the full schedule (every scheduler decision in order). Feeding
+// the schedule back through a replay scheduler reproduces the run
+// bit-for-bit: same history, same responses, same register counts.
+//
+// The schedule is the ground truth; the fault plan is provenance
+// metadata (crashes and stalls manifest in the schedule as a victim's
+// decisions ending or pausing) kept so humans and the shrinker can see
+// which faults were injected.
+package histio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sched"
+)
+
+// TraceVersion is the current trace schema version.
+const TraceVersion = 2
+
+// TraceOp is one scripted operation: a name plus a JSON-typed
+// argument. For structures with a sequential spec the names and
+// arguments are the version-1 operation vocabulary (NormalizeOp
+// converts the argument to the spec's native type); structure-specific
+// targets (snapshot, agreement) document their own small vocabulary.
+type TraceOp struct {
+	Name string `json:"name"`
+	Arg  any    `json:"arg,omitempty"`
+}
+
+// TraceFile is the on-disk trace format, version 2.
+type TraceFile struct {
+	Version   int    `json:"version"`
+	Structure string `json:"structure"`
+	// Spec names the sequential specification used by the
+	// linearizability oracle, when the structure has one.
+	Spec string `json:"spec,omitempty"`
+	// N is the number of process slots.
+	N int `json:"n"`
+	// Seed is the generation seed (operation scripts, fault plan, base
+	// adversary). Replay does not re-derive anything from it, but
+	// structures with internal randomness (consensus coins) consume it.
+	Seed int64 `json:"seed"`
+	// MaxSteps is the step budget the run was recorded under.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Scripts holds each process's operation script; len(Scripts) == N.
+	Scripts [][]TraceOp `json:"scripts"`
+	// Faults is the injected fault plan (provenance; see package note).
+	Faults []sched.Fault `json:"faults,omitempty"`
+	// Schedule is every scheduler decision of the recorded run.
+	Schedule []int `json:"schedule"`
+	// Oracle names the oracle the recorded run failed, if any.
+	Oracle string `json:"oracle,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// Clone returns a deep copy of the trace (the shrinker mutates
+// candidates freely).
+func (t *TraceFile) Clone() *TraceFile {
+	out := *t
+	out.Scripts = make([][]TraceOp, len(t.Scripts))
+	for p, s := range t.Scripts {
+		out.Scripts[p] = append([]TraceOp(nil), s...)
+	}
+	out.Faults = append([]sched.Fault(nil), t.Faults...)
+	out.Schedule = append([]int(nil), t.Schedule...)
+	return &out
+}
+
+// TotalOps returns the number of scripted operations across processes.
+func (t *TraceFile) TotalOps() int {
+	n := 0
+	for _, s := range t.Scripts {
+		n += len(s)
+	}
+	return n
+}
+
+// EncodeTrace writes a trace in the versioned on-disk format.
+func EncodeTrace(w io.Writer, t *TraceFile) error {
+	cp := *t
+	cp.Version = TraceVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&cp)
+}
+
+// DecodeTrace reads and validates a version-2 trace.
+func DecodeTrace(r io.Reader) (*TraceFile, error) {
+	var t TraceFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("histio: trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("histio: trace version %d, this reader speaks %d", t.Version, TraceVersion)
+	}
+	if t.Structure == "" {
+		return nil, fmt.Errorf("histio: trace names no structure")
+	}
+	if t.N <= 0 {
+		return nil, fmt.Errorf("histio: trace has %d processes", t.N)
+	}
+	if len(t.Scripts) != t.N {
+		return nil, fmt.Errorf("histio: trace has %d scripts for %d processes", len(t.Scripts), t.N)
+	}
+	for i, p := range t.Schedule {
+		if p < -1 || p >= t.N {
+			return nil, fmt.Errorf("histio: schedule decision %d names process %d, out of range [-1,%d)", i, p, t.N)
+		}
+	}
+	for _, f := range t.Faults {
+		if f.Kind != sched.FaultCrash && f.Kind != sched.FaultStall {
+			return nil, fmt.Errorf("histio: unknown fault kind %q", f.Kind)
+		}
+		if f.Proc < 0 || f.Proc >= t.N {
+			return nil, fmt.Errorf("histio: fault victim %d out of range", f.Proc)
+		}
+	}
+	if t.Spec != "" {
+		if _, ok := Specs()[t.Spec]; !ok {
+			return nil, fmt.Errorf("histio: unknown spec %q", t.Spec)
+		}
+	}
+	return &t, nil
+}
+
+// NormalizeOp converts a JSON-decoded argument/response pair into the
+// native types the named spec's Apply expects — the same conversion
+// Decode applies to version-1 histories, exported so trace consumers
+// can rebuild typed invocation scripts.
+func NormalizeOp(specName, opName string, arg, resp any) (any, any, error) {
+	return normalize(specName, opName, arg, resp)
+}

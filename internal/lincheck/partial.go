@@ -1,0 +1,133 @@
+package lincheck
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// CheckPartial decides linearizability of a history that also contains
+// pending operations: invocations whose response never arrived because
+// the calling process crashed (or was never scheduled again). This is
+// the correctness condition the chaos harness needs — under the
+// paper's failure model a crashed process may have stopped either
+// before or after its operation took effect, and both completions must
+// be admissible.
+//
+// Following Herlihy & Wing's completion construction, each pending
+// operation may be linearized at any point after its invocation (with
+// whatever response the specification produces — the caller never saw
+// one, so none is checked) or omitted entirely. Completed operations
+// are checked exactly as in Check. Pending operations never constrain
+// the real-time order of others: their intervals extend to infinity.
+//
+// The returned Witness interleaves completed operations (with their
+// recorded responses) and any pending operations the construction
+// chose to take effect (with the specification's response filled in).
+func CheckPartial(s spec.Spec, h history.History, pending []history.Op) (Result, error) {
+	if len(pending) == 0 {
+		return Check(s, h)
+	}
+	if err := h.WellFormed(); err != nil {
+		return Result{}, err
+	}
+	seen := map[int]bool{}
+	for _, op := range pending {
+		if seen[op.Proc] {
+			return Result{}, fmt.Errorf("lincheck: process %d has two pending operations", op.Proc)
+		}
+		seen[op.Proc] = true
+	}
+	ops := h.ByStart()
+	if len(ops)+len(pending) > MaxOps {
+		return Result{}, fmt.Errorf("lincheck: %d operations exceed the %d-op search bound",
+			len(ops)+len(pending), MaxOps)
+	}
+	c := &partialChecker{
+		s:      s,
+		ops:    ops,
+		pend:   append([]history.Op(nil), pending...),
+		failed: make(map[string]bool),
+	}
+	order := make([]history.Op, 0, len(ops)+len(pending))
+	ok := c.search(0, s.Init(), &order)
+	return Result{Ok: ok, Witness: order, Explored: c.explored}, nil
+}
+
+type partialChecker struct {
+	s        spec.Spec
+	ops      []history.Op // completed, sorted by Start
+	pend     []history.Op // pending: no response, End ignored
+	failed   map[string]bool
+	explored int
+}
+
+// search extends the linearization. Bits [0, len(ops)) of mask cover
+// completed operations, bits [len(ops), len(ops)+len(pend)) pending
+// ones. Success requires every completed bit set; pending bits are
+// free — an unset pending bit is the "crashed before taking effect"
+// completion.
+func (c *partialChecker) search(mask uint64, st spec.State, order *[]history.Op) bool {
+	c.explored++
+	nc := len(c.ops)
+	if mask&((uint64(1)<<nc)-1) == (uint64(1)<<nc)-1 {
+		return true
+	}
+	key := fmt.Sprintf("%x|%s", mask, c.s.Key(st))
+	if c.failed[key] {
+		return false
+	}
+	total := nc + len(c.pend)
+	for i := 0; i < total; i++ {
+		bit := uint64(1) << i
+		if mask&bit != 0 {
+			continue
+		}
+		op := c.at(i)
+		if !c.minimal(mask, op) {
+			continue
+		}
+		next, resp := c.s.Apply(st, spec.Inv{Op: op.Name, Arg: op.Arg})
+		if i < nc {
+			if !reflect.DeepEqual(resp, op.Resp) {
+				continue
+			}
+		} else {
+			op.Resp = resp // fill in the unobserved response for the witness
+		}
+		*order = append(*order, op)
+		if c.search(mask|bit, next, order) {
+			return true
+		}
+		*order = (*order)[:len(*order)-1]
+	}
+	c.failed[key] = true
+	return false
+}
+
+func (c *partialChecker) at(i int) history.Op {
+	if i < len(c.ops) {
+		return c.ops[i]
+	}
+	return c.pend[i-len(c.ops)]
+}
+
+// minimal reports whether op may be linearized next: no unlinearized
+// COMPLETED operation finished before op began. Pending operations
+// never block others (their response is still outstanding).
+func (c *partialChecker) minimal(mask uint64, op history.Op) bool {
+	for j, other := range c.ops {
+		if mask&(uint64(1)<<j) != 0 {
+			continue
+		}
+		if other.ID == op.ID && other.Proc == op.Proc {
+			continue
+		}
+		if other.End < op.Start {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package lincheck
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/types"
+)
+
+// TestPartialPendingMayTakeEffect: a crashed increment whose effect a
+// later read observed must be linearizable only through the pending
+// op.
+func TestPartialPendingMayTakeEffect(t *testing.T) {
+	h := history.History{Ops: []history.Op{
+		{ID: 0, Proc: 0, Name: types.OpRead, Resp: int64(5), Start: 10, End: 11},
+	}}
+	pending := []history.Op{
+		{ID: 1, Proc: 1, Name: types.OpInc, Arg: int64(5), Start: 1},
+	}
+	res, err := CheckPartial(types.Counter{}, h, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("read=5 with a pending inc(5) must be linearizable")
+	}
+	if len(res.Witness) != 2 {
+		t.Fatalf("witness %v should include the pending inc", res.Witness)
+	}
+}
+
+// TestPartialPendingMayBeDropped: the same pending increment must not
+// be forced to take effect.
+func TestPartialPendingMayBeDropped(t *testing.T) {
+	h := history.History{Ops: []history.Op{
+		{ID: 0, Proc: 0, Name: types.OpRead, Resp: int64(0), Start: 10, End: 11},
+	}}
+	pending := []history.Op{
+		{ID: 1, Proc: 1, Name: types.OpInc, Arg: int64(5), Start: 1},
+	}
+	res, err := CheckPartial(types.Counter{}, h, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("read=0 with a pending inc(5) must be linearizable (crash before effect)")
+	}
+}
+
+// TestPartialStillRejectsBadHistories: pending freedom must not make
+// genuinely illegal completed histories pass.
+func TestPartialStillRejectsBadHistories(t *testing.T) {
+	h := history.History{Ops: []history.Op{
+		{ID: 0, Proc: 0, Name: types.OpInc, Arg: int64(1), Start: 1, End: 2},
+		{ID: 1, Proc: 0, Name: types.OpRead, Resp: int64(7), Start: 3, End: 4},
+	}}
+	pending := []history.Op{
+		{ID: 2, Proc: 1, Name: types.OpInc, Arg: int64(2), Start: 1},
+	}
+	res, err := CheckPartial(types.Counter{}, h, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("read=7 after inc(1) with only a pending inc(2) available must fail")
+	}
+	// But read=3 (both incs took effect) must pass.
+	h.Ops[1].Resp = int64(3)
+	res, err = CheckPartial(types.Counter{}, h, pending)
+	if err != nil || !res.Ok {
+		t.Fatalf("read=3 should pass: ok=%v err=%v", res.Ok, err)
+	}
+}
+
+// TestPartialNoPendingDelegates: with no pending ops the result must
+// match Check exactly.
+func TestPartialNoPendingDelegates(t *testing.T) {
+	h := history.History{Ops: []history.Op{
+		{ID: 0, Proc: 0, Name: types.OpInc, Arg: int64(1), Start: 1, End: 4},
+		{ID: 1, Proc: 1, Name: types.OpRead, Resp: int64(1), Start: 2, End: 5},
+	}}
+	a, err := Check(types.Counter{}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CheckPartial(types.Counter{}, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ok != b.Ok {
+		t.Fatalf("CheckPartial(nil pending) diverged from Check: %v vs %v", b.Ok, a.Ok)
+	}
+}
+
+// TestPartialRejectsTwoPendingPerProcess: a process crashes at most
+// once, mid at most one operation.
+func TestPartialRejectsTwoPendingPerProcess(t *testing.T) {
+	pending := []history.Op{
+		{ID: 0, Proc: 1, Name: types.OpInc, Arg: int64(1), Start: 1},
+		{ID: 1, Proc: 1, Name: types.OpInc, Arg: int64(2), Start: 2},
+	}
+	if _, err := CheckPartial(types.Counter{}, history.History{}, pending); err == nil {
+		t.Fatal("two pending ops for one process must be rejected")
+	}
+}

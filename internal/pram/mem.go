@@ -141,7 +141,9 @@ func (m *Mem) Init(r int, v Value) { m.regs[r] = v }
 func (m *Mem) Read(p, r int) Value {
 	m.checkProc(p)
 	if o := m.reader[r]; o != NoOwner && o != p {
-		panic(fmt.Sprintf("pram: process %d read register %d readable only by %d", p, r, o))
+		panic(fmt.Sprintf(
+			"pram: single-reader violation: process %d read register %d, whose configured reader set is {%s} (owner set {%s}, %d processes)",
+			p, r, procSet(o), procSet(m.owner[r]), m.nproc))
 	}
 	m.c.Reads++
 	m.c.ReadsBy[p]++
@@ -158,7 +160,9 @@ func (m *Mem) Read(p, r int) Value {
 func (m *Mem) Write(p, r int, v Value) {
 	m.checkProc(p)
 	if o := m.owner[r]; o != NoOwner && o != p {
-		panic(fmt.Sprintf("pram: process %d wrote register %d owned by %d", p, r, o))
+		panic(fmt.Sprintf(
+			"pram: single-writer violation: process %d wrote register %d, whose configured owner set is {%s} (reader set {%s}, %d processes)",
+			p, r, procSet(o), procSet(m.reader[r]), m.nproc))
 	}
 	m.c.Writes++
 	m.c.WritesBy[p]++
@@ -171,6 +175,22 @@ func (m *Mem) Write(p, r int, v Value) {
 // Peek returns register r's contents without counting an access. It is
 // for test assertions and oracles, never for algorithms.
 func (m *Mem) Peek(r int) Value { return m.regs[r] }
+
+// Owner returns register r's configured owner, or NoOwner.
+func (m *Mem) Owner(r int) int { return m.owner[r] }
+
+// Reader returns register r's configured reader, or NoOwner.
+func (m *Mem) Reader(r int) int { return m.reader[r] }
+
+// procSet renders an owner/reader configuration for diagnostics: the
+// model's single-writer (single-reader) sets are either a singleton or
+// "every process".
+func procSet(p int) string {
+	if p == NoOwner {
+		return "all processes"
+	}
+	return fmt.Sprintf("process %d", p)
+}
 
 // Counters returns a copy of the access counters.
 func (m *Mem) Counters() Counters { return m.c.clone() }

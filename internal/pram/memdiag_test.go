@@ -1,0 +1,84 @@
+package pram
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs f and returns the panic message, failing if f returns
+// normally or panics with a non-string.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected a panic")
+			}
+			s, ok := r.(string)
+			if !ok {
+				t.Fatalf("panic value %T, want string", r)
+			}
+			msg = s
+		}()
+		f()
+	}()
+	return msg
+}
+
+// TestOwnershipPanicMessages: discipline violations must name the
+// register, the acting process, and the configured owner/reader sets,
+// so that a chaos-harness failure is diagnosable from the panic alone.
+func TestOwnershipPanicMessages(t *testing.T) {
+	m := NewMem(8, 4)
+	m.SetOwner(7, 1)
+	m.SetReader(3, 2)
+
+	msg := mustPanic(t, func() { m.Write(2, 7, "x") })
+	for _, want := range []string{
+		"single-writer violation",
+		"process 2",  // the acting process
+		"register 7", // the register index
+		"owner set is {process 1}",
+		"reader set {all processes}",
+		"4 processes",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("write panic %q missing %q", msg, want)
+		}
+	}
+
+	msg = mustPanic(t, func() { m.Read(0, 3) })
+	for _, want := range []string{
+		"single-reader violation",
+		"process 0",
+		"register 3",
+		"reader set is {process 2}",
+		"owner set {all processes}",
+		"4 processes",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("read panic %q missing %q", msg, want)
+		}
+	}
+
+	// The configured accessors back the same information for oracles.
+	if m.Owner(7) != 1 || m.Reader(7) != NoOwner {
+		t.Errorf("Owner/Reader(7) = %d/%d, want 1/NoOwner", m.Owner(7), m.Reader(7))
+	}
+	if m.Owner(3) != NoOwner || m.Reader(3) != 2 {
+		t.Errorf("Owner/Reader(3) = %d/%d, want NoOwner/2", m.Owner(3), m.Reader(3))
+	}
+}
+
+// TestAllowedAccessesDoNotPanic guards against over-eager enforcement.
+func TestAllowedAccessesDoNotPanic(t *testing.T) {
+	m := NewMem(2, 2)
+	m.SetOwner(0, 1)
+	m.SetReader(1, 0)
+	m.Write(1, 0, "v") // owner writes
+	_ = m.Read(0, 0)   // anyone reads an unrestricted-reader register
+	_ = m.Read(0, 1)   // designated reader reads
+	m.Write(0, 1, "w") // unrestricted-owner register writable by anyone
+}

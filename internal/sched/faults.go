@@ -1,0 +1,136 @@
+package sched
+
+// This file composes fault injection over any base scheduler. The
+// paper's adversary controls both the interleaving and the failures:
+// a crashed process simply stops taking steps for ever, while a
+// stalled ("sleepy") process is withheld for a window and then
+// resumes — the timing anomalies of Section 1 (page faults, swapping,
+// pre-emption). Faults realizes both against a global decision clock,
+// so a fault plan is a deterministic, serializable object: the same
+// plan over the same base scheduler yields the same run.
+
+// Sleep wraps another scheduler and withholds process Victim during
+// the half-open window of global decisions [From, From+For). Outside
+// the window — or whenever the victim is the only running process —
+// scheduling is delegated untouched, so a sleep never deadlocks the
+// run; it only delays its victim.
+type Sleep struct {
+	Inner  Scheduler
+	Victim int
+	From   int
+	For    int
+
+	now int
+}
+
+// NewSleep returns a scheduler that delegates to inner but keeps
+// victim unscheduled for dur decisions starting at global decision
+// from.
+func NewSleep(inner Scheduler, victim, from, dur int) *Sleep {
+	return &Sleep{Inner: inner, Victim: victim, From: from, For: dur}
+}
+
+// Next delegates to Inner over the running set with the victim
+// removed while the window is open.
+func (s *Sleep) Next(running []int) int {
+	t := s.now
+	s.now++
+	if t >= s.From && t < s.From+s.For {
+		awake := withoutInt(running, s.Victim)
+		if len(awake) > 0 {
+			return s.Inner.Next(awake)
+		}
+	}
+	return s.Inner.Next(running)
+}
+
+// Fault kinds understood by Faults.
+const (
+	// FaultCrash stops its process for ever from decision At on.
+	FaultCrash = "crash"
+	// FaultStall withholds its process during [At, At+For).
+	FaultStall = "stall"
+)
+
+// Fault is one injected failure event, keyed to the global decision
+// clock so that a fault plan is deterministic and serializable (the
+// chaos trace format embeds these verbatim).
+type Fault struct {
+	// Kind is FaultCrash or FaultStall.
+	Kind string `json:"kind"`
+	// Proc is the victim process.
+	Proc int `json:"proc"`
+	// At is the global decision index at which the fault takes effect.
+	At int `json:"at"`
+	// For is the stall duration in decisions; ignored for crashes.
+	For int `json:"for,omitempty"`
+}
+
+// Active reports whether the fault suppresses its victim at global
+// decision t.
+func (f Fault) Active(t int) bool {
+	switch f.Kind {
+	case FaultCrash:
+		return t >= f.At
+	case FaultStall:
+		return t >= f.At && t < f.At+f.For
+	}
+	return false
+}
+
+// Faults composes an arbitrary plan of crash and stall events over an
+// inner scheduler. At every decision it removes crashed victims, then
+// stalled ones, and delegates to Inner over what remains. If every
+// live process is stalled, the stalls are ignored for that decision
+// (time cannot pass without someone stepping); if every running
+// process is crashed, Next returns -1 and the run stops with
+// pram.ErrStopped — the paper's failure model, in which the remaining
+// work is simply never finished.
+type Faults struct {
+	Inner Scheduler
+	Plan  []Fault
+
+	now int
+}
+
+// NewFaults returns a fault-injecting composition of plan over inner.
+func NewFaults(inner Scheduler, plan []Fault) *Faults {
+	return &Faults{Inner: inner, Plan: append([]Fault(nil), plan...)}
+}
+
+// Next applies the plan at the current decision and delegates.
+func (s *Faults) Next(running []int) int {
+	t := s.now
+	s.now++
+	alive := running
+	for _, f := range s.Plan {
+		if f.Kind == FaultCrash && f.Active(t) {
+			alive = withoutInt(alive, f.Proc)
+		}
+	}
+	if len(alive) == 0 {
+		return -1
+	}
+	awake := alive
+	for _, f := range s.Plan {
+		if f.Kind == FaultStall && f.Active(t) {
+			awake = withoutInt(awake, f.Proc)
+		}
+	}
+	if len(awake) == 0 {
+		awake = alive
+	}
+	return s.Inner.Next(awake)
+}
+
+// withoutInt returns xs with every occurrence of x removed. It always
+// copies, so callers may filter the same base slice repeatedly.
+func withoutInt(xs []int, x int) []int {
+	out := make([]int, 0, len(xs))
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}

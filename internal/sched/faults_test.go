@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/pram"
+)
+
+func TestSleepWithholdsVictimDuringWindow(t *testing.T) {
+	s := NewSleep(NewRoundRobin(), 1, 2, 4)
+	running := []int{0, 1, 2}
+	var got []int
+	for i := 0; i < 9; i++ {
+		got = append(got, s.Next(running))
+	}
+	for i, p := range got {
+		inWindow := i >= 2 && i < 6
+		if inWindow && p == 1 {
+			t.Fatalf("decision %d scheduled sleeping victim: %v", i, got)
+		}
+	}
+	// The victim must be scheduled again after the window closes.
+	woke := false
+	for i := 6; i < len(got); i++ {
+		if got[i] == 1 {
+			woke = true
+		}
+	}
+	if !woke {
+		t.Fatalf("victim never rescheduled after its window: %v", got)
+	}
+}
+
+func TestSleepNeverDeadlocksSoloVictim(t *testing.T) {
+	s := NewSleep(NewRoundRobin(), 0, 0, 1000)
+	if got := s.Next([]int{0}); got != 0 {
+		t.Fatalf("solo sleeping victim: Next = %d, want 0 (sleep must not deadlock)", got)
+	}
+}
+
+func TestFaultsCrashIsPermanent(t *testing.T) {
+	s := NewFaults(NewRoundRobin(), []Fault{{Kind: FaultCrash, Proc: 2, At: 3}})
+	running := []int{0, 1, 2}
+	for i := 0; i < 30; i++ {
+		p := s.Next(running)
+		if i >= 3 && p == 2 {
+			t.Fatalf("decision %d scheduled crashed process 2", i)
+		}
+	}
+}
+
+func TestFaultsStallWindowEnds(t *testing.T) {
+	s := NewFaults(NewRoundRobin(), []Fault{{Kind: FaultStall, Proc: 0, At: 0, For: 5}})
+	running := []int{0, 1}
+	for i := 0; i < 5; i++ {
+		if p := s.Next(running); p == 0 {
+			t.Fatalf("decision %d scheduled stalled process 0", i)
+		}
+	}
+	seen := false
+	for i := 0; i < 4; i++ {
+		if s.Next(running) == 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("process 0 never resumed after its stall window")
+	}
+}
+
+func TestFaultsIgnoresStallsWhenAllLiveStalled(t *testing.T) {
+	s := NewFaults(NewRoundRobin(), []Fault{
+		{Kind: FaultStall, Proc: 0, At: 0, For: 10},
+		{Kind: FaultStall, Proc: 1, At: 0, For: 10},
+	})
+	// Both live processes stalled: time must still pass.
+	if got := s.Next([]int{0, 1}); got == -1 {
+		t.Fatal("all-stalled running set halted the run; stalls must be ignored")
+	}
+}
+
+func TestFaultsStopsWhenAllCrashed(t *testing.T) {
+	s := NewFaults(NewRoundRobin(), []Fault{
+		{Kind: FaultCrash, Proc: 0, At: 0},
+		{Kind: FaultCrash, Proc: 1, At: 0},
+	})
+	if got := s.Next([]int{0, 1}); got != -1 {
+		t.Fatalf("Next = %d, want -1 when every running process has crashed", got)
+	}
+}
+
+func TestSkipReplaySkipsFinishedProcesses(t *testing.T) {
+	r := NewSkipReplay([]int{2, 0, 2, 1})
+	// Process 2 has finished: its decisions are skipped, not fatal.
+	if got := r.Next([]int{0, 1}); got != 0 {
+		t.Fatalf("Next = %d, want 0 (skipping finished process 2)", got)
+	}
+	if got := r.Next([]int{0, 1}); got != 1 {
+		t.Fatalf("Next = %d, want 1 (skipping finished process 2 again)", got)
+	}
+	if got := r.Next([]int{0, 1}); got != -1 {
+		t.Fatalf("Next = %d, want -1 at script end", got)
+	}
+}
+
+func TestSkipReplayHonorsRecordedStop(t *testing.T) {
+	r := NewSkipReplay([]int{0, -1, 0})
+	if got := r.Next([]int{0}); got != 0 {
+		t.Fatalf("Next = %d, want 0", got)
+	}
+	if got := r.Next([]int{0}); got != -1 {
+		t.Fatal("a recorded -1 must stop the skipping replay too")
+	}
+}
+
+// TestSleepInnerStopPropagates: a Sleep wrapper must surface the inner
+// scheduler's out-of-range stop while processes still run, and
+// System.Run must report it as ErrStopped.
+func TestSleepInnerStopPropagates(t *testing.T) {
+	inputs := []float64{0, 100}
+	sys := agreement.NewSystem(inputs, 1e-6)
+	budget := 4
+	inner := Func(func(running []int) int {
+		if budget == 0 {
+			return -1
+		}
+		budget--
+		return running[0]
+	})
+	err := sys.Run(NewSleep(inner, 1, 0, 2), 0)
+	if err != pram.ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if sys.Done() {
+		t.Fatal("system finished; the test needs processes still running at stop")
+	}
+}
+
+// TestBurstyUnderCrashErrStopped: a bursty scheduler composed under a
+// crash that kills the only remaining process makes Run return
+// ErrStopped with that process still unfinished.
+func TestBurstyUnderCrashErrStopped(t *testing.T) {
+	inputs := []float64{0, 100}
+	sys := agreement.NewSystem(inputs, 1e-6)
+	// Crash process 1 immediately; then stop everything once only the
+	// crashed process remains by also crashing process 0 after it has
+	// run for a while.
+	sc := NewFaults(NewBursty(5, 4), []Fault{
+		{Kind: FaultCrash, Proc: 1, At: 0},
+		{Kind: FaultCrash, Proc: 0, At: 6},
+	})
+	err := sys.Run(sc, 0)
+	if err != pram.ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if sys.Done() {
+		t.Fatal("both processes finished under an all-crash plan")
+	}
+}
+
+// TestPriorityUnderCrashErrStopped: the priority scheduler's favored
+// process crashing leaves Run reporting ErrStopped once every live
+// process has finished and only the crashed favorite remains.
+func TestPriorityUnderCrashErrStopped(t *testing.T) {
+	inputs := []float64{0, 100, 50}
+	sys := agreement.NewSystem(inputs, 1e-6)
+	sc := NewFaults(NewPriority(2, 1_000_000), []Fault{
+		{Kind: FaultCrash, Proc: 2, At: 0},
+	})
+	err := sys.Run(sc, 0)
+	if err != pram.ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if sys.Machines[2].Done() {
+		t.Fatal("crashed favorite finished its operation")
+	}
+	if !sys.Machines[0].Done() || !sys.Machines[1].Done() {
+		t.Fatal("wait-free survivors must finish despite the crashed favorite")
+	}
+}
+
+// TestRoundRobinWrapAfterHighestCrash: when the highest-index process
+// crashes out of the running set, round-robin must wrap around to the
+// lowest survivor instead of stalling.
+func TestRoundRobinWrapAfterHighestCrash(t *testing.T) {
+	rr := NewRoundRobin()
+	full := []int{0, 1, 2}
+	for _, want := range []int{0, 1, 2} {
+		if got := rr.Next(full); got != want {
+			t.Fatalf("Next = %d, want %d", got, want)
+		}
+	}
+	// Process 2 (the one just scheduled, and the highest index) crashes.
+	survivors := []int{0, 1}
+	for i, want := range []int{0, 1, 0, 1} {
+		if got := rr.Next(survivors); got != want {
+			t.Fatalf("post-crash decision %d: Next = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -27,33 +27,51 @@ func (t *Trace) Decisions() []int {
 	return append([]int(nil), t.decisions...)
 }
 
-// Replay feeds back a recorded schedule. When the script runs out (or
-// names a process that is no longer running, which means the replayed
-// system diverged from the recorded one), it stops the run; callers
-// see pram.ErrStopped.
+// Replay feeds back a recorded schedule. In the default (strict) mode,
+// when the script runs out or names a process that is no longer
+// running — which means the replayed system diverged from the recorded
+// one — it stops the run; callers see pram.ErrStopped. In skipping
+// mode (NewSkipReplay) decisions naming finished processes are skipped
+// instead, which is what the chaos shrinker needs: editing a trace's
+// operation scripts legitimately finishes some processes earlier, and
+// the remaining schedule should still be followed as far as it goes.
+// Both modes are fully deterministic.
 type Replay struct {
 	script []int
 	pos    int
+	skip   bool
 }
 
-// NewReplay returns a scheduler that replays script.
+// NewReplay returns a scheduler that replays script strictly.
 func NewReplay(script []int) *Replay {
 	return &Replay{script: append([]int(nil), script...)}
 }
 
+// NewSkipReplay returns a scheduler that replays script, skipping
+// decisions that name processes no longer running rather than
+// stopping. An explicit recorded -1 still stops the run.
+func NewSkipReplay(script []int) *Replay {
+	return &Replay{script: append([]int(nil), script...), skip: true}
+}
+
 // Next returns the next recorded decision.
 func (r *Replay) Next(running []int) int {
-	if r.pos >= len(r.script) {
-		return -1
-	}
-	p := r.script[r.pos]
-	r.pos++
-	for _, q := range running {
-		if q == p {
-			return p
+	for r.pos < len(r.script) {
+		p := r.script[r.pos]
+		r.pos++
+		if p == -1 {
+			return -1 // a recorded stop is replayed as a stop
+		}
+		for _, q := range running {
+			if q == p {
+				return p
+			}
+		}
+		if !r.skip {
+			return -1 // divergence from the recorded run
 		}
 	}
-	return -1 // divergence from the recorded run
+	return -1
 }
 
 // Remaining reports how many decisions are left unplayed.

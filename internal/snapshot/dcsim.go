@@ -57,6 +57,9 @@ func NewDCUpdateMachine(proc int, lay DCLayout, script []any) *DCUpdateMachine {
 // Done reports whether the script is exhausted.
 func (mc *DCUpdateMachine) Done() bool { return len(mc.queue) == 0 }
 
+// Completed returns the number of updates written (pram.Progress).
+func (mc *DCUpdateMachine) Completed() int { return int(mc.seq) }
+
 // Clone returns an independent copy.
 func (mc *DCUpdateMachine) Clone() pram.Machine {
 	cp := *mc
@@ -96,6 +99,14 @@ func NewDCScanMachine(proc int, lay DCLayout) *DCScanMachine {
 
 // Done reports whether the scan completed (two identical collects).
 func (mc *DCScanMachine) Done() bool { return mc.done }
+
+// Completed returns 1 once the scan finished (pram.Progress).
+func (mc *DCScanMachine) Completed() int {
+	if mc.done {
+		return 1
+	}
+	return 0
+}
 
 // Retries returns the number of failed collect pairs so far.
 func (mc *DCScanMachine) Retries() int { return mc.retries }

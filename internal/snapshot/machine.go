@@ -113,6 +113,9 @@ func (mc *ScanMachine) Enqueue(v any) { mc.queue = append(mc.queue, v) }
 // Results returns the return values of completed scans, in order.
 func (mc *ScanMachine) Results() []any { return mc.results }
 
+// Completed returns the number of finished scans (pram.Progress).
+func (mc *ScanMachine) Completed() int { return len(mc.results) }
+
 // Done reports whether every enqueued operation has completed.
 func (mc *ScanMachine) Done() bool { return mc.ph == phIdle && len(mc.queue) == 0 }
 

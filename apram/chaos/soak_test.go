@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestSoakUniversalIncremental is the incremental-linearization soak:
+// 200 fault-injected chaos runs spread over every Property-1 universal
+// target (the simulated machines always run with the per-process
+// linearization cache), rotating adversaries and fault mixes. Any
+// linearizability, wait-freedom, or step-bound violation here would
+// mean the cache changed observable behaviour.
+func TestSoakUniversalIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	samplers := types.Property1Types()
+	adversaries := []string{"random", "bursty", "priority", "roundrobin"}
+	const total = 200
+	ran := 0
+	for i := 0; i < total; i++ {
+		s := samplers[i%len(samplers)]
+		cfg := Config{
+			Structure:  s.Name(),
+			N:          2 + i%3,
+			OpsPerProc: 2 + i%4,
+			Seed:       int64(1000 + i),
+			Adversary:  adversaries[i%len(adversaries)],
+			Crashes:    i % 2,
+			Stalls:     i % 3,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("run %d (%s seed %d): %v", i, cfg.Structure, cfg.Seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("run %d (%s seed %d, %s adversary) failed: %v",
+				i, cfg.Structure, cfg.Seed, cfg.Adversary, rep.Failures)
+		}
+		ran++
+	}
+	if ran != total {
+		t.Fatalf("ran %d of %d soak runs", ran, total)
+	}
+}

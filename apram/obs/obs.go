@@ -120,6 +120,11 @@ const (
 	EvCommit
 	// EvAdopt is an adopt-commit Apply returning Adopt.
 	EvAdopt
+	// EvLinRebuild is a universal-construction Execute that could not
+	// extend its process's cached linearization incrementally and fell
+	// back to a full rebuild of the entry graph (the incremental
+	// engine's slow path; purely local, no register traffic).
+	EvLinRebuild
 
 	// NumEvents bounds the Event enum; keep it last.
 	NumEvents
@@ -128,6 +133,7 @@ const (
 var eventNames = [NumEvents]string{
 	"retry", "help", "publish", "pure-elide", "epoch-restart",
 	"round", "coin-step", "coin-flip", "commit", "adopt",
+	"lin-rebuild",
 }
 
 // String names the event (stable identifiers, used as JSON keys).

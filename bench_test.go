@@ -301,20 +301,11 @@ func BenchmarkE10AlgebraCheck(b *testing.B) {
 
 func BenchmarkE11TypeSpecific(b *testing.B) {
 	const n = 4
-	const historyLen = 128 // rebuild the universal object at this history length
 	b.Run("universal", func(b *testing.B) {
 		u := core.New(types.Counter{}, n)
-		ops := 0
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if ops == historyLen {
-				b.StopTimer()
-				u = core.New(types.Counter{}, n)
-				ops = 0
-				b.StartTimer()
-			}
 			u.Execute(i%n, types.Inc(1))
-			ops++
 		}
 	})
 	b.Run("direct", func(b *testing.B) {
@@ -445,19 +436,72 @@ func BenchmarkUniversalExecute(b *testing.B) {
 		b.Run(s.Name(), func(b *testing.B) {
 			u := core.New(s, 4)
 			invs := s.SampleInvocations()
-			ops := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if ops == 128 {
+				u.Execute(i%4, invs[i%len(invs)])
+			}
+		})
+	}
+}
+
+// BenchmarkUniversalLongHistory measures Execute's per-op cost with the
+// history length pinned at h: the object is recreated (off the clock)
+// every h operations, so every timed op runs against a history of at
+// most h entries. With the incremental linearization engine the per-op
+// cost — time and allocations — stays essentially flat across the
+// sweep; before it, cost grew quadratically with h (which is why older
+// benchmarks reset at 128 ops).
+func BenchmarkUniversalLongHistory(b *testing.B) {
+	const n = 4
+	for _, h := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			u := core.New(types.Counter{}, n)
+			ops := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ops == h {
 					b.StopTimer()
-					u = core.New(s, 4)
+					u = core.New(types.Counter{}, n)
 					ops = 0
 					b.StartTimer()
 				}
-				u.Execute(i%4, invs[i%len(invs)])
+				u.Execute(i%n, types.Inc(1))
 				ops++
 			}
 		})
+	}
+}
+
+// BenchmarkUniversalRebuildAblation ablates the incremental engine at a
+// pinned history length, in the style of BenchmarkScanJoinAblation: a
+// counter is prefilled to h entries off the clock, then timed pure
+// reads measure exactly the local linearization cost at that history —
+// the cached arm serves each read from the extended linearization
+// (Δ = 0), the rebuild arm (SetIncremental(false)) recomputes the full
+// graph, linearization, and replay every time, which is the
+// pre-caching reference behaviour. The paper's shared-access counts
+// are identical in both arms; only local work differs.
+func BenchmarkUniversalRebuildAblation(b *testing.B) {
+	const n = 4
+	arm := func(h int, incremental bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			u := core.New(types.Counter{}, n)
+			for i := 0; i < h; i++ {
+				u.Execute(i%n, types.Inc(1))
+			}
+			u.SetIncremental(incremental)
+			u.Execute(0, types.Read()) // warm proc 0's engine to the full history
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u.Execute(0, types.Read())
+			}
+		}
+	}
+	for _, h := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("cached/h=%d", h), arm(h, true))
+		b.Run(fmt.Sprintf("rebuild/h=%d", h), arm(h, false))
 	}
 }
 
@@ -584,21 +628,13 @@ func BenchmarkE13Registers(b *testing.B) {
 func BenchmarkUniversalPureReads(b *testing.B) {
 	workload := func(b *testing.B, s spec.Spec) {
 		u := core.New(s, 4)
-		ops := 0
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if ops == 256 {
-				b.StopTimer()
-				u = core.New(s, 4)
-				ops = 0
-				b.StartTimer()
-			}
 			if i%8 == 0 {
 				u.Execute(i%4, types.Inc(1))
 			} else {
 				u.Execute(i%4, types.Read())
 			}
-			ops++
 		}
 	}
 	b.Run("pure-reads", func(b *testing.B) { workload(b, types.Counter{}) })

@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	aprambench                    # run every experiment (E1..E11)
+//	aprambench                    # run every experiment (E1..E16)
 //	aprambench -exp e3,e5         # run a subset
 //	aprambench -list              # list experiments
 //	aprambench -markdown          # emit GitHub-flavoured markdown
 //	aprambench -json out.json     # per-structure benchmark JSON ("-" = stdout)
 //	aprambench -json - -structures snapshot,counter -n 16 -ops 5000
+//	aprambench -baseline BENCH_baseline.json -structures object
+//	aprambench -exp e16 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -baseline is the perf-regression gate: it re-runs the JSON
+// benchmarks at the baseline report's configuration and fails (exit 1)
+// if any selected structure's ns/op regressed beyond -tolerance (a
+// factor, default 2), or if the deterministic register-access counts
+// no longer reproduce. -cpuprofile/-memprofile write pprof profiles of
+// whatever work ran.
 //
 // The JSON document (schema "apram-bench/v1") carries, per structure,
 // ops/sec and allocations from a probe-free timing pass, measured
@@ -27,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/benchjson"
@@ -38,9 +49,13 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	markdown := flag.Bool("markdown", false, "render tables as markdown")
 	jsonPath := flag.String("json", "", "write per-structure benchmark JSON to this path (\"-\" = stdout)")
-	structs := flag.String("structures", "", "comma-separated structure names for -json (default: all; see -json -structures list)")
+	structs := flag.String("structures", "", "comma-separated structure names for -json/-baseline (default: all; see -json -structures list)")
 	nslots := flag.Int("n", 8, "process slots per structure for -json")
 	ops := flag.Int("ops", 2000, "operations per structure for -json")
+	baseline := flag.String("baseline", "", "perf gate: compare a fresh benchmark run against this baseline report")
+	tolerance := flag.Float64("tolerance", 2, "ns/op regression factor tolerated by -baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
 
 	// The flag package stops at the first non-flag argument; silently
@@ -48,11 +63,23 @@ func main() {
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments %q (did you mean a flag? e.g. aprambench -exp e3)", flag.Args()))
 	}
-	if *structs != "" && *jsonPath == "" {
-		fatal(fmt.Errorf("-structures requires -json"))
+	if *structs != "" && *jsonPath == "" && *baseline == "" {
+		fatal(fmt.Errorf("-structures requires -json or -baseline"))
 	}
 
-	if *list {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	code := 0
+	switch {
+	case *list:
 		for _, id := range experiments.IDs() {
 			tab, err := titleOnly(id)
 			if err != nil {
@@ -60,29 +87,87 @@ func main() {
 			}
 			fmt.Printf("%-4s %s\n", id, tab)
 		}
-		return
-	}
-
-	if *jsonPath != "" {
+	case *baseline != "":
+		code = runBaseline(*baseline, *structs, *tolerance)
+	case *jsonPath != "":
 		runJSON(*jsonPath, *structs, *nslots, *ops)
-		return
+	default:
+		ids := experiments.IDs()
+		if *exp != "" {
+			ids = strings.Split(*exp, ",")
+		}
+		for _, id := range ids {
+			tab, err := experiments.Run(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			if *markdown {
+				fmt.Print(tab.Markdown())
+			} else {
+				fmt.Println(tab.String())
+			}
+		}
 	}
 
-	ids := experiments.IDs()
-	if *exp != "" {
-		ids = strings.Split(*exp, ",")
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
 	}
-	for _, id := range ids {
-		tab, err := experiments.Run(strings.TrimSpace(id))
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
 		if err != nil {
 			fatal(err)
 		}
-		if *markdown {
-			fmt.Print(tab.Markdown())
-		} else {
-			fmt.Println(tab.String())
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+// runBaseline re-runs the JSON benchmarks at the baseline report's
+// configuration and gates the result through benchjson.Compare. Exit 1
+// on any finding; the findings name the regressing structures.
+func runBaseline(path, structs string, tolerance float64) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchjson.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var sel []string
+	if structs != "" {
+		for _, name := range strings.Split(structs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				sel = append(sel, name)
+			}
 		}
 	}
+	// The run must mirror the baseline's parameters — ns/op at n=4 says
+	// nothing about a baseline taken at n=8 — so -n/-ops are ignored.
+	cur, err := benchjson.Run(benchjson.Config{
+		N: base.NSlots, Ops: base.OpsPerStructure, Structures: sel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	findings := benchjson.Compare(base, cur, tolerance, sel)
+	if len(findings) == 0 {
+		scope := "all baseline structures"
+		if sel != nil {
+			scope = strings.Join(sel, ",")
+		}
+		fmt.Printf("perf gate ok: %s within %.2gx of %s\n", scope, tolerance, path)
+		return 0
+	}
+	for _, finding := range findings {
+		fmt.Fprintln(os.Stderr, "perf gate:", finding)
+	}
+	return 1
 }
 
 // runJSON executes the native-structure benchmarks and writes the
@@ -143,6 +228,7 @@ func titleOnly(id string) (string, error) {
 		"e12": "Randomized wait-free consensus (extension)",
 		"e13": "Atomic-register constructions (extension)",
 		"e14": "Exhaustive schedule enumeration (extension)",
+		"e16": "Incremental linearization vs history length (extension)",
 	}
 	t, ok := titles[id]
 	if !ok {

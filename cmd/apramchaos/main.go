@@ -22,9 +22,15 @@
 //	-stalls T          stall faults injected per run (default 1)
 //	-maxsteps M        step budget per run (0 = derived)
 //	-shrink            shrink failing traces before reporting (default true)
+//	-workers W         parallel fuzz workers (default GOMAXPROCS)
 //	-out DIR           write failing-trace reproducers (JSON + generated
 //	                   Go test) into DIR
 //	-v                 log every run, not just failures
+//
+// Each run owns its memory and system, and every run's behaviour is a
+// pure function of its (structure, seed) configuration, so runs fan
+// out across the worker pool freely; results are reported in the
+// deterministic job order regardless of -workers, byte for byte.
 //
 // Exit status: 0 no oracle failed, 1 at least one failure, 2 usage or
 // I/O error.
@@ -35,7 +41,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/apram/chaos"
 	"repro/internal/histio"
@@ -59,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stalls     = fs.Int("stalls", 1, "stall faults per run")
 		maxSteps   = fs.Int("maxsteps", 0, "step budget per run (0 = derived)")
 		doShrink   = fs.Bool("shrink", true, "shrink failing traces")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel fuzz workers")
 		outDir     = fs.String("out", "", "directory for failing-trace reproducers")
 		replay     = fs.String("replay", "", "replay a recorded trace file instead of fuzzing")
 		list       = fs.Bool("list", false, "list fuzzable structures and exit")
@@ -77,60 +86,116 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runReplay(*replay, stdout, stderr)
 	}
 
+	if *workers < 1 {
+		fmt.Fprintln(stderr, "apramchaos: -workers must be at least 1")
+		return 2
+	}
+
 	var names []string
 	if *structures == "all" {
 		names = chaos.Structures()
 	} else {
 		names = strings.Split(*structures, ",")
 	}
-	failures := 0
-	runs := 0
+
+	// The job list is fixed up front in (structure, seed) order; the
+	// findings for each job depend only on its config, and results are
+	// drained in job order, so output and exit status are identical for
+	// every -workers value.
+	var jobs []chaos.Config
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		for s := 0; s < *seeds; s++ {
-			cfg := chaos.Config{
+			jobs = append(jobs, chaos.Config{
 				Structure: name, N: *n, OpsPerProc: *ops,
 				Seed: *seed0 + int64(s), Adversary: *adversary,
 				Crashes: *crashes, Stalls: *stalls, MaxSteps: *maxSteps,
+			})
+		}
+	}
+
+	// Run and Shrink (the CPU-heavy parts) happen in the workers; each
+	// job's slot is a one-buffered channel so no worker ever blocks on
+	// a slow consumer, and the drain below streams results in order.
+	type outcome struct {
+		rep       *chaos.Report
+		err       error
+		tr        *histio.TraceFile // failing trace to report, shrunk when possible
+		preShrink *histio.TraceFile // original trace when shrinking succeeded
+		shrinkErr error
+	}
+	slots := make([]chan outcome, len(jobs))
+	for i := range slots {
+		slots[i] = make(chan outcome, 1)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var o outcome
+				o.rep, o.err = chaos.Run(jobs[i])
+				if o.err == nil && o.rep.Failed() {
+					o.tr = o.rep.Trace
+					if *doShrink {
+						if min, err := chaos.Shrink(o.tr); err != nil {
+							o.shrinkErr = err
+						} else {
+							o.preShrink, o.tr = o.tr, min
+						}
+					}
+				}
+				slots[i] <- o
 			}
-			rep, err := chaos.Run(cfg)
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}()
+
+	failures := 0
+	runs := 0
+	for i, cfg := range jobs {
+		o := <-slots[i]
+		if o.err != nil {
+			fmt.Fprintln(stderr, "apramchaos:", o.err)
+			return 2
+		}
+		rep := o.rep
+		runs++
+		if *verbose || rep.Failed() {
+			status := "ok"
+			if rep.Failed() {
+				status = "FAIL " + rep.Failures[0].String()
+			}
+			fmt.Fprintf(stdout, "%-16s seed=%-4d steps=%-5d ops=%d+%dp  %s\n",
+				cfg.Structure, cfg.Seed, rep.Steps, len(rep.History.Ops), len(rep.Pending), status)
+		}
+		if !rep.Failed() {
+			continue
+		}
+		failures++
+		if o.shrinkErr != nil {
+			fmt.Fprintln(stderr, "apramchaos: shrink:", o.shrinkErr)
+		}
+		if o.preShrink != nil {
+			fmt.Fprintf(stdout, "  shrunk %d ops/%d decisions -> %d ops/%d decisions\n",
+				o.preShrink.TotalOps(), len(o.preShrink.Schedule), o.tr.TotalOps(), len(o.tr.Schedule))
+		}
+		if *outDir != "" {
+			base := fmt.Sprintf("repro_%s_seed%d", strings.ReplaceAll(cfg.Structure, "-", "_"), cfg.Seed)
+			jsonPath, testPath, err := chaos.WriteReproducer(*outDir, base, o.tr)
 			if err != nil {
 				fmt.Fprintln(stderr, "apramchaos:", err)
 				return 2
 			}
-			runs++
-			if *verbose || rep.Failed() {
-				status := "ok"
-				if rep.Failed() {
-					status = "FAIL " + rep.Failures[0].String()
-				}
-				fmt.Fprintf(stdout, "%-16s seed=%-4d steps=%-5d ops=%d+%dp  %s\n",
-					name, cfg.Seed, rep.Steps, len(rep.History.Ops), len(rep.Pending), status)
-			}
-			if !rep.Failed() {
-				continue
-			}
-			failures++
-			tr := rep.Trace
-			if *doShrink {
-				min, err := chaos.Shrink(tr)
-				if err != nil {
-					fmt.Fprintln(stderr, "apramchaos: shrink:", err)
-				} else {
-					fmt.Fprintf(stdout, "  shrunk %d ops/%d decisions -> %d ops/%d decisions\n",
-						tr.TotalOps(), len(tr.Schedule), min.TotalOps(), len(min.Schedule))
-					tr = min
-				}
-			}
-			if *outDir != "" {
-				base := fmt.Sprintf("repro_%s_seed%d", strings.ReplaceAll(name, "-", "_"), cfg.Seed)
-				jsonPath, testPath, err := chaos.WriteReproducer(*outDir, base, tr)
-				if err != nil {
-					fmt.Fprintln(stderr, "apramchaos:", err)
-					return 2
-				}
-				fmt.Fprintf(stdout, "  wrote %s and %s\n", jsonPath, testPath)
-			}
+			fmt.Fprintf(stdout, "  wrote %s and %s\n", jsonPath, testPath)
 		}
 	}
 	fmt.Fprintf(stdout, "%d runs, %d failing\n", runs, failures)

@@ -72,3 +72,63 @@ func TestListAndReplay(t *testing.T) {
 		t.Fatal("malformed trace must exit 2")
 	}
 }
+
+// TestWorkerPoolDeterminism pins the -workers contract: for the same
+// structures and seed set, a single worker and a full pool must
+// produce byte-identical output (verdicts, shrink summaries, and
+// reproducer paths in job order), the same exit code, and identical
+// reproducer files on disk.
+func TestWorkerPoolDeterminism(t *testing.T) {
+	capture := func(workers string) (int, string, map[string]string) {
+		dir := t.TempDir()
+		var out, errb bytes.Buffer
+		code := run([]string{
+			"-structures", "counter,queue,gset", "-seeds", "12", "-v",
+			"-workers", workers, "-out", dir,
+		}, &out, &errb)
+		files := map[string]string{}
+		matches, err := filepath.Glob(filepath.Join(dir, "repro_*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			data, err := os.ReadFile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[filepath.Base(m)] = strings.ReplaceAll(string(data), dir, "DIR")
+		}
+		// Reproducer paths embed the temp dir; normalize before diffing.
+		return code, strings.ReplaceAll(out.String(), dir, "DIR"), files
+	}
+
+	seqCode, seqOut, seqFiles := capture("1")
+	parCode, parOut, parFiles := capture("8")
+	if seqCode != parCode {
+		t.Fatalf("exit codes differ: 1 worker -> %d, 8 workers -> %d", seqCode, parCode)
+	}
+	if seqCode != 1 {
+		t.Fatalf("seed sweep should catch the queue violation, exited %d", seqCode)
+	}
+	if seqOut != parOut {
+		t.Fatalf("output differs between worker counts:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s", seqOut, parOut)
+	}
+	if len(seqFiles) == 0 {
+		t.Fatal("no reproducers written")
+	}
+	if len(seqFiles) != len(parFiles) {
+		t.Fatalf("reproducer sets differ: %d vs %d files", len(seqFiles), len(parFiles))
+	}
+	for name, want := range seqFiles {
+		if got, ok := parFiles[name]; !ok {
+			t.Fatalf("8-worker run missing reproducer %s", name)
+		} else if got != want {
+			t.Fatalf("reproducer %s differs between worker counts", name)
+		}
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workers", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("-workers 0 exited %d, want 2", code)
+	}
+}

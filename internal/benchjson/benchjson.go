@@ -182,25 +182,20 @@ func structures() []structure {
 		},
 		{
 			// One universal-construction Execute per op: scan + publish
-			// = two Scans, plus the (register-free) linearization replay
-			// whose cost grows with the entry graph. The object is
-			// rebuilt every 128 ops so the graph stays bounded, as in
-			// bench_test.go.
+			// = two Scans, plus the (register-free) incremental
+			// linearization, whose per-op cost tracks the entries new
+			// since the process's previous scan rather than the history
+			// length — so one object carries the whole run.
 			name:        "object",
 			paperReads:  func(n int) float64 { return 2 * scanReads(n) },
 			paperWrites: func(n int) float64 { return 2 * scanWrites(n) },
 			run: func(n, ops int, probe obs.Probe) time.Duration {
-				var elapsed time.Duration
-				for done := 0; done < ops; {
-					u := apram.NewObject(apram.CounterSpec{}, n, options(probe)...)
-					start := time.Now()
-					for i := 0; i < 128 && done < ops; i++ {
-						u.Execute(done%n, apram.Inc(1))
-						done++
-					}
-					elapsed += time.Since(start)
+				u := apram.NewObject(apram.CounterSpec{}, n, options(probe)...)
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					u.Execute(i%n, apram.Inc(1))
 				}
-				return elapsed
+				return time.Since(start)
 			},
 		},
 		{
@@ -321,6 +316,86 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Compare gates cur against a committed baseline report: for every
+// selected structure (all of base's when structures is nil) it flags
+//
+//   - a ns/op regression beyond the tolerance factor (e.g. 2 = fail
+//     when the current run is more than twice as slow), and
+//   - any change at all in measured register reads or writes per op —
+//     the drivers are deterministic, so the paper-model counts must
+//     reproduce exactly.
+//
+// It returns human-readable findings, empty when the gate passes.
+// Mismatched configurations (schema, slot count, op count) are
+// reported as findings rather than silently compared, since ns/op and
+// access counts are only comparable at equal parameters.
+func Compare(base, cur *Report, tolerance float64, structures []string) []string {
+	var out []string
+	if tolerance <= 0 {
+		tolerance = 2
+	}
+	if base.Schema != cur.Schema {
+		out = append(out, fmt.Sprintf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema))
+		return out
+	}
+	if base.NSlots != cur.NSlots || base.OpsPerStructure != cur.OpsPerStructure {
+		out = append(out, fmt.Sprintf("config mismatch: baseline n=%d ops=%d vs current n=%d ops=%d",
+			base.NSlots, base.OpsPerStructure, cur.NSlots, cur.OpsPerStructure))
+		return out
+	}
+	index := func(r *Report) map[string]Result {
+		m := make(map[string]Result, len(r.Structures))
+		for _, s := range r.Structures {
+			m[s.Name] = s
+		}
+		return m
+	}
+	baseBy, curBy := index(base), index(cur)
+	if structures == nil {
+		for _, s := range base.Structures {
+			structures = append(structures, s.Name)
+		}
+	}
+	for _, name := range structures {
+		b, ok := baseBy[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from baseline", name))
+			continue
+		}
+		c, ok := curBy[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > tolerance*b.NsPerOp {
+			out = append(out, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (%.2fx > %.2fx tolerance)",
+				name, b.NsPerOp, c.NsPerOp, c.NsPerOp/b.NsPerOp, tolerance))
+		}
+		if c.ReadsPerOp != b.ReadsPerOp {
+			out = append(out, fmt.Sprintf("%s: reads/op changed %v -> %v (deterministic count must reproduce)",
+				name, b.ReadsPerOp, c.ReadsPerOp))
+		}
+		if c.WritesPerOp != b.WritesPerOp {
+			out = append(out, fmt.Sprintf("%s: writes/op changed %v -> %v (deterministic count must reproduce)",
+				name, b.WritesPerOp, c.WritesPerOp))
+		}
+	}
+	return out
+}
+
+// ReadJSON parses a report written by WriteJSON and validates its
+// schema tag.
+func ReadJSON(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchjson: parse: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
 }
 
 // SortedEventNames is a helper for table renderers: the union of event

@@ -90,3 +90,64 @@ func TestAllStructuresRun(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareGate exercises the baseline-comparison gate: identical
+// reports pass, a beyond-tolerance ns/op regression fails, a
+// within-tolerance slowdown passes, and deterministic access-count
+// drift always fails.
+func TestCompareGate(t *testing.T) {
+	base := &Report{
+		Schema: Schema, NSlots: 8, OpsPerStructure: 2000,
+		Structures: []Result{
+			{Name: "object", NsPerOp: 1000, ReadsPerOp: 126, WritesPerOp: 18},
+			{Name: "counter", NsPerOp: 500, ReadsPerOp: 126, WritesPerOp: 18},
+		},
+	}
+	clone := func(mut func(r *Report)) *Report {
+		var buf bytes.Buffer
+		if err := base.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(cp)
+		return cp
+	}
+
+	if got := Compare(base, clone(func(*Report) {}), 2, nil); len(got) != 0 {
+		t.Fatalf("identical reports flagged: %v", got)
+	}
+	slow := clone(func(r *Report) { r.Structures[0].NsPerOp = 1900 })
+	if got := Compare(base, slow, 2, []string{"object"}); len(got) != 0 {
+		t.Fatalf("1.9x slowdown flagged at 2x tolerance: %v", got)
+	}
+	slower := clone(func(r *Report) { r.Structures[0].NsPerOp = 2100 })
+	if got := Compare(base, slower, 2, []string{"object"}); len(got) != 1 {
+		t.Fatalf("2.1x slowdown not flagged: %v", got)
+	}
+	drift := clone(func(r *Report) { r.Structures[0].ReadsPerOp = 127 })
+	if got := Compare(base, drift, 2, []string{"object"}); len(got) != 1 {
+		t.Fatalf("reads/op drift not flagged: %v", got)
+	}
+	// Config mismatches refuse to compare rather than comparing junk.
+	wrongN := clone(func(r *Report) { r.NSlots = 4 })
+	if got := Compare(base, wrongN, 2, nil); len(got) != 1 {
+		t.Fatalf("config mismatch not flagged: %v", got)
+	}
+	// Unknown structure selection is a finding, not a silent pass.
+	if got := Compare(base, clone(func(*Report) {}), 2, []string{"nope"}); len(got) != 1 {
+		t.Fatalf("unknown structure not flagged: %v", got)
+	}
+}
+
+// TestReadJSONRejectsBadSchema pins the schema validation in ReadJSON.
+func TestReadJSONRejectsBadSchema(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"schema":"other/v9"}`))); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -23,11 +23,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/apram/obs"
 	"repro/internal/lattice"
-	"repro/internal/lingraph"
 	"repro/internal/snapshot"
 	"repro/internal/spec"
 )
@@ -67,116 +65,18 @@ func CheckProperty1(s spec.Spec, states []spec.State, invs []spec.Inv) error {
 	return nil
 }
 
-// graph assembles the precedence graph reachable from a snapshot view
-// and linearizes it. It is shared by both execution modes.
-type graph struct {
-	s       spec.Spec
-	entries []*Entry            // dense nodes, deterministically ordered
-	index   map[*Entry]int      // entry -> node index
-	anc     map[*Entry][]*Entry // ancestor closure cache
-}
-
-// buildGraph collects every entry reachable from view through Prev
-// pointers and orders them deterministically by (Seq, Proc).
-func buildGraph(s spec.Spec, view []*Entry) *graph {
-	g := &graph{s: s, index: map[*Entry]int{}, anc: map[*Entry][]*Entry{}}
-	var visit func(e *Entry)
-	visit = func(e *Entry) {
-		if e == nil {
-			return
-		}
-		if _, ok := g.index[e]; ok {
-			return
-		}
-		g.index[e] = -1 // mark
-		for _, p := range e.Prev {
-			visit(p)
-		}
-		g.entries = append(g.entries, e)
-	}
-	for _, e := range view {
-		visit(e)
-	}
-	sort.Slice(g.entries, func(i, j int) bool {
-		a, b := g.entries[i], g.entries[j]
-		if a.Seq != b.Seq {
-			return a.Seq < b.Seq
-		}
-		return a.Proc < b.Proc
-	})
-	for i, e := range g.entries {
-		g.index[e] = i
-	}
-	return g
-}
-
-// ancestors returns the precedence-ancestor set of e (entries that
-// completed before e began), memoized.
-func (g *graph) ancestors(e *Entry) []*Entry {
-	if got, ok := g.anc[e]; ok {
-		return got
-	}
-	seen := map[*Entry]bool{}
-	var out []*Entry
-	var walk func(x *Entry)
-	walk = func(x *Entry) {
-		if x == nil || seen[x] {
-			return
-		}
-		seen[x] = true
-		out = append(out, x)
-		for _, p := range x.Prev {
-			walk(p)
-		}
-	}
-	for _, p := range e.Prev {
-		walk(p)
-	}
-	g.anc[e] = out
-	return out
-}
-
-// linearize runs the Figure 3 construction over the collected entries
-// and returns them in linearization order.
-func (g *graph) linearize() ([]*Entry, error) {
-	k := len(g.entries)
-	pg := lingraph.NewGraph(k)
-	for _, e := range g.entries {
-		for _, a := range g.ancestors(e) {
-			pg.AddPrecedence(g.index[a], g.index[e])
-		}
-	}
-	dom := func(i, j int) bool {
-		a, b := g.entries[i], g.entries[j]
-		return spec.Dominates(g.s, a.Inv, a.Proc, b.Inv, b.Proc)
-	}
-	l, err := lingraph.Build(pg, dom)
-	if err != nil {
-		return nil, err
-	}
-	order := l.Order()
-	out := make([]*Entry, k)
-	for pos, idx := range order {
-		out[pos] = g.entries[idx]
-	}
-	return out, nil
-}
-
 // Respond computes the response to inv after the linearization of
 // view, replaying the sequential specification — the heart of Figure
 // 4's Step 1. It also returns the linearized history for diagnostics.
+//
+// This one-shot form builds everything from scratch; callers that
+// issue repeated operations for the same process should hold a
+// Linearizer, which amortizes the local work to the entries that are
+// new since the previous call. A fresh Linearizer's single call is
+// computation-for-computation the same build, so the two forms agree
+// exactly.
 func Respond(s spec.Spec, view []*Entry, inv spec.Inv) (any, []*Entry, error) {
-	g := buildGraph(s, view)
-	hist, err := g.linearize()
-	if err != nil {
-		return nil, nil, err
-	}
-	st := s.Init()
-	for _, e := range hist {
-		st, _ = s.Apply(st, e.Inv)
-	}
-	_, resp := s.Apply(st, inv)
-	return resp, hist, nil
+	return NewLinearizer(s).Respond(view, inv)
 }
 
 // viewOf extracts the latest-entry-per-process view from a snapshot
@@ -202,6 +102,12 @@ type Universal struct {
 	snap *snapshot.Snapshot
 	seq  []uint64 // per-process sequence numbers (owned by that process)
 
+	// lins[p] is process p's incremental linearization engine. Like
+	// seq[p] it is owned by the goroutine driving p; it holds only
+	// local caches, so it never touches shared registers and the
+	// paper's cost accounting is unaffected.
+	lins []*Linearizer
+
 	probe obs.Probe // nil when uninstrumented
 }
 
@@ -213,7 +119,11 @@ func New(s spec.Spec, n int) *Universal {
 		panic("core: need at least one process")
 	}
 	vl := lattice.Vector{N: n}
-	return &Universal{s: s, n: n, vl: vl, snap: snapshot.New(n, vl), seq: make([]uint64, n)}
+	lins := make([]*Linearizer, n)
+	for p := range lins {
+		lins[p] = NewLinearizer(s)
+	}
+	return &Universal{s: s, n: n, vl: vl, snap: snapshot.New(n, vl), seq: make([]uint64, n), lins: lins}
 }
 
 // NewChecked validates the spec's algebra over the given samples
@@ -241,6 +151,20 @@ func (u *Universal) N() int { return u.n }
 // Spec returns the sequential specification.
 func (u *Universal) Spec() spec.Spec { return u.s }
 
+// SetIncremental toggles every process's incremental linearization
+// fast path; with it off, each Execute rebuilds from scratch (the
+// pre-caching reference cost). Responses, published entries, and the
+// shared-access trace are identical either way — only local work
+// changes. Call before the object is shared across goroutines.
+func (u *Universal) SetIncremental(on bool) {
+	for _, l := range u.lins {
+		l.SetIncremental(on)
+	}
+}
+
+// LinStats returns process p's linearization-engine counters.
+func (u *Universal) LinStats(p int) LinStats { return u.lins[p].Stats() }
+
 // Execute runs one operation for process p: snapshot the anchor array,
 // linearize, choose the response, publish the new entry (Figure 4).
 func (u *Universal) Execute(p int, inv spec.Inv) any {
@@ -250,11 +174,16 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 	// Step 1: atomic scan of the anchor array and response choice.
 	vec := u.snap.ReadMax(p).(lattice.Vec)
 	view := viewOf(vec)
-	resp, _, err := Respond(u.s, view, inv)
+	lin := u.lins[p]
+	rebuildsBefore := lin.Stats().Rebuilds
+	resp, _, err := lin.Respond(view, inv)
 	if err != nil {
 		// The shared graph is produced exclusively by this algorithm;
 		// a cycle is an implementation bug (Lemma 18 excludes it).
 		panic("core: " + err.Error())
+	}
+	if u.probe != nil && lin.Stats().Rebuilds > rebuildsBefore {
+		u.probe.Event(p, obs.EvLinRebuild)
 	}
 	// Pure operations linearize at the scan and are never published:
 	// they have no effect, so no other process's response can depend on

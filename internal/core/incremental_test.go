@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/apram/obs"
+	"repro/internal/lingraph"
+	"repro/internal/pram"
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// This file validates the incremental linearization engine against an
+// independent uncached reference: refRespond below is the pre-caching
+// implementation (recursive graph walk, map-based ancestor closures,
+// full Figure 3 build, replay from Init) kept verbatim as an oracle.
+// Every test asserts BOTH identical responses and identical
+// linearization orders — order equality is the stronger property, since
+// two different orders can still agree on one response.
+
+// refRespond is the uncached reference implementation of Respond.
+func refRespond(t *testing.T, s spec.Spec, view []*Entry, inv spec.Inv) (any, []*Entry) {
+	t.Helper()
+	index := map[*Entry]int{}
+	var entries []*Entry
+	var visit func(e *Entry)
+	visit = func(e *Entry) {
+		if e == nil {
+			return
+		}
+		if _, ok := index[e]; ok {
+			return
+		}
+		index[e] = -1
+		for _, p := range e.Prev {
+			visit(p)
+		}
+		entries = append(entries, e)
+	}
+	for _, e := range view {
+		visit(e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Proc < b.Proc
+	})
+	for i, e := range entries {
+		index[e] = i
+	}
+	ancOf := func(e *Entry) []*Entry {
+		seen := map[*Entry]bool{}
+		var out []*Entry
+		var walk func(x *Entry)
+		walk = func(x *Entry) {
+			if x == nil || seen[x] {
+				return
+			}
+			seen[x] = true
+			out = append(out, x)
+			for _, p := range x.Prev {
+				walk(p)
+			}
+		}
+		for _, p := range e.Prev {
+			walk(p)
+		}
+		return out
+	}
+	pg := lingraph.NewGraph(len(entries))
+	for _, e := range entries {
+		for _, a := range ancOf(e) {
+			pg.AddPrecedence(index[a], index[e])
+		}
+	}
+	l, err := lingraph.Build(pg, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		return spec.Dominates(s, a.Inv, a.Proc, b.Inv, b.Proc)
+	})
+	if err != nil {
+		t.Fatalf("reference build: %v", err)
+	}
+	hist := make([]*Entry, 0, len(entries))
+	invs := make([]spec.Inv, 0, len(entries))
+	for _, idx := range l.Order() {
+		hist = append(hist, entries[idx])
+		invs = append(invs, entries[idx].Inv)
+	}
+	st, _ := spec.Replay(s, invs)
+	_, resp := s.Apply(st, inv)
+	return resp, hist
+}
+
+// assertSameLinearization compares responses and entry-for-entry
+// linearization orders (pointer identity — entries are shared).
+func assertSameLinearization(t *testing.T, label string, gotResp, wantResp any, gotHist, wantHist []*Entry) {
+	t.Helper()
+	if !reflect.DeepEqual(gotResp, wantResp) {
+		t.Fatalf("%s: response %v, reference %v", label, gotResp, wantResp)
+	}
+	if len(gotHist) != len(wantHist) {
+		t.Fatalf("%s: linearization length %d, reference %d", label, len(gotHist), len(wantHist))
+	}
+	for i := range gotHist {
+		if gotHist[i] != wantHist[i] {
+			t.Fatalf("%s: linearization diverges at %d: %v vs reference %v\n got: %v\nwant: %v",
+				label, i, gotHist[i], wantHist[i], gotHist, wantHist)
+		}
+	}
+}
+
+// exploreEquivalence exhaustively enumerates every schedule of the
+// given scripts and, on each, re-validates every operation's response
+// and linearized history against the uncached reference.
+func exploreEquivalence(t *testing.T, s spec.Spec, scripts [][]spec.Inv, budget int) int {
+	t.Helper()
+	sys, ms := newSimSystem(s, scripts)
+	for _, m := range ms {
+		m.record = true
+	}
+	leaves, err := pram.Explore(sys, budget, func(final *pram.System) {
+		for _, pm := range final.Machines {
+			m := pm.(*Machine)
+			if len(m.recViews) != len(m.results) {
+				t.Fatalf("proc %d recorded %d views for %d results", m.proc, len(m.recViews), len(m.results))
+			}
+			for i := range m.recViews {
+				wantResp, wantHist := refRespond(t, s, m.recViews[i], m.Invocation(i))
+				assertSameLinearization(t, "explored schedule", m.results[i], wantResp, m.recHists[i], wantHist)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("%v after %d leaves", err, leaves)
+	}
+	if leaves < 100 {
+		t.Fatalf("only %d schedules explored", leaves)
+	}
+	return leaves
+}
+
+// TestExhaustiveIncrementalMatchesReference: every interleaving of
+// small workloads, each operation checked against the uncached
+// reference for identical responses AND identical linearization
+// orders.
+func TestExhaustiveIncrementalMatchesReference(t *testing.T) {
+	leaves := exploreEquivalence(t, types.Counter{},
+		[][]spec.Inv{{types.Inc(1)}, {types.Read()}}, 10_000_000)
+	t.Logf("inc‖read: %d schedules re-validated", leaves)
+
+	if testing.Short() {
+		return
+	}
+	leaves = exploreEquivalence(t, types.Counter{},
+		[][]spec.Inv{{types.Reset(10)}, {types.Reset(20)}}, 80_000_000)
+	t.Logf("reset‖reset: %d schedules re-validated", leaves)
+
+	leaves = exploreEquivalence(t, types.GSet{},
+		[][]spec.Inv{{types.Add("x")}, {types.Clear()}}, 40_000_000)
+	t.Logf("add‖clear: %d schedules re-validated", leaves)
+}
+
+// TestLinearizerFallbackMatchesReference drives the two fallback
+// triggers deterministically — a new entry below the (Seq, Proc)
+// watermark, and an old non-ancestor entry that dominates a new one —
+// and checks the full-rebuild path against the reference.
+func TestLinearizerFallbackMatchesReference(t *testing.T) {
+	s := types.Counter{}
+	const n = 3
+
+	// Key regression: the observer first sees P1's entry, then P0's
+	// concurrent entry whose key (1,0) sorts below the watermark (1,1).
+	e1 := &Entry{Proc: 1, Seq: 1, Inv: types.Reset(20), Prev: make([]*Entry, n)}
+	e0 := &Entry{Proc: 0, Seq: 1, Inv: types.Inc(3), Prev: make([]*Entry, n)}
+	l := NewLinearizer(s)
+	v1 := []*Entry{nil, e1, nil}
+	resp, hist, err := l.Respond(v1, types.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, wh := refRespond(t, s, v1, types.Read())
+	assertSameLinearization(t, "first view", resp, wr, hist, wh)
+	if st := l.Stats(); st.Rebuilds != 0 || st.Extensions != 1 {
+		t.Fatalf("first view stats %+v, want fast path", st)
+	}
+	v2 := []*Entry{e0, e1, nil}
+	resp, hist, err = l.Respond(v2, types.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, wh = refRespond(t, s, v2, types.Read())
+	assertSameLinearization(t, "key regression", resp, wr, hist, wh)
+	if st := l.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("key regression stats %+v, want one rebuild", st)
+	}
+
+	// Dominance violation: the new entry's key (2,0) is above the
+	// watermark (1,1), but the old concurrent reset by the higher
+	// process dominates it — the reference would linearize the new
+	// entry first, so the old order is not a prefix.
+	d0 := &Entry{Proc: 0, Seq: 2, Inv: types.Reset(10), Prev: make([]*Entry, n)}
+	l2 := NewLinearizer(s)
+	if _, _, err := l2.Respond(v1, types.Read()); err != nil {
+		t.Fatal(err)
+	}
+	v3 := []*Entry{d0, e1, nil}
+	resp, hist, err = l2.Respond(v3, types.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, wh = refRespond(t, s, v3, types.Read())
+	assertSameLinearization(t, "dominance violation", resp, wr, hist, wh)
+	if st := l2.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("dominance violation stats %+v, want one rebuild", st)
+	}
+	// The rebuilt cache keeps working incrementally afterwards.
+	d1 := &Entry{Proc: 1, Seq: 2, Inv: types.Inc(1), Prev: []*Entry{d0, e1, nil}}
+	v4 := []*Entry{d0, d1, nil}
+	resp, hist, err = l2.Respond(v4, types.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, wh = refRespond(t, s, v4, types.Read())
+	assertSameLinearization(t, "post-rebuild extension", resp, wr, hist, wh)
+	if st := l2.Stats(); st.Rebuilds != 1 || st.Extensions != 2 {
+		t.Fatalf("post-rebuild stats %+v, want fast path resumed", st)
+	}
+}
+
+// TestLinearizerRandomHistoriesMatchReference simulates the universal
+// construction's publication protocol sequentially for many mixed
+// operations and checks every call of every process's engine against
+// the reference. Resets give the dominance order real work, and the
+// per-process sequence numbers drift apart enough to exercise both the
+// incremental and the fallback path (asserted).
+func TestLinearizerRandomHistoriesMatchReference(t *testing.T) {
+	const n = 3
+	steps := 250
+	if testing.Short() {
+		steps = 80
+	}
+	s := types.Counter{}
+	rng := rand.New(rand.NewSource(7))
+	lins := make([]*Linearizer, n)
+	for p := range lins {
+		lins[p] = NewLinearizer(s)
+	}
+	seq := make([]uint64, n)
+	latest := make([]*Entry, n)
+	for i := 0; i < steps; i++ {
+		// Skew process selection so sequence numbers drift.
+		p := 0
+		if r := rng.Intn(10); r >= 7 {
+			p = 2
+		} else if r >= 4 {
+			p = 1
+		}
+		var inv spec.Inv
+		switch rng.Intn(5) {
+		case 0:
+			inv = types.Inc(int64(rng.Intn(5)))
+		case 1:
+			inv = types.Dec(int64(rng.Intn(5)))
+		case 2:
+			inv = types.Reset(int64(rng.Intn(10)))
+		default:
+			inv = types.Read()
+		}
+		view := append([]*Entry(nil), latest...)
+		got, hist, err := lins[p].Respond(view, inv)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		wantResp, wantHist := refRespond(t, s, view, inv)
+		assertSameLinearization(t, "random history", got, wantResp, hist, wantHist)
+		if !spec.IsPure(s, inv) {
+			seq[p]++
+			latest[p] = &Entry{Proc: p, Seq: seq[p], Inv: inv, Resp: got, Prev: view}
+		}
+	}
+	var ext, reb, miss uint64
+	for _, l := range lins {
+		st := l.Stats()
+		ext += st.Extensions
+		reb += st.Rebuilds
+		miss += st.CheckpointMisses
+	}
+	t.Logf("extensions=%d rebuilds=%d", ext, reb)
+	if ext == 0 || reb == 0 {
+		t.Fatalf("want both paths exercised, got extensions=%d rebuilds=%d", ext, reb)
+	}
+	if miss != 0 {
+		t.Fatalf("checkpoint misses %d with a well-behaved spec", miss)
+	}
+}
+
+// TestTraceUnchangedByIncrementalCache asserts the cache is invisible
+// in the paper's cost model: the full shared-access trace (every
+// RegReads/RegWrites batch, every publish/pure-elide event, every
+// OpDone, in order) of a workload is bit-for-bit identical with the
+// incremental engine on and off. Only the EvLinRebuild diagnostic —
+// which reports purely local work — may differ, and it is filtered
+// before comparison.
+func TestTraceUnchangedByIncrementalCache(t *testing.T) {
+	const n, rounds = 3, 12
+	workload := func(incremental bool) (recs []obs.Record, resps []any, rebuilds int) {
+		u := New(types.Counter{}, n)
+		u.SetIncremental(incremental)
+		u.Instrument(obs.Trace(func(r obs.Record) {
+			if r.Kind == obs.KindEvent && r.Event == obs.EvLinRebuild {
+				rebuilds++
+				return
+			}
+			recs = append(recs, r)
+		}))
+		for k := 0; k < rounds; k++ {
+			for p := 0; p < n; p++ {
+				resps = append(resps, u.Execute(p, types.Inc(int64(p+k))))
+				resps = append(resps, u.Execute(p, types.Read()))
+			}
+		}
+		return recs, resps, rebuilds
+	}
+	fastRecs, fastResps, fastRebuilds := workload(true)
+	slowRecs, slowResps, slowRebuilds := workload(false)
+	if !reflect.DeepEqual(fastResps, slowResps) {
+		t.Fatalf("responses differ:\n fast %v\n slow %v", fastResps, slowResps)
+	}
+	if !reflect.DeepEqual(fastRecs, slowRecs) {
+		t.Fatalf("shared-access traces differ (%d vs %d records)", len(fastRecs), len(slowRecs))
+	}
+	if fastRebuilds != 0 {
+		t.Fatalf("commuting workload took %d rebuilds on the fast path", fastRebuilds)
+	}
+	if want := n * rounds * 2; slowRebuilds != want {
+		t.Fatalf("forced-rebuild arm reported %d EvLinRebuild, want %d", slowRebuilds, want)
+	}
+}
+
+// TestLinearizerCheckpointValidation corrupts the memoized replay
+// state directly (standing in for a spec that breaks immutability) and
+// checks that spec.Key validation catches it: the response is still
+// correct and the miss is counted.
+func TestLinearizerCheckpointValidation(t *testing.T) {
+	s := types.Counter{}
+	l := NewLinearizer(s)
+	e1 := &Entry{Proc: 0, Seq: 1, Inv: types.Inc(5), Prev: make([]*Entry, 2)}
+	e2 := &Entry{Proc: 1, Seq: 1, Inv: types.Inc(7), Prev: []*Entry{e1, nil}}
+	if _, _, err := l.Respond([]*Entry{e1, nil}, types.Read()); err != nil {
+		t.Fatal(err)
+	}
+	l.state = int64(999) // corrupt the checkpoint behind the engine's back
+	resp, _, err := l.Respond([]*Entry{e1, e2}, types.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(int64) != 12 {
+		t.Fatalf("read after corrupted checkpoint = %v, want 12", resp)
+	}
+	if st := l.Stats(); st.CheckpointMisses != 1 {
+		t.Fatalf("stats %+v, want exactly one checkpoint miss", st)
+	}
+	// And a clean follow-up validates without another miss.
+	if _, _, err := l.Respond([]*Entry{e1, e2}, types.Read()); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.CheckpointMisses != 1 {
+		t.Fatalf("stats %+v after recovery, want no new miss", st)
+	}
+}

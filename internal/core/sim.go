@@ -50,6 +50,7 @@ type Machine struct {
 	u    *SimUniversal
 	proc int
 	scan *snapshot.ScanMachine
+	lin  *Linearizer // per-machine incremental engine (local caches only)
 
 	script  []spec.Inv // full script; Results()[i] answers script[i]
 	next    int        // index of the next unstarted invocation
@@ -58,6 +59,13 @@ type Machine struct {
 	ph      simPhase
 	cur     spec.Inv
 	pending *Entry
+
+	// record, when set by tests, captures each operation's scan view
+	// and linearized history so schedules explored under pram.Explore
+	// can be re-validated against the uncached reference Respond.
+	record   bool
+	recViews [][]*Entry
+	recHists [][]*Entry
 }
 
 // NewMachine returns a machine for process proc with the given
@@ -68,6 +76,7 @@ func NewMachine(u *SimUniversal, proc int, script []spec.Inv) *Machine {
 		u:      u,
 		proc:   proc,
 		scan:   snapshot.NewScanMachine(proc, u.Lay, u.VL, true),
+		lin:    NewLinearizer(u.Spec),
 		script: append([]spec.Inv(nil), script...),
 	}
 }
@@ -89,11 +98,20 @@ func (mc *Machine) Completed() int { return len(mc.results) }
 func (mc *Machine) Done() bool { return mc.ph == simIdle && mc.next == len(mc.script) }
 
 // Clone returns an independent copy. Entries are immutable and shared.
+// The linearization engine is NOT copied — the clone starts with a
+// fresh one. Its contents are pure memoization of the immutable entry
+// graph, so dropping them changes no response; sharing one across
+// diverging schedule branches would be unsound (branches observe
+// different view sequences), and explorer branches are typically short
+// enough that rebuilding is cheap.
 func (mc *Machine) Clone() pram.Machine {
 	cp := *mc
 	cp.scan = mc.scan.Clone().(*snapshot.ScanMachine)
+	cp.lin = NewLinearizer(mc.u.Spec)
 	cp.script = append([]spec.Inv(nil), mc.script...)
 	cp.results = append([]any(nil), mc.results...)
+	cp.recViews = append([][]*Entry(nil), mc.recViews...)
+	cp.recHists = append([][]*Entry(nil), mc.recHists...)
 	return &cp
 }
 
@@ -129,9 +147,14 @@ func (mc *Machine) afterScanStep() {
 	switch mc.ph {
 	case simReading:
 		view := viewOf(last)
-		resp, _, err := Respond(mc.u.Spec, view, mc.cur)
+		resp, hist, err := mc.lin.Respond(view, mc.cur)
 		if err != nil {
 			panic("core: " + err.Error())
+		}
+		if mc.record {
+			// The engine owns hist's backing array; copy for posterity.
+			mc.recViews = append(mc.recViews, append([]*Entry(nil), view...))
+			mc.recHists = append(mc.recHists, append([]*Entry(nil), hist...))
 		}
 		if spec.IsPure(mc.u.Spec, mc.cur) {
 			// Pure operations complete at the scan; nothing to publish.

@@ -22,6 +22,9 @@ var Registry = map[string]func() Table{
 	"e12": E12Consensus,
 	"e13": E13Registers,
 	"e14": E14Exhaustive,
+	// e15 is the chaos harness walk-through in EXPERIMENTS.md — a
+	// narrative, not a table — so the registry skips to e16.
+	"e16": E16LongHistory,
 }
 
 // IDs returns the experiment ids in numeric order.

@@ -221,7 +221,16 @@ func checkOverwrite(s Spec, st State, q, p Inv) string {
 // Replay applies a sequence of invocations from the initial state and
 // returns the final state with every response.
 func Replay(s Spec, invs []Inv) (State, []any) {
-	st := s.Init()
+	return ReplayFrom(s, s.Init(), invs)
+}
+
+// ReplayFrom applies a sequence of invocations starting from st and
+// returns the final state with every response. Because operations are
+// deterministic, replaying a linearization's suffix from a memoized
+// checkpoint state is indistinguishable from replaying the whole
+// history — which is what makes the universal construction's
+// incremental replay caching sound.
+func ReplayFrom(s Spec, st State, invs []Inv) (State, []any) {
 	resps := make([]any, len(invs))
 	for i, inv := range invs {
 		st, resps[i] = s.Apply(st, inv)

@@ -116,6 +116,12 @@ type Report struct {
 	// mirrored apram/obs probe. The engine cross-checks them.
 	Counters pram.Counters
 	Stats    *obs.Stats
+	// Spans is the run's flight-recorder timeline: one begin/end pair
+	// per operation (Name refined to the scripted op, e.g. "enq") plus
+	// the structural events the machines emitted, timestamped by the
+	// engine's global step counter — so a replayed trace exports
+	// byte-identical spans. See WriteSpanDump.
+	Spans []obs.Span
 	// Steps is how many scheduler steps the run took.
 	Steps int
 	// RunErr records why stepping ended early (pram.ErrStopped after a
@@ -289,11 +295,36 @@ func execute(tg *target, tr *histio.TraceFile, sc sched.Scheduler) (*Report, err
 	}
 	n := tr.N
 	stats := obs.NewStats(n)
+	sys := inst.sys
+	// The flight recorder's clock is the engine's global step counter,
+	// which is what makes exported spans a pure function of the
+	// schedule. The ring is sized so no run within the step budget can
+	// overwrite: per slot at most one event per step plus two edges per
+	// operation.
+	maxOps := 0
+	for p := 0; p < n; p++ {
+		if k := inst.nops(p); k > maxOps {
+			maxOps = k
+		}
+	}
+	rec := obs.NewRecorder(n,
+		obs.WithClock(sys.TotalSteps),
+		obs.WithSpanCapacity(tr.MaxSteps+2*maxOps+8))
+	probe := obs.Multi(stats, rec)
 	accBy := make([]uint64, n)
 	inst.mem.Observe(
-		func(p, r int, v pram.Value) { accBy[p]++; stats.RegReads(p, 1) },
-		func(p, r int, v pram.Value) { accBy[p]++; stats.RegWrites(p, 1) },
+		func(p, r int, v pram.Value) { accBy[p]++; probe.RegReads(p, 1) },
+		func(p, r int, v pram.Value) { accBy[p]++; probe.RegWrites(p, 1) },
 	)
+	// Machines that can report structural events (publishes, retries,
+	// rounds) feed the same probe; register counts and op edges stay
+	// with the engine, which sees every access through mem.Observe.
+	type instrumentable interface{ Instrument(obs.Probe) }
+	for _, mc := range sys.Machines {
+		if im, ok := mc.(instrumentable); ok {
+			im.Instrument(probe)
+		}
+	}
 	rep := &Report{Trace: tr, Stats: stats}
 	started := make([]int, n) // step of current op's first grant, -1 if none
 	accStart := make([]uint64, n)
@@ -301,7 +332,6 @@ func execute(tg *target, tr *histio.TraceFile, sc sched.Scheduler) (*Report, err
 	for p := range started {
 		started[p] = -1
 	}
-	sys := inst.sys
 	step := 0
 	for {
 		running := sys.Running()
@@ -325,6 +355,9 @@ func execute(tg *target, tr *histio.TraceFile, sc sched.Scheduler) (*Report, err
 		if started[p] == -1 {
 			started[p] = step
 			accStart[p] = accBy[p]
+			if completed[p] < inst.nops(p) {
+				obs.Begin(probe, p, inst.opKind)
+			}
 		}
 		pre := accBy[p]
 		panicked := stepOnce(sys, p)
@@ -354,6 +387,7 @@ func execute(tg *target, tr *histio.TraceFile, sc sched.Scheduler) (*Report, err
 				Accesses: accesses,
 				Bound:    bound,
 			})
+			probe.OpDone(p, inst.opKind)
 			completed[p]++
 			started[p] = -1
 			accStart[p] = accBy[p]
@@ -365,6 +399,7 @@ func execute(tg *target, tr *histio.TraceFile, sc sched.Scheduler) (*Report, err
 	}
 	rep.Steps = step
 	rep.Counters = inst.mem.Counters()
+	rep.Spans = collectSpans(rec, inst, n)
 
 	// Engine self-check: the memory's counters, the obs probe, and the
 	// per-process tally must agree exactly.

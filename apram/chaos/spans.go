@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/apram/obs"
+)
+
+// collectSpans drains the flight recorder into one merged timeline and
+// tags each begin/end span with the scripted operation it belongs to
+// (the k-th begin on slot p is p's k-th scripted op). The tagging is
+// only sound when the slot's ring kept every record, so a slot that
+// overflowed — impossible within the step budget, see the capacity
+// derivation in execute — keeps its generic op names.
+func collectSpans(rec *obs.Recorder, inst *instance, n int) []obs.Span {
+	var out []obs.Span
+	for p := 0; p < n; p++ {
+		ss := rec.SlotSpans(p)
+		if rec.Dropped(p) == 0 {
+			begins, ends := 0, 0
+			for i := range ss {
+				switch ss[i].Kind {
+				case obs.SpanBegin:
+					if begins < inst.nops(p) {
+						name, _ := inst.inv(p, begins)
+						ss[i].Name = name
+					}
+					begins++
+				case obs.SpanEnd:
+					if ends < inst.nops(p) {
+						name, _ := inst.inv(p, ends)
+						ss[i].Name = name
+					}
+					ends++
+				}
+			}
+		}
+		out = append(out, ss...)
+	}
+	obs.SortSpans(out)
+	return out
+}
+
+// WriteSpanDump writes rep's flight-recorder timeline next to a
+// reproducer: <base>_trace.jsonl (the compact JSONL span format) and
+// <base>_trace.json (Chrome trace-event JSON, loadable by
+// chrome://tracing or ui.perfetto.dev). It returns the two paths.
+// The bytes are a pure function of the trace: replaying the same
+// schedule dumps the same files.
+func WriteSpanDump(dir, base string, rep *Report) (jsonlPath, chromePath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	jsonlPath = filepath.Join(dir, base+"_trace.jsonl")
+	chromePath = filepath.Join(dir, base+"_trace.json")
+	jf, err := os.Create(jsonlPath)
+	if err != nil {
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	if err := obs.WriteSpansJSONL(jf, rep.Spans); err != nil {
+		jf.Close()
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	if err := jf.Close(); err != nil {
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	cf, err := os.Create(chromePath)
+	if err != nil {
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	name := "chaos"
+	if rep.Trace != nil {
+		name = rep.Trace.Structure
+	}
+	if err := obs.WriteChromeTrace(cf, obs.ChromeProcess{Pid: 0, Name: name, Spans: rep.Spans}); err != nil {
+		cf.Close()
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	if err := cf.Close(); err != nil {
+		return "", "", fmt.Errorf("chaos: %w", err)
+	}
+	return jsonlPath, chromePath, nil
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/apram/obs"
+	"repro/internal/histio"
+	"repro/internal/history"
+)
+
+// exportBytes renders a report's flight-recorder spans in both export
+// formats.
+func exportBytes(t *testing.T, rep *Report) (jsonl, chrome []byte) {
+	t.Helper()
+	var jb, cb bytes.Buffer
+	if err := obs.WriteSpansJSONL(&jb, rep.Spans); err != nil {
+		t.Fatal(err)
+	}
+	name := "chaos"
+	if rep.Trace != nil {
+		name = rep.Trace.Structure
+	}
+	if err := obs.WriteChromeTrace(&cb, obs.ChromeProcess{Pid: 0, Name: name, Spans: rep.Spans}); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestSpanExportDeterminism is the tracing acceptance criterion: for a
+// fixed config, running twice and replaying the recorded trace all
+// produce byte-identical JSONL and Chrome-trace exports — timestamps
+// are scheduler steps, so the timeline is a pure function of the
+// schedule.
+func TestSpanExportDeterminism(t *testing.T) {
+	for _, structure := range []string{"counter", "queue", "snapshot", "dcsnapshot", "agreement", "consensus"} {
+		cfg := Config{Structure: structure, Seed: 7, Crashes: 1, Stalls: 1}
+		rep1, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", structure, err)
+		}
+		if len(rep1.Spans) == 0 {
+			t.Errorf("%s: run recorded no spans", structure)
+			continue
+		}
+		rep2, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", structure, err)
+		}
+		rep3, err := Replay(rep1.Trace)
+		if err != nil {
+			t.Fatalf("%s replay: %v", structure, err)
+		}
+		j1, c1 := exportBytes(t, rep1)
+		j2, c2 := exportBytes(t, rep2)
+		j3, c3 := exportBytes(t, rep3)
+		if !bytes.Equal(j1, j2) || !bytes.Equal(c1, c2) {
+			t.Errorf("%s: two runs of the same config exported different traces", structure)
+		}
+		if !bytes.Equal(j1, j3) || !bytes.Equal(c1, c3) {
+			t.Errorf("%s: replay exported a different trace than the original run", structure)
+		}
+		if !json.Valid(c1) {
+			t.Errorf("%s: Chrome trace is not valid JSON", structure)
+		}
+	}
+}
+
+// TestSpansMirrorHistory pins the span/history correspondence on a
+// clean run: per slot, end spans match the completed operations one to
+// one (same scripted names, in order), and every pending invocation is
+// visible as a begin edge with no end.
+func TestSpansMirrorHistory(t *testing.T) {
+	rep, err := Run(Config{Structure: "counter", Seed: 3, Crashes: 1, Stalls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSpansMirrorHistory(t, rep)
+}
+
+func checkSpansMirrorHistory(t *testing.T, rep *Report) {
+	t.Helper()
+	completed := map[int][]history.Op{}
+	for _, op := range rep.History.Ops {
+		completed[op.Proc] = append(completed[op.Proc], op)
+	}
+	pending := map[int][]history.Op{}
+	for _, op := range rep.Pending {
+		pending[op.Proc] = append(pending[op.Proc], op)
+	}
+	bySlot := map[int][]obs.Span{}
+	for _, sp := range rep.Spans {
+		bySlot[sp.Slot] = append(bySlot[sp.Slot], sp)
+	}
+	for slot, ss := range bySlot {
+		var begins, ends []obs.Span
+		for _, sp := range ss {
+			switch sp.Kind {
+			case obs.SpanBegin:
+				begins = append(begins, sp)
+			case obs.SpanEnd:
+				ends = append(ends, sp)
+			}
+		}
+		if got, want := len(ends), len(completed[slot]); got != want {
+			t.Errorf("slot %d: %d end spans, %d completed ops", slot, got, want)
+			continue
+		}
+		for i, op := range completed[slot] {
+			if ends[i].Label() != op.Name {
+				t.Errorf("slot %d op %d: end span labelled %q, history says %q",
+					slot, i, ends[i].Label(), op.Name)
+			}
+		}
+		if got, want := len(begins), len(completed[slot])+len(pending[slot]); got != want {
+			t.Errorf("slot %d: %d begin spans, want %d (completed+pending)", slot, got, want)
+		}
+	}
+	for slot, ops := range pending {
+		if len(bySlot[slot]) == 0 && len(ops) > 0 {
+			t.Errorf("slot %d has pending ops but no spans", slot)
+		}
+	}
+}
+
+// TestSpanDumpPinpointsQueueViolation closes the triage loop on the
+// planted Property 1 violator: the shrunk reproducer's span dump must
+// name the scripted operations so the violating op is identifiable in
+// the timeline — the end spans reproduce the completed history exactly,
+// and any invocation the oracle saw as pending shows up as a begin
+// edge with no matching end.
+func TestSpanDumpPinpointsQueueViolation(t *testing.T) {
+	var failing *histio.TraceFile
+	for seed := int64(0); seed < 50 && failing == nil; seed++ {
+		rep, err := Run(Config{Structure: "queue", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FailsOracle(OracleLin) {
+			failing = rep.Trace
+		}
+	}
+	if failing == nil {
+		t.Fatal("no seed in [0,50) produced a non-linearizable queue run")
+	}
+	min, err := Shrink(failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FailsOracle(OracleLin) {
+		t.Fatal("shrunk trace no longer fails")
+	}
+	checkSpansMirrorHistory(t, rep)
+
+	dir := t.TempDir()
+	jp, cp, err := WriteSpanDump(dir, "queue_min", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpansJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dump is the report's span list, byte-robust through the file.
+	if len(spans) != len(rep.Spans) {
+		t.Fatalf("dump has %d spans, report has %d", len(spans), len(rep.Spans))
+	}
+	sawScripted := false
+	for _, sp := range spans {
+		if sp.Kind != obs.SpanEvent && (sp.Name == "enq" || sp.Name == "deq") {
+			sawScripted = true
+		}
+	}
+	if !sawScripted {
+		t.Fatal("span dump carries no scripted queue op names; the timeline cannot pinpoint the violation")
+	}
+	cdata, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(cdata) || !bytes.Contains(cdata, []byte("traceEvents")) {
+		t.Fatal("Chrome dump is not a loadable trace document")
+	}
+}

@@ -34,6 +34,9 @@ type instance struct {
 	bound func(proc, i int) uint64
 	// check runs structure-specific invariants after the run.
 	check func(rep *Report) []Failure
+	// opKind is the obs.Op the engine stamps on this structure's
+	// begin/end spans (refined per-op by the script name in Span.Name).
+	opKind obs.Op
 }
 
 // target describes one fuzzable structure: how to generate scripts
@@ -137,6 +140,7 @@ func universalTarget(s types.Sampler) *target {
 					}
 					return obs.ExecuteBound(n)
 				},
+				opKind: obs.OpExecute,
 			}, nil
 		},
 	}
@@ -264,6 +268,7 @@ func snapshotTarget(name string, optimized bool) *target {
 				check: func(rep *Report) []Failure {
 					return checkScanInvariants(lat, sms, args)
 				},
+				opKind: obs.OpScan,
 			}, nil
 		},
 	}
@@ -375,6 +380,7 @@ func dcsnapshotTarget() *target {
 					}
 					return 1 // one write per update
 				},
+				opKind: obs.OpScan,
 			}, nil
 		},
 	}
@@ -430,6 +436,7 @@ func agreementTarget() *target {
 				check: func(rep *Report) []Failure {
 					return checkAgreement(ams, inputs, lo, hi)
 				},
+				opKind: obs.OpAgree,
 			}, nil
 		},
 	}
@@ -526,6 +533,7 @@ func consensusTarget() *target {
 				check: func(rep *Report) []Failure {
 					return checkConsensus(sts, props)
 				},
+				opKind: obs.OpDecide,
 			}, nil
 		},
 	}

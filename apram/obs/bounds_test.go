@@ -1,8 +1,10 @@
 package obs_test
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/apram"
 	"repro/apram/obs"
 	"repro/internal/core"
 	"repro/internal/snapshot"
@@ -24,6 +26,94 @@ func TestBoundsMatchAuthoritativeFormulas(t *testing.T) {
 		}
 		if got, want := obs.PureExecuteBound(n), core.PureOpReads(n)+core.PureOpWrites(n); got != want {
 			t.Fatalf("PureExecuteBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMeasuredCountsMatchClosedForms runs every structure with a
+// closed-form per-op cost under an attached Stats probe and checks the
+// measured register accesses against the formulas — from the n=1
+// degenerate case (ScanBound(1) = 2: zero cross-slot reads, two
+// writes) through the largest sizes the repository benchmarks. The
+// drivers are deterministic, so equality is exact, not a ≤ bound.
+func TestMeasuredCountsMatchClosedForms(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 32} {
+		cases := []struct {
+			name    string
+			op      obs.Op
+			perOp   uint64
+			mkState func(probe obs.Probe) func(p int)
+		}{
+			{
+				name: "snapshot", op: obs.OpScan, perOp: obs.ScanBound(n),
+				mkState: func(probe obs.Probe) func(p int) {
+					s := apram.NewSnapshot(n, apram.MaxInt{}, apram.WithProbe(probe))
+					return func(p int) { s.Scan(p, int64(p)) }
+				},
+			},
+			{
+				name: "array-snapshot", op: obs.OpScan, perOp: obs.ScanBound(n),
+				mkState: func(probe obs.Probe) func(p int) {
+					a := apram.NewArraySnapshot(n, apram.WithProbe(probe))
+					return func(p int) { a.Update(p, p) }
+				},
+			},
+			{
+				name: "counter", op: obs.OpCounterAdd, perOp: 2 * obs.ScanBound(n),
+				mkState: func(probe obs.Probe) func(p int) {
+					c := apram.NewCounter(n, apram.WithProbe(probe))
+					return func(p int) { c.Inc(p, 1) }
+				},
+			},
+			{
+				name: "clock", op: obs.OpClockMerge, perOp: obs.ScanBound(n),
+				mkState: func(probe obs.Probe) func(p int) {
+					c := apram.NewClock(n, apram.WithProbe(probe))
+					return func(p int) { c.Merge(p, apram.IntMap{fmt.Sprintf("c%d", p): 1}) }
+				},
+			},
+			{
+				name: "prmw", op: obs.OpPRMWUpdate, perOp: obs.ScanBound(n),
+				mkState: func(probe obs.Probe) func(p int) {
+					o := apram.NewPRMW(n, apram.AddFamily{}, apram.WithProbe(probe))
+					return func(p int) { o.Update(p, int64(1)) }
+				},
+			},
+			{
+				name: "object", op: obs.OpExecute, perOp: obs.ExecuteBound(n),
+				mkState: func(probe obs.Probe) func(p int) {
+					u := apram.NewObject(apram.CounterSpec{}, n, apram.WithProbe(probe))
+					return func(p int) { u.Execute(p, apram.Inc(1)) }
+				},
+			},
+		}
+		for _, tc := range cases {
+			const rounds = 3
+			st := obs.NewStats(n)
+			exec := tc.mkState(st)
+			for r := 0; r < rounds; r++ {
+				for p := 0; p < n; p++ {
+					exec(p)
+				}
+			}
+			ops := uint64(rounds * n)
+			sum := st.Snapshot()
+			if got, want := sum.Reads+sum.Writes, ops*tc.perOp; got != want {
+				t.Errorf("n=%d %s: %d ops cost %d accesses, closed form says %d",
+					n, tc.name, ops, got, want)
+			}
+			opSum, ok := sum.Ops[tc.op.String()]
+			if !ok || opSum.Count != ops {
+				t.Errorf("n=%d %s: op attribution missing or short: %+v", n, tc.name, sum.Ops)
+				continue
+			}
+			if opSum.Steps != ops*tc.perOp {
+				t.Errorf("n=%d %s: attributed steps %d, want %d", n, tc.name, opSum.Steps, ops*tc.perOp)
+			}
+			if tc.perOp > obs.OpBound(tc.op, n) && obs.OpBound(tc.op, n) != 0 {
+				t.Errorf("n=%d %s: measured per-op cost %d exceeds OpBound %d",
+					n, tc.name, tc.perOp, obs.OpBound(tc.op, n))
+			}
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/apram"
+	"repro/apram/obs"
+)
+
+// A Recorder is a probe like any other: attach it at construction and
+// every operation leaves timestamped begin/end spans in a per-slot
+// ring. With a deterministic clock the exported timeline is a pure
+// function of the operations performed.
+func ExampleNewRecorder() {
+	var step uint64
+	rec := obs.NewRecorder(2, obs.WithClock(func() uint64 { step++; return step }))
+	s := apram.NewSnapshot(2, apram.MaxInt{}, apram.WithProbe(rec))
+	s.Scan(0, int64(10))
+	s.Scan(1, int64(20))
+	for _, sp := range rec.Spans() {
+		switch sp.Kind {
+		case obs.SpanBegin:
+			fmt.Printf("t=%d p%d %s begin\n", sp.Time, sp.Slot, sp.Label())
+		case obs.SpanEnd:
+			fmt.Printf("t=%d p%d %s end (%d reads, %d writes)\n",
+				sp.Time, sp.Slot, sp.Label(), sp.Reads, sp.Writes)
+		}
+	}
+	// Output:
+	// t=1 p0 scan begin
+	// t=2 p0 scan end (3 reads, 3 writes)
+	// t=3 p1 scan begin
+	// t=4 p1 scan end (3 reads, 3 writes)
+}
+
+// SummarizeSpans folds a recorded timeline into per-operation totals;
+// WriteChromeTrace renders the same spans for chrome://tracing.
+func ExampleSummarizeSpans() {
+	var step uint64
+	rec := obs.NewRecorder(1, obs.WithClock(func() uint64 { step++; return step }))
+	c := apram.NewCounter(1, apram.WithProbe(rec))
+	c.Inc(0, 1)
+	c.Inc(0, 2)
+	for _, sum := range obs.SummarizeSpans(rec.Spans()) {
+		fmt.Printf("%s: %d ops, %d steps\n", sum.Name, sum.Count, sum.Steps)
+	}
+	obs.WriteChromeTrace(os.Stdout, obs.ChromeProcess{Pid: 0, Name: "demo", Spans: rec.Spans()[:0]})
+	// Output:
+	// counter-add: 2 ops, 8 steps
+	// {"displayTimeUnit":"ms","traceEvents":[
+	// {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"demo"}}
+	// ]}
+}

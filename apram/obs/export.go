@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file holds the flight-recorder exporters. Both formats are
+// emitted by hand (fmt, not encoding/json marshalling of maps) so the
+// byte stream is a pure function of the span list — the determinism
+// the chaos replay test pins.
+
+// WriteSpansJSONL writes spans in the compact JSONL span format: one
+// JSON object per line, in the given order. Fields: t (timestamp),
+// slot, seq, kind ("begin"/"end"/"event"), op or event name, reads and
+// writes on end records, name when a span carries a refined label.
+func WriteSpansJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	for _, sp := range spans {
+		fmt.Fprintf(bw, `{"t":%d,"slot":%d,"seq":%d,"kind":%q`, sp.Time, sp.Slot, sp.Seq, sp.Kind.String())
+		switch sp.Kind {
+		case SpanEvent:
+			fmt.Fprintf(bw, `,"event":%q`, sp.Event.String())
+		case SpanEnd:
+			fmt.Fprintf(bw, `,"op":%q,"reads":%d,"writes":%d`, sp.Op.String(), sp.Reads, sp.Writes)
+		default:
+			fmt.Fprintf(bw, `,"op":%q`, sp.Op.String())
+		}
+		if sp.Name != "" {
+			fmt.Fprintf(bw, `,"name":%s`, jsonString(sp.Name))
+		}
+		if _, err := bw.WriteString("}\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonlSpan mirrors one WriteSpansJSONL line for decoding.
+type jsonlSpan struct {
+	T      uint64 `json:"t"`
+	Slot   int    `json:"slot"`
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Op     string `json:"op"`
+	Event  string `json:"event"`
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	Name   string `json:"name"`
+}
+
+// ReadSpansJSONL parses a stream written by WriteSpansJSONL.
+func ReadSpansJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var js jsonlSpan
+		if err := json.Unmarshal(b, &js); err != nil {
+			return nil, fmt.Errorf("obs: spans line %d: %w", line, err)
+		}
+		sp := Span{Slot: js.Slot, Seq: js.Seq, Time: js.T, Reads: js.Reads, Writes: js.Writes, Name: js.Name}
+		switch js.Kind {
+		case "begin":
+			sp.Kind = SpanBegin
+		case "end":
+			sp.Kind = SpanEnd
+		case "event":
+			sp.Kind = SpanEvent
+		default:
+			return nil, fmt.Errorf("obs: spans line %d: unknown kind %q", line, js.Kind)
+		}
+		if sp.Kind == SpanEvent {
+			ev, err := eventByName(js.Event)
+			if err != nil {
+				return nil, fmt.Errorf("obs: spans line %d: %w", line, err)
+			}
+			sp.Event = ev
+		} else {
+			op, err := opByName(js.Op)
+			if err != nil {
+				return nil, fmt.Errorf("obs: spans line %d: %w", line, err)
+			}
+			sp.Op = op
+		}
+		out = append(out, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: spans: %w", err)
+	}
+	return out, nil
+}
+
+func opByName(name string) (Op, error) {
+	for o := Op(0); o < NumOps; o++ {
+		if opNames[o] == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op %q", name)
+}
+
+func eventByName(name string) (Event, error) {
+	for e := Event(0); e < NumEvents; e++ {
+		if eventNames[e] == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event %q", name)
+}
+
+// ChromeProcess groups one structure's spans under one pid in a
+// Chrome trace, so a multi-structure export (aprambench -trace) gets
+// one named process row per structure.
+type ChromeProcess struct {
+	// Pid is the trace-event process id.
+	Pid int
+	// Name labels the process row (chrome://tracing's process name).
+	Name string
+	// Spans are the process's spans; slots become threads (tid = slot).
+	Spans []Span
+}
+
+// WriteChromeTrace writes the processes as a Chrome trace-event JSON
+// document loadable by chrome://tracing or ui.perfetto.dev. Each
+// process slot is one track (tid); begin/end pairs become complete
+// ("X") duration events with the op's reads/writes as args, events
+// become thread-scoped instants ("i"), and a begin left open by a
+// crash becomes an unterminated "B". Timestamps are the recorder
+// clock's ticks reported as microseconds — under the chaos harness one
+// microsecond on screen is exactly one scheduler step.
+func WriteChromeTrace(w io.Writer, procs ...ChromeProcess) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(s)
+	}
+	for _, proc := range procs {
+		if proc.Name != "" {
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+				proc.Pid, jsonString(proc.Name)))
+		}
+		bySlot := map[int][]Span{}
+		slots := []int{}
+		for _, sp := range proc.Spans {
+			if _, ok := bySlot[sp.Slot]; !ok {
+				slots = append(slots, sp.Slot)
+			}
+			bySlot[sp.Slot] = append(bySlot[sp.Slot], sp)
+		}
+		sortInts(slots)
+		for _, slot := range slots {
+			ss := bySlot[slot]
+			// Recording order within the slot, so end edges pair with
+			// the most recent begin.
+			sortBySeq(ss)
+			var openBegin *Span
+			for i := range ss {
+				sp := ss[i]
+				switch sp.Kind {
+				case SpanBegin:
+					if openBegin != nil {
+						// A begin whose end never arrived (crash or ring
+						// overwrite): emit it unterminated.
+						emit(chromeBegin(proc.Pid, *openBegin))
+					}
+					openBegin = &ss[i]
+				case SpanEnd:
+					if openBegin != nil {
+						emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"reads":%d,"writes":%d}}`,
+							proc.Pid, sp.Slot, openBegin.Time, sp.Time-openBegin.Time,
+							jsonString(sp.Label()), sp.Reads, sp.Writes))
+						openBegin = nil
+					}
+					// An end without a surviving begin has no start time;
+					// it is dropped (the JSONL export still carries it).
+				case SpanEvent:
+					emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%d,"s":"t","name":%s}`,
+						proc.Pid, sp.Slot, sp.Time, jsonString(sp.Label())))
+				}
+			}
+			if openBegin != nil {
+				emit(chromeBegin(proc.Pid, *openBegin))
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func chromeBegin(pid int, sp Span) string {
+	return fmt.Sprintf(`{"ph":"B","pid":%d,"tid":%d,"ts":%d,"name":%s}`,
+		pid, sp.Slot, sp.Time, jsonString(sp.Label()))
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return strconv.Quote(s)
+	}
+	return string(b)
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func sortBySeq(ss []Span) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Seq < ss[j].Seq })
+}

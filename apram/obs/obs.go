@@ -161,6 +161,30 @@ type Probe interface {
 	OpDone(slot int, op Op)
 }
 
+// SpanProbe is an optional Probe extension for observers that track
+// operation *intervals* rather than just completions. Objects announce
+// the start of each top-level operation through obs.Begin, which
+// forwards to OpBegin when the attached probe implements it and is a
+// no-op otherwise — so plain Probes (Stats) keep working unchanged
+// while span-aware ones (Recorder) see both edges. OpBegin follows the
+// same single-writer, wait-free contract as every Probe method.
+type SpanProbe interface {
+	Probe
+	// OpBegin records that slot started executing op. Every OpBegin is
+	// eventually paired with an OpDone for the same slot unless the
+	// process crashes mid-operation.
+	OpBegin(slot int, op Op)
+}
+
+// Begin reports an operation start to p if (and only if) p is a
+// SpanProbe. Callers guard with their usual nil-probe check; Begin
+// itself only pays a type assertion.
+func Begin(p Probe, slot int, op Op) {
+	if sp, ok := p.(SpanProbe); ok {
+		sp.OpBegin(slot, op)
+	}
+}
+
 // Nop is the no-op probe: the default when no probe is attached.
 // Objects keep a nil probe and skip reporting entirely, so the nil
 // fast path costs one predictable branch per operation; Nop exists for
@@ -173,6 +197,7 @@ func (nop) RegReads(int, int)  {}
 func (nop) RegWrites(int, int) {}
 func (nop) Event(int, Event)   {}
 func (nop) OpDone(int, Op)     {}
+func (nop) OpBegin(int, Op)    {}
 
 // Multi fans callbacks out to several probes in order. Nil entries are
 // dropped; an empty result degenerates to Nop.
@@ -218,6 +243,17 @@ func (m multi) OpDone(slot int, op Op) {
 	}
 }
 
+// OpBegin forwards the operation start to every member that is itself
+// a SpanProbe, so a Multi(stats, recorder) fan-out satisfies SpanProbe
+// without demanding it of every member.
+func (m multi) OpBegin(slot int, op Op) {
+	for _, p := range m {
+		if sp, ok := p.(SpanProbe); ok {
+			sp.OpBegin(slot, op)
+		}
+	}
+}
+
 // Kind discriminates trace records.
 type Kind uint8
 
@@ -231,6 +267,8 @@ const (
 	KindEvent
 	// KindOp is an OpDone callback.
 	KindOp
+	// KindBegin is an OpBegin callback (span-aware probes only).
+	KindBegin
 )
 
 // String names the kind.
@@ -244,6 +282,8 @@ func (k Kind) String() string {
 		return "event"
 	case KindOp:
 		return "op"
+	case KindBegin:
+		return "begin"
 	}
 	return "kind?"
 }
@@ -280,3 +320,6 @@ func (t Trace) Event(slot int, e Event) { t(Record{Slot: slot, Kind: KindEvent, 
 
 // OpDone traces an operation completion.
 func (t Trace) OpDone(slot int, op Op) { t(Record{Slot: slot, Kind: KindOp, Op: op}) }
+
+// OpBegin traces an operation start, making Trace a SpanProbe.
+func (t Trace) OpBegin(slot int, op Op) { t(Record{Slot: slot, Kind: KindBegin, Op: op}) }

@@ -1,0 +1,168 @@
+package obs
+
+import "sort"
+
+// SpanKind discriminates flight-recorder records.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// SpanBegin is an operation's begin edge.
+	SpanBegin SpanKind = iota
+	// SpanEnd is an operation's end edge; it carries the op's measured
+	// register reads and writes.
+	SpanEnd
+	// SpanEvent is a structural event (retry, help, publish, ...).
+	SpanEvent
+
+	// NumSpanKinds bounds the enum; keep it last.
+	NumSpanKinds
+)
+
+var spanKindNames = [NumSpanKinds]string{"begin", "end", "event"}
+
+// String names the span kind (stable identifiers, used as JSON keys).
+func (k SpanKind) String() string {
+	if k < NumSpanKinds {
+		return spanKindNames[k]
+	}
+	return "spankind?"
+}
+
+// Span is one decoded flight-recorder record.
+type Span struct {
+	// Slot is the process slot that recorded it.
+	Slot int
+	// Seq is the record's per-slot sequence number (0 = the slot's
+	// first record ever; gaps at the front mean the ring overwrote).
+	Seq uint64
+	// Time is the record's timestamp in the recorder's clock — the
+	// engine's global step counter under the chaos harness and the
+	// simulators, a recorder-local tick otherwise.
+	Time uint64
+	// Kind says which edge or event this is.
+	Kind SpanKind
+	// Op is set for SpanBegin and SpanEnd records.
+	Op Op
+	// Event is set for SpanEvent records.
+	Event Event
+	// Reads and Writes are the operation's register accesses, set on
+	// SpanEnd records (saturating at 2²⁴−1 each).
+	Reads, Writes uint64
+	// Name optionally refines the label — e.g. the chaos harness tags
+	// universal-construction spans with the scripted operation ("enq",
+	// "deq") instead of the generic "execute". Empty means use the Op
+	// or Event name.
+	Name string
+}
+
+// Label is the span's display name: Name when set, otherwise the Op
+// name for begin/end records and the Event name for event records.
+func (s Span) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Kind == SpanEvent {
+		return s.Event.String()
+	}
+	return s.Op.String()
+}
+
+// SortSpans orders spans into one deterministic timeline: by Time,
+// then Slot, then Seq.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// SpanOpSummary aggregates the end spans (and the events recorded
+// between begin and end) of one operation label.
+type SpanOpSummary struct {
+	// Name is the operation label (Span.Label of the end records).
+	Name string `json:"name"`
+	// Count is how many operations completed under this label.
+	Count uint64 `json:"count"`
+	// Reads, Writes and Steps (= Reads+Writes) total the operations'
+	// register accesses; Min/MaxSteps bound a single operation's.
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	Steps    uint64 `json:"steps"`
+	MinSteps uint64 `json:"min_steps"`
+	MaxSteps uint64 `json:"max_steps"`
+	// Events counts the structural events recorded while an operation
+	// with this label was open on the recording slot.
+	Events map[string]uint64 `json:"events,omitempty"`
+}
+
+// SummarizeSpans folds a span list into per-operation-label summaries,
+// sorted by name. Events are attributed to the operation open on their
+// slot when they fired; events outside any operation are dropped (the
+// exporters still carry them).
+func SummarizeSpans(spans []Span) []SpanOpSummary {
+	// Group by slot, then walk each slot in recording order so event
+	// attribution follows the actual begin/end nesting.
+	bySlot := map[int][]Span{}
+	for _, sp := range spans {
+		bySlot[sp.Slot] = append(bySlot[sp.Slot], sp)
+	}
+	sums := map[string]*SpanOpSummary{}
+	for _, ss := range bySlot {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Seq < ss[j].Seq })
+		open := false
+		var pending map[string]uint64 // events since the open begin
+		for _, sp := range ss {
+			switch sp.Kind {
+			case SpanBegin:
+				open = true
+				pending = nil
+			case SpanEvent:
+				if open {
+					if pending == nil {
+						pending = map[string]uint64{}
+					}
+					pending[sp.Event.String()]++
+				}
+			case SpanEnd:
+				name := sp.Label()
+				sum := sums[name]
+				if sum == nil {
+					sum = &SpanOpSummary{Name: name, MinSteps: ^uint64(0)}
+					sums[name] = sum
+				}
+				steps := sp.Reads + sp.Writes
+				sum.Count++
+				sum.Reads += sp.Reads
+				sum.Writes += sp.Writes
+				sum.Steps += steps
+				if steps < sum.MinSteps {
+					sum.MinSteps = steps
+				}
+				if steps > sum.MaxSteps {
+					sum.MaxSteps = steps
+				}
+				for ev, c := range pending {
+					if sum.Events == nil {
+						sum.Events = map[string]uint64{}
+					}
+					sum.Events[ev] += c
+				}
+				open = false
+				pending = nil
+			}
+		}
+	}
+	out := make([]SpanOpSummary, 0, len(sums))
+	for _, sum := range sums {
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -118,6 +118,11 @@ func (s *Stats) Ops(op Op) uint64 {
 	return t
 }
 
+// EventsBy returns slot's occurrence count for e.
+func (s *Stats) EventsBy(slot int, e Event) uint64 {
+	return s.slot(slot).events[e].Load()
+}
+
 // Events returns the aggregate occurrence count for e.
 func (s *Stats) Events(e Event) uint64 {
 	var t uint64
@@ -146,6 +151,9 @@ type SlotSummary struct {
 	Writes uint64 `json:"writes"`
 	// Ops is the slot's completion count per op name.
 	Ops map[string]uint64 `json:"ops,omitempty"`
+	// Events is the slot's occurrence count per event name (only
+	// events that occurred appear).
+	Events map[string]uint64 `json:"events,omitempty"`
 	// Hist is the slot's power-of-two steps-per-op histogram.
 	Hist []uint64 `json:"hist,omitempty"`
 }
@@ -198,6 +206,10 @@ func (s *Stats) Snapshot() Summary {
 		for e := Event(0); e < NumEvents; e++ {
 			if c := sl.events[e].Load(); c > 0 {
 				sum.Events[e.String()] += c
+				if ss.Events == nil {
+					ss.Events = map[string]uint64{}
+				}
+				ss.Events[e.String()] = c
 			}
 		}
 		for op := Op(0); op < NumOps; op++ {

@@ -43,6 +43,30 @@ type OpSummary = obs.OpSummary
 // slots.
 func NewStats(n int) *Stats { return obs.NewStats(n) }
 
+// Recorder is the wait-free flight recorder from package obs: a probe
+// that keeps per-slot rings of timestamped op begin/end spans and
+// structural events. Attach one with WithProbe (alone, or alongside a
+// Stats via obs.Multi), drain it with its Spans method, and export the
+// result with obs.WriteSpansJSONL / obs.WriteChromeTrace or summarize
+// it with SummarizeSpans.
+type Recorder = obs.Recorder
+
+// Span is one decoded flight-recorder record (obs.Span).
+type Span = obs.Span
+
+// SpanOpSummary is one operation label's row from SummarizeSpans.
+type SpanOpSummary = obs.SpanOpSummary
+
+// NewRecorder returns a flight recorder sized for objects with n
+// process slots; see obs.NewRecorder for options (ring capacity,
+// timestamp source).
+func NewRecorder(n int, opts ...obs.RecorderOption) *Recorder { return obs.NewRecorder(n, opts...) }
+
+// SummarizeSpans folds a recorded span timeline into per-operation
+// summaries (count, register accesses, step extremes, events observed
+// inside the ops), sorted by operation label.
+func SummarizeSpans(spans []Span) []SpanOpSummary { return obs.SummarizeSpans(spans) }
+
 // Option configures an object at construction time; build them with
 // WithProbe, WithSeed and WithName.
 type Option func(*config)

@@ -370,6 +370,48 @@ func BenchmarkProbeOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkRecorderOverhead compares the no-probe hot path against an
+// attached flight recorder, for the same two structures the 5% budget
+// is stated over. The nil-recorder baseline must track the noprobe
+// subbenchmarks of BenchmarkProbeOverhead (the begin edges are gated
+// behind the same nil check as OpDone); the recorder rows bound what a
+// user pays for an always-on trace.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	const n = 8
+	b.Run("scan/none", func(b *testing.B) {
+		s := snapshot.New(n, lattice.MaxInt{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Scan(0, int64(i))
+		}
+	})
+	b.Run("scan/recorder", func(b *testing.B) {
+		s := snapshot.New(n, lattice.MaxInt{})
+		s.Instrument(obs.NewRecorder(n), true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Scan(0, int64(i))
+		}
+	})
+	b.Run("counter-inc/none", func(b *testing.B) {
+		c := types.NewDirectCounter(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(0, 1)
+		}
+	})
+	b.Run("counter-inc/recorder", func(b *testing.B) {
+		c := types.NewDirectCounter(n)
+		c.Instrument(obs.NewRecorder(n), true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc(0, 1)
+		}
+	})
+}
+
 func BenchmarkCounterIncParallel(b *testing.B) {
 	const n = 8
 	c := types.NewDirectCounter(n)

@@ -11,6 +11,7 @@
 //	aprambench -markdown          # emit GitHub-flavoured markdown
 //	aprambench -json out.json     # per-structure benchmark JSON ("-" = stdout)
 //	aprambench -json - -structures snapshot,counter -n 16 -ops 5000
+//	aprambench -json - -trace trace.json   # also dump a Chrome trace
 //	aprambench -baseline BENCH_baseline.json -structures object
 //	aprambench -exp e16 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -21,12 +22,15 @@
 // no longer reproduce. -cpuprofile/-memprofile write pprof profiles of
 // whatever work ran.
 //
-// The JSON document (schema "apram-bench/v1") carries, per structure,
+// The JSON document (schema "apram-bench/v2") carries, per structure,
 // ops/sec and allocations from a probe-free timing pass, measured
 // register reads/writes per operation from an instrumented pass, the
-// paper's Section 6.2 predictions for comparison, and structural event
-// totals. See DESIGN.md for the experiment index and EXPERIMENTS.md
-// for a recorded reference run.
+// paper's Section 6.2 predictions for comparison, and the complete
+// per-event count map. -trace additionally dumps the counting pass's
+// flight-recorder timeline as Chrome trace-event JSON (one process per
+// structure, one track per slot) loadable in chrome://tracing or
+// ui.perfetto.dev. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for a recorded reference run.
 //
 // Malformed invocations — unknown flags, stray positional arguments,
 // unknown structure names, -structures without -json — exit non-zero.
@@ -52,6 +56,7 @@ func main() {
 	structs := flag.String("structures", "", "comma-separated structure names for -json/-baseline (default: all; see -json -structures list)")
 	nslots := flag.Int("n", 8, "process slots per structure for -json")
 	ops := flag.Int("ops", 2000, "operations per structure for -json")
+	tracePath := flag.String("trace", "", "with -json: write a Chrome trace of the counting pass to this path")
 	baseline := flag.String("baseline", "", "perf gate: compare a fresh benchmark run against this baseline report")
 	tolerance := flag.Float64("tolerance", 2, "ns/op regression factor tolerated by -baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -65,6 +70,9 @@ func main() {
 	}
 	if *structs != "" && *jsonPath == "" && *baseline == "" {
 		fatal(fmt.Errorf("-structures requires -json or -baseline"))
+	}
+	if *tracePath != "" && *jsonPath == "" {
+		fatal(fmt.Errorf("-trace requires -json"))
 	}
 
 	if *cpuprofile != "" {
@@ -90,7 +98,7 @@ func main() {
 	case *baseline != "":
 		code = runBaseline(*baseline, *structs, *tolerance)
 	case *jsonPath != "":
-		runJSON(*jsonPath, *structs, *nslots, *ops)
+		runJSON(*jsonPath, *tracePath, *structs, *nslots, *ops)
 	default:
 		ids := experiments.IDs()
 		if *exp != "" {
@@ -171,8 +179,8 @@ func runBaseline(path, structs string, tolerance float64) int {
 }
 
 // runJSON executes the native-structure benchmarks and writes the
-// report.
-func runJSON(path, structs string, n, ops int) {
+// report, plus the counting pass's Chrome trace when -trace is given.
+func runJSON(path, tracePath, structs string, n, ops int) {
 	cfg := benchjson.Config{N: n, Ops: ops}
 	if structs == "list" {
 		for _, name := range benchjson.Names() {
@@ -190,9 +198,23 @@ func runJSON(path, structs string, n, ops int) {
 			fatal(fmt.Errorf("-structures given but empty"))
 		}
 	}
+	var tf *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tf = f
+		cfg.Trace = f
+	}
 	rep, err := benchjson.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if tf != nil {
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	out := os.Stdout
 	if path != "-" {

@@ -42,6 +42,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -123,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr        *histio.TraceFile // failing trace to report, shrunk when possible
 		preShrink *histio.TraceFile // original trace when shrinking succeeded
 		shrinkErr error
+		dumpRep   *chaos.Report // replay of tr, for the span dump (-out only)
 	}
 	slots := make([]chan outcome, len(jobs))
 	for i := range slots {
@@ -145,6 +147,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 						} else {
 							o.preShrink, o.tr = o.tr, min
 						}
+					}
+					if *outDir != "" {
+						// The span dump must match the trace being written
+						// (post-shrink), so re-derive its report.
+						o.dumpRep, _ = chaos.Replay(o.tr)
 					}
 				}
 				slots[i] <- o
@@ -181,6 +188,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		failures++
+		// Per-slot structural event counts (retries, helps, rebuilds,
+		// ...) so triage starts from the report, not from a re-run with
+		// a probe attached.
+		fmt.Fprint(stdout, slotEventLines(rep))
 		if o.shrinkErr != nil {
 			fmt.Fprintln(stderr, "apramchaos: shrink:", o.shrinkErr)
 		}
@@ -196,6 +207,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			fmt.Fprintf(stdout, "  wrote %s and %s\n", jsonPath, testPath)
+			if o.dumpRep != nil {
+				jp, cp, err := chaos.WriteSpanDump(*outDir, base, o.dumpRep)
+				if err != nil {
+					fmt.Fprintln(stderr, "apramchaos:", err)
+					return 2
+				}
+				fmt.Fprintf(stdout, "  wrote %s and %s\n", jp, cp)
+			}
 		}
 	}
 	fmt.Fprintf(stdout, "%d runs, %d failing\n", runs, failures)
@@ -203,6 +222,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// slotEventLines renders each slot's structural event counts from the
+// run's probe, one line per slot that recorded any, in slot order with
+// sorted event names (deterministic output for the worker-pool test).
+func slotEventLines(rep *chaos.Report) string {
+	var b strings.Builder
+	for _, ss := range rep.Stats.Snapshot().PerSlot {
+		if len(ss.Events) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(ss.Events))
+		for name := range ss.Events {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%d", name, ss.Events[name])
+		}
+		fmt.Fprintf(&b, "  slot %d events: %s\n", ss.Slot, strings.Join(parts, " "))
+	}
+	return b.String()
 }
 
 func runReplay(path string, stdout, stderr io.Writer) int {

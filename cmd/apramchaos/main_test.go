@@ -51,9 +51,27 @@ func TestListAndReplay(t *testing.T) {
 	if code := run([]string{"-structures", "queue", "-seeds", "20", "-out", dir}, &out, &errb); code != 1 {
 		t.Fatalf("queue fuzz exited %d; output %s stderr %s", code, out.String(), errb.String())
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "repro_queue_seed*.json"))
-	if err != nil || len(matches) == 0 {
-		t.Fatalf("no reproducer JSON written (err %v)", err)
+	all, err := filepath.Glob(filepath.Join(dir, "repro_queue_seed*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matches []string
+	for _, m := range all {
+		if !strings.HasSuffix(m, "_trace.json") {
+			matches = append(matches, m)
+		}
+	}
+	if len(matches) == 0 {
+		t.Fatal("no reproducer JSON written")
+	}
+	// Every reproducer gets a flight-recorder dump in both formats.
+	for _, m := range matches {
+		base := strings.TrimSuffix(m, ".json")
+		for _, dump := range []string{base + "_trace.jsonl", base + "_trace.json"} {
+			if _, err := os.Stat(dump); err != nil {
+				t.Fatalf("trace dump missing next to %s: %v", m, err)
+			}
+		}
 	}
 	out.Reset()
 	if code := run([]string{"-replay", matches[0]}, &out, &errb); code != 1 {

@@ -1,0 +1,185 @@
+// Command apramtrace converts, filters, and summarizes flight-recorder
+// span dumps (the compact JSONL format written by obs.WriteSpansJSONL,
+// apramchaos -out, and aprambench -trace).
+//
+// Usage:
+//
+//	apramtrace -in trace.jsonl                    # per-op summary table
+//	apramtrace -in trace.jsonl -chrome out.json   # convert for chrome://tracing
+//	apramtrace -in - -slot 2 -jsonl out.jsonl     # filter stdin, re-emit JSONL
+//
+// Flags:
+//
+//	-in FILE     JSONL span input ("-" = stdin; required)
+//	-chrome F    write the filtered spans as Chrome trace-event JSON
+//	-jsonl F     re-emit the filtered spans as JSONL ("-" = stdout)
+//	-slot N      keep only spans from process slot N
+//	-op NAME     keep only begin/end spans whose operation label is NAME
+//	-event NAME  keep only event spans for event NAME
+//	-name NAME   process name stamped into the Chrome trace (default "apram")
+//	-summary     print the per-op summary table (default true when no
+//	             -chrome/-jsonl output is requested)
+//
+// -op and -event compose as a union: giving both keeps spans matching
+// either, so an operation's timeline can be viewed alongside a chosen
+// event kind. -slot always intersects.
+//
+// The summary table is computed by obs.SummarizeSpans: per operation
+// label it reports completions, register reads/writes, total and
+// min/max steps, and the structural events attributed to it.
+//
+// Exit status: 0 on success, 2 on usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/apram/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("apramtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "", "JSONL span input (\"-\" = stdin)")
+		chromeOut = fs.String("chrome", "", "write Chrome trace-event JSON to this file")
+		jsonlOut  = fs.String("jsonl", "", "re-emit filtered spans as JSONL (\"-\" = stdout)")
+		slot      = fs.Int("slot", -1, "keep only spans from this slot (-1 = all)")
+		opName    = fs.String("op", "", "keep only begin/end spans with this operation label")
+		evName    = fs.String("event", "", "keep only event spans for this event name")
+		procName  = fs.String("name", "apram", "process name for the Chrome trace")
+		summary   = fs.Bool("summary", false, "print the per-op summary table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "apramtrace: unexpected arguments:", strings.Join(fs.Args(), " "))
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "apramtrace: -in is required")
+		return 2
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "apramtrace:", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := obs.ReadSpansJSONL(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "apramtrace:", err)
+		return 2
+	}
+	spans = filterSpans(spans, *slot, *opName, *evName)
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "apramtrace:", err)
+			return 2
+		}
+		werr := obs.WriteChromeTrace(f, obs.ChromeProcess{Pid: 0, Name: *procName, Spans: spans})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "apramtrace:", werr)
+			return 2
+		}
+	}
+	if *jsonlOut != "" {
+		w := io.Writer(stdout)
+		var f *os.File
+		if *jsonlOut != "-" {
+			var err error
+			if f, err = os.Create(*jsonlOut); err != nil {
+				fmt.Fprintln(stderr, "apramtrace:", err)
+				return 2
+			}
+			w = f
+		}
+		werr := obs.WriteSpansJSONL(w, spans)
+		if f != nil {
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "apramtrace:", werr)
+			return 2
+		}
+	}
+	if *summary || (*chromeOut == "" && *jsonlOut == "") {
+		printSummary(stdout, spans)
+	}
+	return 0
+}
+
+// filterSpans applies the CLI filters. slot intersects; op and event
+// union with each other (when only one is given, the other kind of
+// span is dropped; when neither is given, everything passes).
+func filterSpans(spans []obs.Span, slot int, op, event string) []obs.Span {
+	out := spans[:0]
+	for _, s := range spans {
+		if slot >= 0 && s.Slot != slot {
+			continue
+		}
+		if op != "" || event != "" {
+			keep := false
+			if op != "" && s.Kind != obs.SpanEvent && s.Label() == op {
+				keep = true
+			}
+			if event != "" && s.Kind == obs.SpanEvent && s.Event.String() == event {
+				keep = true
+			}
+			if !keep {
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// printSummary renders the per-op table: one row per operation label,
+// with completion count, attributed register accesses, step totals and
+// extremes, and the structural events observed inside those ops.
+func printSummary(w io.Writer, spans []obs.Span) {
+	sums := obs.SummarizeSpans(spans)
+	if len(sums) == 0 {
+		fmt.Fprintln(w, "no completed operations")
+		return
+	}
+	fmt.Fprintf(w, "%-16s %7s %8s %8s %8s %6s %6s  %s\n",
+		"op", "count", "reads", "writes", "steps", "min", "max", "events")
+	for _, s := range sums {
+		names := make([]string, 0, len(s.Events))
+		for name := range s.Events {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%d", name, s.Events[name])
+		}
+		fmt.Fprintf(w, "%-16s %7d %8d %8d %8d %6d %6d  %s\n",
+			s.Name, s.Count, s.Reads, s.Writes, s.Steps, s.MinSteps, s.MaxSteps,
+			strings.Join(parts, " "))
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/apram/obs"
+)
+
+// writeSampleTrace records a small two-slot timeline and dumps it as
+// JSONL: slot 0 runs two scans (one with a retry inside), slot 1 runs
+// one counter add and has one dangling begin.
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	var step uint64
+	rec := obs.NewRecorder(2, obs.WithClock(func() uint64 { step++; return step }))
+
+	rec.OpBegin(0, obs.OpScan)
+	rec.RegReads(0, 3)
+	rec.Event(0, obs.EvRetry)
+	rec.RegReads(0, 3)
+	rec.RegWrites(0, 1)
+	rec.OpDone(0, obs.OpScan)
+
+	rec.OpBegin(1, obs.OpCounterAdd)
+	rec.RegReads(1, 1)
+	rec.RegWrites(1, 1)
+	rec.OpDone(1, obs.OpCounterAdd)
+
+	rec.OpBegin(0, obs.OpScan)
+	rec.RegReads(0, 2)
+	rec.OpDone(0, obs.OpScan)
+
+	rec.OpBegin(1, obs.OpCounterAdd) // never completes
+
+	path := filepath.Join(t.TempDir(), "sample.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteSpansJSONL(f, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummaryDefault(t *testing.T) {
+	in := writeSampleTrace(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", in}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"scan", "counter-add", "retry=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Two scans totalling 8 reads + 1 write; the dangling begin on slot
+	// 1 must not count as a completion.
+	scanLine := ""
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "scan") {
+			scanLine = line
+		}
+	}
+	if fields := strings.Fields(scanLine); len(fields) < 7 ||
+		fields[1] != "2" || fields[2] != "8" || fields[3] != "1" {
+		t.Fatalf("scan row wrong: %q", scanLine)
+	}
+}
+
+func TestConvertAndFilter(t *testing.T) {
+	in := writeSampleTrace(t)
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+
+	// Chrome conversion: loadable JSON with one X event per completed
+	// op and a B event for the dangling begin.
+	chrome := filepath.Join(dir, "out.json")
+	if code := run([]string{"-in", in, "-chrome", chrome, "-name", "demo"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traceEvents", `"demo"`, `"ph":"X"`, `"ph":"B"`, `"ph":"i"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, data)
+		}
+	}
+	if out.Len() != 0 {
+		t.Fatalf("summary printed despite -chrome: %s", out.String())
+	}
+
+	// Slot filter + JSONL re-emit: only slot 1 records survive.
+	filtered := filepath.Join(dir, "slot1.jsonl")
+	if code := run([]string{"-in", in, "-slot", "1", "-jsonl", filtered}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	f, err := os.Open(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpansJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("slot filter dropped everything")
+	}
+	for _, sp := range spans {
+		if sp.Slot != 1 {
+			t.Fatalf("slot filter leaked slot %d", sp.Slot)
+		}
+	}
+
+	// Op filter: only scan begin/end spans; the retry event and all
+	// counter records disappear.
+	out.Reset()
+	if code := run([]string{"-in", in, "-op", "scan", "-jsonl", "-"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, bad := range []string{"counter-add", "retry"} {
+		if strings.Contains(out.String(), bad) {
+			t.Fatalf("-op scan kept %q:\n%s", bad, out.String())
+		}
+	}
+
+	// Event filter unions with op filter: retry events come back.
+	out.Reset()
+	if code := run([]string{"-in", in, "-op", "scan", "-event", "retry", "-jsonl", "-"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "retry") {
+		t.Fatalf("-event retry dropped the retry span:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatal("missing -in must exit 2")
+	}
+	if code := run([]string{"-in", filepath.Join(t.TempDir(), "nope.jsonl")}, &out, &errb); code != 2 {
+		t.Fatal("unreadable input must exit 2")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"t\":1,\"slot\":0,\"seq\":0,\"kind\":\"nope\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-in", bad}, &out, &errb); code != 2 {
+		t.Fatal("malformed input must exit 2")
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatal("unknown flag must exit 2")
+	}
+	if code := run([]string{"-in", bad, "extra"}, &out, &errb); code != 2 {
+		t.Fatal("positional arguments must exit 2")
+	}
+}

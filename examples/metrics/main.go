@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/apram"
+	"repro/apram/obs"
 )
 
 // sample is one worker's most recent latency observation.
@@ -36,20 +37,22 @@ func main() {
 	admin := workers // extra slot for the reporting goroutine
 
 	// One probe across the registry: telemetry for the telemetry. The
-	// probe is itself wait-free (per-slot single-writer counters), so
-	// instrumenting costs the workers nothing they can block on.
-	stats := apram.NewStats(workers + 1)
+	// flight recorder is itself wait-free (per-slot single-writer
+	// rings), so instrumenting costs the workers nothing they can block
+	// on — and afterwards its spans break the registry's cost down per
+	// operation.
+	rec := apram.NewRecorder(workers+1, obs.WithSpanCapacity(8192))
 
 	requests := apram.NewCounter(workers+1,
-		apram.WithProbe(stats), apram.WithName("requests"))
+		apram.WithProbe(rec), apram.WithName("requests"))
 	peakRSS := apram.NewPRMW(workers+1, apram.MaxFamily{},
-		apram.WithProbe(stats), apram.WithName("peak-rss"))
+		apram.WithProbe(rec), apram.WithName("peak-rss"))
 	lastSample := apram.NewArraySnapshot(workers+1,
-		apram.WithProbe(stats), apram.WithName("last-sample"))
+		apram.WithProbe(rec), apram.WithName("last-sample"))
 	meta := apram.NewObject(apram.DirectorySpec{}, workers+1,
-		apram.WithProbe(stats), apram.WithName("meta"))
+		apram.WithProbe(rec), apram.WithName("meta"))
 	flushVote := apram.NewConsensus(workers+1, 0,
-		apram.WithProbe(stats), apram.WithSeed(7), apram.WithName("flush-vote"))
+		apram.WithProbe(rec), apram.WithSeed(7), apram.WithName("flush-vote"))
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -91,14 +94,13 @@ func main() {
 	fmt.Printf("cluster-wide flush decision: %d (%s) — unanimous by construction\n",
 		decision, what)
 
-	sum := stats.Snapshot()
-	fmt.Printf("registry cost: %d register reads, %d writes across %d wait-free ops\n",
-		sum.Reads, sum.Writes, opsTotal(sum.Ops))
-}
-
-func opsTotal(ops map[string]apram.OpSummary) (total uint64) {
-	for _, op := range ops {
-		total += op.Count
+	// The recorder's spans break the registry's cost down per
+	// operation kind: how many ops completed, what they cost in
+	// register accesses, and the spread between the cheapest and the
+	// most contended instance of each.
+	fmt.Println("registry cost, from the flight recorder:")
+	for _, s := range apram.SummarizeSpans(rec.Spans()) {
+		fmt.Printf("  %-13s %5d ops, %7d reads, %6d writes, %4d..%d steps each\n",
+			s.Name, s.Count, s.Reads, s.Writes, s.MinSteps, s.MaxSteps)
 	}
-	return total
 }

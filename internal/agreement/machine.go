@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/apram/obs"
 	"repro/internal/pram"
 )
 
@@ -78,6 +79,11 @@ type Machine struct {
 	rounds int // completed advances (writes in line 16)
 	scans  int // completed scans
 	result float64
+
+	// probe, when set, receives an obs.EvRound per advance and an
+	// obs.EvRetry per line-19 rescan. Register counts and op edges are
+	// the driving engine's job; clones share the probe.
+	probe obs.Probe
 }
 
 // NewMachine returns a machine for process proc that will input x and
@@ -124,6 +130,9 @@ func (mc *Machine) Rounds() int { return mc.rounds }
 // Scans returns the number of completed scans of the entry array.
 func (mc *Machine) Scans() int { return mc.scans }
 
+// Instrument attaches a probe for round/retry events.
+func (mc *Machine) Instrument(p obs.Probe) { mc.probe = p }
+
 // Clone returns an independent copy of the machine.
 func (mc *Machine) Clone() pram.Machine {
 	cp := *mc
@@ -168,6 +177,9 @@ func (mc *Machine) Step(m *pram.Mem) {
 		mc.mine = mc.pending
 		m.Write(mc.proc, mc.lay.Reg(mc.proc), mc.mine)
 		mc.rounds++
+		if mc.probe != nil {
+			mc.probe.Event(mc.proc, obs.EvRound)
+		}
 		mc.advance = false
 		mc.ph = phScan
 		mc.i = 0
@@ -234,6 +246,9 @@ func (mc *Machine) decide() {
 		mc.i = 0
 	default:
 		// Line 19: rescan once before advancing.
+		if mc.probe != nil {
+			mc.probe.Event(mc.proc, obs.EvRetry)
+		}
 		mc.advance = true
 		mc.i = 0
 	}

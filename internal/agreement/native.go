@@ -74,6 +74,9 @@ func (a *Native) Input(p int, x float64) {
 // implementation requires the caller to have contributed.
 func (a *Native) Output(p int) float64 {
 	a.check(p)
+	if a.probe != nil {
+		obs.Begin(a.probe, p, obs.OpAgree)
+	}
 	mine := a.regs[p].Load()
 	if !mine.Valid {
 		panic("agreement: Output before Input")

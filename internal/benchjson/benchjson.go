@@ -25,8 +25,13 @@ import (
 )
 
 // Schema identifies the report format; bump only with a new version
-// suffix, never in place.
-const Schema = "apram-bench/v1"
+// suffix, never in place. v2 added the complete per-event count map
+// (every obs.Event name, zeros included) and the snapshot-recorder
+// structure; ReadJSON still accepts v1 documents.
+const (
+	Schema   = "apram-bench/v2"
+	SchemaV1 = "apram-bench/v1"
+)
 
 // Config selects what to run.
 type Config struct {
@@ -37,6 +42,12 @@ type Config struct {
 	// Structures filters by name; nil or empty runs all. Unknown
 	// names are an error.
 	Structures []string
+	// Trace, when non-nil, receives one combined Chrome trace-event
+	// JSON document covering every selected structure's counting pass
+	// — one Chrome process per structure, one track per slot. The
+	// flight recorder rides alongside the counting probe, so the
+	// timing pass stays unobserved.
+	Trace io.Writer
 }
 
 // Result is one structure's measurements.
@@ -60,8 +71,11 @@ type Result struct {
 	// predictions (0 when the paper gives no closed form).
 	PaperReadsPerOp  float64 `json:"paper_reads_per_op,omitempty"`
 	PaperWritesPerOp float64 `json:"paper_writes_per_op,omitempty"`
-	// Events are the structural event totals from the counting pass.
-	Events map[string]uint64 `json:"events,omitempty"`
+	// Events are the structural event totals from the counting pass —
+	// since v2 the map is complete: every obs.Event name appears, with
+	// an explicit zero when the structure never emitted it, so two
+	// reports always have comparable key sets.
+	Events map[string]uint64 `json:"events"`
 	// OpStats breaks the counting pass down by operation kind.
 	OpStats map[string]obs.OpSummary `json:"op_stats,omitempty"`
 }
@@ -199,6 +213,28 @@ func structures() []structure {
 			},
 		},
 		{
+			// The snapshot driver again, but with a flight recorder
+			// attached in every pass — including the timed one. Gating
+			// this row's ns/op against the baseline bounds the recorder's
+			// hot-path overhead relative to the bare "snapshot" row.
+			name:        "snapshot-recorder",
+			paperReads:  scanReads,
+			paperWrites: scanWrites,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				rec := obs.NewRecorder(n)
+				p := obs.Probe(rec)
+				if probe != nil {
+					p = obs.Multi(probe, rec)
+				}
+				s := apram.NewSnapshot(n, apram.MaxInt{}, apram.WithProbe(p))
+				start := time.Now()
+				for i := 0; i < ops; i++ {
+					s.Scan(i%n, int64(i))
+				}
+				return time.Since(start)
+			},
+		},
+		{
 			// One Decide per op; a fresh object every n decides (a
 			// consensus object is single-shot per slot). Register costs
 			// are dominated by the shared-coin random walk, so there is
@@ -263,13 +299,23 @@ func Run(cfg Config) (*Report, error) {
 		NSlots:          cfg.N,
 		OpsPerStructure: cfg.Ops,
 	}
-	for _, s := range selected {
-		rep.Structures = append(rep.Structures, measure(s, cfg.N, cfg.Ops))
+	var procs []obs.ChromeProcess
+	for i, s := range selected {
+		res, spans := measure(s, cfg.N, cfg.Ops, cfg.Trace != nil)
+		rep.Structures = append(rep.Structures, res)
+		if cfg.Trace != nil {
+			procs = append(procs, obs.ChromeProcess{Pid: i, Name: s.name, Spans: spans})
+		}
+	}
+	if cfg.Trace != nil {
+		if err := obs.WriteChromeTrace(cfg.Trace, procs...); err != nil {
+			return nil, fmt.Errorf("benchjson: trace: %w", err)
+		}
 	}
 	return rep, nil
 }
 
-func measure(s structure, n, ops int) Result {
+func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 	// Timing pass: no probe, the path users of uninstrumented objects
 	// run. Mallocs delta brackets only this pass.
 	var before, after runtime.MemStats
@@ -278,9 +324,22 @@ func measure(s structure, n, ops int) Result {
 	elapsed := s.run(n, ops, nil)
 	runtime.ReadMemStats(&after)
 
-	// Counting pass: probe attached, untimed.
+	// Counting pass: probe attached, untimed. With tracing on, a
+	// flight recorder rides alongside the stats; its ring is sized so
+	// every op's spans survive (overwrite-oldest would silently thin
+	// the exported timeline otherwise).
 	st := obs.NewStats(n)
-	s.run(n, ops, st)
+	var rec *obs.Recorder
+	probe := obs.Probe(st)
+	if trace {
+		perSlot := 8 * (ops/n + 1)
+		if perSlot < obs.DefaultSpanCapacity {
+			perSlot = obs.DefaultSpanCapacity
+		}
+		rec = obs.NewRecorder(n, obs.WithSpanCapacity(perSlot))
+		probe = obs.Multi(st, rec)
+	}
+	s.run(n, ops, probe)
 	sum := st.Snapshot()
 
 	res := Result{
@@ -301,13 +360,18 @@ func measure(s structure, n, ops int) Result {
 	if s.paperWrites != nil {
 		res.PaperWritesPerOp = s.paperWrites(n)
 	}
-	if len(sum.Events) > 0 {
-		res.Events = sum.Events
+	res.Events = make(map[string]uint64, obs.NumEvents)
+	for e := obs.Event(0); e < obs.NumEvents; e++ {
+		res.Events[e.String()] = st.Events(e)
 	}
 	if len(sum.Ops) > 0 {
 		res.OpStats = sum.Ops
 	}
-	return res
+	var spans []obs.Span
+	if rec != nil {
+		spans = rec.Spans()
+	}
+	return res, spans
 }
 
 // WriteJSON writes the report, indented, with a stable key order (Go's
@@ -386,14 +450,16 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 }
 
 // ReadJSON parses a report written by WriteJSON and validates its
-// schema tag.
+// schema tag. Both the current schema and v1 are accepted — v1
+// baselines stay readable (their Events maps are sparse; Compare
+// still works because it never diffs event counts).
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("benchjson: parse: %w", err)
 	}
-	if rep.Schema != Schema {
-		return nil, fmt.Errorf("benchjson: schema %q, want %q", rep.Schema, Schema)
+	if rep.Schema != Schema && rep.Schema != SchemaV1 {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q or %q", rep.Schema, Schema, SchemaV1)
 	}
 	return &rep, nil
 }

@@ -3,7 +3,12 @@ package benchjson
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/apram/obs"
 )
 
 // TestRunSnapshotMatchesPaper checks the counting pass against the
@@ -66,9 +71,23 @@ func TestReportSchemaStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"name", "n_slots", "ops", "ns_per_op", "ops_per_sec",
-		"allocs_per_op", "reads_per_op", "writes_per_op"} {
+		"allocs_per_op", "reads_per_op", "writes_per_op", "events"} {
 		if _, ok := structs[0][key]; !ok {
 			t.Errorf("structure key %q missing", key)
+		}
+	}
+	// v2 contract: the events map is complete — every obs.Event name,
+	// zeros included — so reports always have comparable key sets.
+	var events map[string]uint64
+	if err := json.Unmarshal(structs[0]["events"], &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != int(obs.NumEvents) {
+		t.Errorf("events map has %d keys, want all %d event names", len(events), obs.NumEvents)
+	}
+	for e := obs.Event(0); e < obs.NumEvents; e++ {
+		if _, ok := events[e.String()]; !ok {
+			t.Errorf("events map missing %q", e)
 		}
 	}
 }
@@ -149,5 +168,55 @@ func TestReadJSONRejectsBadSchema(t *testing.T) {
 	}
 	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
 		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"schema":"apram-bench/v1"}`))); err != nil {
+		t.Fatalf("v1 schema rejected: %v", err)
+	}
+}
+
+// TestGoldenV1 keeps old baselines readable: the committed v1 document
+// parses, and comparing it against itself passes the gate (so a CI
+// fleet mid-upgrade can still gate on a v1 baseline).
+func TestGoldenV1(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV1 {
+		t.Fatalf("golden schema %q, want %q", rep.Schema, SchemaV1)
+	}
+	if len(rep.Structures) == 0 {
+		t.Fatal("golden report has no structures")
+	}
+	if got := Compare(rep, rep, 2, nil); len(got) != 0 {
+		t.Fatalf("v1 self-comparison flagged: %v", got)
+	}
+}
+
+// TestTraceWriter checks the Config.Trace hook: one Chrome process per
+// structure, loadable trace-event JSON, and a report identical in
+// shape to an untraced run.
+func TestTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := Run(Config{N: 3, Ops: 24, Structures: []string{"snapshot", "counter"}, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) != 2 {
+		t.Fatalf("got %d structures, want 2", len(rep.Structures))
+	}
+	out := buf.String()
+	for _, want := range []string{"traceEvents", `"snapshot"`, `"counter"`, `"ph":"X"`, `"pid":0`, `"pid":1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q (len %d)", want, len(out))
+		}
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
 	}
 }

@@ -90,6 +90,9 @@ func (c *Consensus) Decide(p, v int) int {
 	if c.done[p] {
 		return c.local[p]
 	}
+	if c.probe != nil {
+		obs.Begin(c.probe, p, obs.OpDecide)
+	}
 	for r := 0; r < len(c.ac); r++ {
 		// Conciliate first: with constant probability all processes
 		// leave with one value, and unanimity is preserved exactly.

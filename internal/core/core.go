@@ -171,6 +171,9 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 	if p < 0 || p >= u.n {
 		panic(fmt.Sprintf("core: process %d out of range [0,%d)", p, u.n))
 	}
+	if u.probe != nil {
+		obs.Begin(u.probe, p, obs.OpExecute)
+	}
 	// Step 1: atomic scan of the anchor array and response choice.
 	vec := u.snap.ReadMax(p).(lattice.Vec)
 	view := viewOf(vec)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/apram/obs"
 	"repro/internal/lattice"
 	"repro/internal/pram"
 	"repro/internal/snapshot"
@@ -66,6 +67,13 @@ type Machine struct {
 	record   bool
 	recViews [][]*Entry
 	recHists [][]*Entry
+
+	// probe, when set, receives the structural events of Figure 4's
+	// phases (publish, pure-elide, linearizer rebuild). Register counts
+	// and op begin/end are owned by the driving engine — the simulated
+	// memory already observes every access — so the machine reports
+	// only what the engine cannot see from outside.
+	probe obs.Probe
 }
 
 // NewMachine returns a machine for process proc with the given
@@ -83,6 +91,10 @@ func NewMachine(u *SimUniversal, proc int, script []spec.Inv) *Machine {
 
 // Enqueue appends an invocation to the script.
 func (mc *Machine) Enqueue(inv spec.Inv) { mc.script = append(mc.script, inv) }
+
+// Instrument attaches a probe for structural events (obs.EvPublish,
+// obs.EvPureElide, obs.EvLinRebuild). Clones share the probe.
+func (mc *Machine) Instrument(p obs.Probe) { mc.probe = p }
 
 // Invocation returns the i-th scripted invocation; Results()[i] is its
 // response once completed.
@@ -147,9 +159,13 @@ func (mc *Machine) afterScanStep() {
 	switch mc.ph {
 	case simReading:
 		view := viewOf(last)
+		rebuildsBefore := mc.lin.Stats().Rebuilds
 		resp, hist, err := mc.lin.Respond(view, mc.cur)
 		if err != nil {
 			panic("core: " + err.Error())
+		}
+		if mc.probe != nil && mc.lin.Stats().Rebuilds > rebuildsBefore {
+			mc.probe.Event(mc.proc, obs.EvLinRebuild)
 		}
 		if mc.record {
 			// The engine owns hist's backing array; copy for posterity.
@@ -158,6 +174,9 @@ func (mc *Machine) afterScanStep() {
 		}
 		if spec.IsPure(mc.u.Spec, mc.cur) {
 			// Pure operations complete at the scan; nothing to publish.
+			if mc.probe != nil {
+				mc.probe.Event(mc.proc, obs.EvPureElide)
+			}
 			mc.results = append(mc.results, resp)
 			mc.ph = simIdle
 			return
@@ -171,6 +190,9 @@ func (mc *Machine) afterScanStep() {
 		mc.scan.Enqueue(mc.u.VL.Single(mc.proc, mc.pending.Seq, mc.pending))
 		mc.ph = simPublishing
 	case simPublishing:
+		if mc.probe != nil {
+			mc.probe.Event(mc.proc, obs.EvPublish)
+		}
 		mc.results = append(mc.results, mc.pending.Resp)
 		mc.pending = nil
 		mc.ph = simIdle

@@ -56,6 +56,9 @@ type System struct {
 	// the per-process access counters only if a machine performs a
 	// purely local terminal step.
 	Steps []uint64
+	// total counts scheduler-granted steps across all processes; see
+	// TotalSteps.
+	total uint64
 }
 
 // NewSystem assembles a system. The number of machines must equal the
@@ -96,9 +99,17 @@ func (s *System) Step(p int) bool {
 		return true
 	}
 	s.Steps[p]++
+	s.total++
 	mc.Step(s.Mem)
 	return mc.Done()
 }
+
+// TotalSteps returns the system's global step counter: how many steps
+// the scheduler has granted in total, across all processes. It is the
+// canonical deterministic timestamp — two runs of the same schedule
+// see identical TotalSteps at every point — which is why the flight
+// recorder uses it as a clock.
+func (s *System) TotalSteps() uint64 { return s.total }
 
 // Run steps machines under sched until all are done, the scheduler
 // stops, or maxSteps total steps have been taken. maxSteps <= 0 means
@@ -149,6 +160,7 @@ func (s *System) Clone() *System {
 		Mem:      s.Mem.Clone(),
 		Machines: ms,
 		Steps:    append([]uint64(nil), s.Steps...),
+		total:    s.total,
 	}
 }
 

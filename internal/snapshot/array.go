@@ -120,6 +120,9 @@ func (dc *DoubleCollect) Instrument(p obs.Probe, emitOps bool) {
 
 // Update sets process p's element to v.
 func (dc *DoubleCollect) Update(p int, v any) {
+	if dc.emitOps {
+		obs.Begin(dc.probe, p, obs.OpScan)
+	}
 	old := dc.cells[p].Load()
 	dc.cells[p].Store(&dcCell{seq: old.seq + 1, val: v})
 	if dc.probe != nil {
@@ -134,6 +137,9 @@ func (dc *DoubleCollect) Update(p int, v any) {
 // Scan retries double collects until two consecutive collects agree.
 // It returns nil if MaxRetries is positive and exceeded.
 func (dc *DoubleCollect) Scan(p int) []any {
+	if dc.emitOps {
+		obs.Begin(dc.probe, p, obs.OpScan)
+	}
 	done := func(reads int, out []any) []any {
 		if dc.probe != nil {
 			dc.probe.RegReads(p, reads)
@@ -227,6 +233,9 @@ func (a *Afek) Instrument(p obs.Probe, emitOps bool) {
 // Update embeds a scan in the written register, making the write
 // expensive but scans wait-free.
 func (a *Afek) Update(p int, v any) {
+	if a.emitOps {
+		obs.Begin(a.probe, p, obs.OpScan)
+	}
 	view := a.scan(p)
 	old := a.cells[p].Load()
 	a.cells[p].Store(&dcCell{seq: old.seq + 1, val: v, view: view})
@@ -242,6 +251,9 @@ func (a *Afek) Update(p int, v any) {
 // Scan returns an instantaneous view: either a clean double collect,
 // or the view embedded by a process observed to move twice.
 func (a *Afek) Scan(p int) []any {
+	if a.emitOps {
+		obs.Begin(a.probe, p, obs.OpScan)
+	}
 	out := a.scan(p)
 	if a.probe != nil && a.emitOps {
 		a.probe.OpDone(p, obs.OpScan)

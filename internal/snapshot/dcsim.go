@@ -3,6 +3,7 @@ package snapshot
 import (
 	"fmt"
 
+	"repro/apram/obs"
 	"repro/internal/pram"
 )
 
@@ -90,6 +91,10 @@ type DCScanMachine struct {
 	retries int
 	done    bool
 	result  []any
+
+	// probe, when set, receives an obs.EvRetry per dirty collect pair —
+	// the lock-free starvation the flight recorder exists to show.
+	probe obs.Probe
 }
 
 // NewDCScanMachine returns a scanner for process proc.
@@ -110,6 +115,9 @@ func (mc *DCScanMachine) Completed() int {
 
 // Retries returns the number of failed collect pairs so far.
 func (mc *DCScanMachine) Retries() int { return mc.retries }
+
+// Instrument attaches a probe for retry events. Clones share it.
+func (mc *DCScanMachine) Instrument(p obs.Probe) { mc.probe = p }
 
 // Result returns the scanned view. It panics before Done.
 func (mc *DCScanMachine) Result() []any {
@@ -159,6 +167,9 @@ func (mc *DCScanMachine) Step(m *pram.Mem) {
 			return
 		}
 		mc.retries++
+		if mc.probe != nil {
+			mc.probe.Event(mc.proc, obs.EvRetry)
+		}
 	}
 	mc.prev = append(mc.prev[:0], mc.cur...)
 	mc.i = 0

@@ -79,6 +79,9 @@ func (s *Snapshot) Lattice() lattice.Lattice { return s.lat }
 // and wait-free. Use Bottom for v to read without contributing.
 func (s *Snapshot) Scan(p int, v any) any {
 	s.check(p)
+	if s.emitOps {
+		obs.Begin(s.probe, p, obs.OpScan)
+	}
 	local := s.local[p]
 	// reads and writes count the atomic register accesses actually
 	// performed, at their callsites — Section 6.2 predicts exactly

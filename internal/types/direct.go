@@ -115,6 +115,9 @@ func (c *DirectCounter) publish(p int, cell counterCell) {
 
 // adjust adds delta to p's contribution under the newest epoch.
 func (c *DirectCounter) adjust(p int, inc, dec int64) {
+	if c.emitOps {
+		obs.Begin(c.probe, p, obs.OpCounterAdd)
+	}
 	_, top := c.collect(p)
 	cell := c.mine[p]
 	if cell.Epoch != top {
@@ -144,6 +147,9 @@ func (c *DirectCounter) Dec(p int, amount int64) { c.adjust(p, 0, amount) }
 // Reset sets the counter to value, overwriting all earlier operations
 // (the paper's reset semantics: reset overwrites everything).
 func (c *DirectCounter) Reset(p int, value int64) {
+	if c.emitOps {
+		obs.Begin(c.probe, p, obs.OpCounterReset)
+	}
 	_, top := c.collect(p)
 	cell := counterCell{
 		Epoch: epoch{Count: top.Count + 1, Proc: p},
@@ -157,6 +163,9 @@ func (c *DirectCounter) Reset(p int, value int64) {
 
 // Read returns the current counter value.
 func (c *DirectCounter) Read(p int) int64 {
+	if c.emitOps {
+		obs.Begin(c.probe, p, obs.OpCounterRead)
+	}
 	cells, top := c.collect(p)
 	var val int64
 	for _, cell := range cells {
@@ -203,6 +212,9 @@ func (c *DirectClock) Instrument(p obs.Probe, emitOps bool) {
 
 // Merge joins ts into the clock.
 func (c *DirectClock) Merge(p int, ts lattice.IntMap) {
+	if c.emitOps {
+		obs.Begin(c.probe, p, obs.OpClockMerge)
+	}
 	c.snap.Update(p, ts)
 	if c.emitOps {
 		c.probe.OpDone(p, obs.OpClockMerge)
@@ -211,6 +223,9 @@ func (c *DirectClock) Merge(p int, ts lattice.IntMap) {
 
 // Read returns the current vector timestamp.
 func (c *DirectClock) Read(p int) lattice.IntMap {
+	if c.emitOps {
+		obs.Begin(c.probe, p, obs.OpClockRead)
+	}
 	out := c.snap.ReadMax(p).(lattice.IntMap)
 	if c.emitOps {
 		c.probe.OpDone(p, obs.OpClockRead)

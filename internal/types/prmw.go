@@ -140,6 +140,9 @@ func (o *PRMW) Instrument(p obs.Probe, emitOps bool) {
 
 // Update applies the delta to the object without returning a value.
 func (o *PRMW) Update(p int, delta any) {
+	if o.emitOps {
+		obs.Begin(o.probe, p, obs.OpPRMWUpdate)
+	}
 	o.mine[p] = o.fam.Merge(o.mine[p], delta)
 	o.tag[p]++
 	o.snap.Update(p, o.vl.Single(p, o.tag[p], o.mine[p]))
@@ -151,6 +154,9 @@ func (o *PRMW) Update(p int, delta any) {
 // Read returns the current value: the fold of every process's summary
 // applied to the initial value.
 func (o *PRMW) Read(p int) any {
+	if o.emitOps {
+		obs.Begin(o.probe, p, obs.OpPRMWRead)
+	}
 	vec := o.snap.ReadMax(p).(lattice.Vec)
 	acc := o.fam.Identity()
 	for _, c := range vec {

@@ -101,10 +101,11 @@ type Snapshot = snapshot.Snapshot
 
 // NewSnapshot returns an n-slot snapshot over lat.
 func NewSnapshot(n int, lat Lattice, opts ...Option) *Snapshot {
+	needSlots("NewSnapshot", n)
 	s := snapshot.New(n, lat)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		s.Instrument(cfg.probe, true)
+	if cfg.Probe != nil {
+		s.Instrument(cfg.Probe, true)
 	}
 	cfg.register(s)
 	return s
@@ -117,10 +118,11 @@ type ArraySnapshot = snapshot.ArraySnapshot
 // NewArraySnapshot returns the paper's array snapshot (the semilattice
 // scan over tagged vectors).
 func NewArraySnapshot(n int, opts ...Option) ArraySnapshot {
+	needSlots("NewArraySnapshot", n)
 	a := snapshot.NewArray(n)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		a.Instrument(cfg.probe, true)
+	if cfg.Probe != nil {
+		a.Instrument(cfg.Probe, true)
 	}
 	cfg.register(a)
 	return a
@@ -134,10 +136,14 @@ type Agreement = agreement.Native
 // NewAgreement returns an n-slot approximate agreement object with
 // tolerance eps > 0.
 func NewAgreement(n int, eps float64, opts ...Option) *Agreement {
+	needSlots("NewAgreement", n)
+	if eps <= 0 {
+		panic(&ArgError{Fn: "NewAgreement", Arg: "eps", Value: eps, Why: "tolerance must be positive"})
+	}
 	a := agreement.NewNative(n, eps)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		a.Instrument(cfg.probe)
+	if cfg.Probe != nil {
+		a.Instrument(cfg.Probe)
 	}
 	cfg.register(a)
 	return a
@@ -158,10 +164,11 @@ type Object = core.Universal
 // spec's algebra is trusted; prefer NewCheckedObject for specs that
 // have not been independently validated.
 func NewObject(s Spec, n int, opts ...Option) *Object {
+	needSlots("NewObject", n)
 	u := core.New(s, n)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		u.Instrument(cfg.probe)
+	if cfg.Probe != nil {
+		u.Instrument(cfg.Probe)
 	}
 	cfg.register(u)
 	return u
@@ -172,17 +179,31 @@ func NewObject(s Spec, n int, opts ...Option) *Object {
 // construction, returning an error for types — like FIFO queues — that
 // cannot be implemented wait-free from registers.
 func NewCheckedObject(s Spec, n int, states []spec.State, invs []Inv, opts ...Option) (*Object, error) {
+	needSlots("NewCheckedObject", n)
 	u, err := core.NewChecked(s, n, states, invs)
 	if err != nil {
 		return nil, err
 	}
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		u.Instrument(cfg.probe)
+	if cfg.Probe != nil {
+		u.Instrument(cfg.Probe)
 	}
 	cfg.register(u)
 	return u, nil
 }
+
+// BatchSpec lifts a Property 1 spec to its batched form: invocations
+// are BatchInv groups, each applied as one operation of the universal
+// construction (one scan per batch instead of one per logical op),
+// responding with the []any of inner responses in batch order. Only
+// internally commuting batches keep the algebraic guarantees — see
+// the admission rule in package apram/serve, which applies it
+// automatically.
+func BatchSpec(s Spec) Spec { return spec.Batch(s) }
+
+// BatchInv composes invocations into one batched invocation for an
+// object built over BatchSpec(s).
+func BatchInv(invs ...Inv) Inv { return spec.BatchInv(invs...) }
 
 // Ready-made Property 1 specifications for use with NewObject.
 type (
@@ -267,10 +288,11 @@ type (
 
 // NewPRMW returns an n-slot pseudo read-modify-write object over fam.
 func NewPRMW(n int, fam CommutingFamily, opts ...Option) *PRMW {
+	needSlots("NewPRMW", n)
 	o := types.NewPRMW(n, fam)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		o.Instrument(cfg.probe, true)
+	if cfg.Probe != nil {
+		o.Instrument(cfg.Probe, true)
 	}
 	cfg.register(o)
 	return o
@@ -284,10 +306,11 @@ type Counter = types.DirectCounter
 
 // NewCounter returns an n-slot wait-free counter.
 func NewCounter(n int, opts ...Option) *Counter {
+	needSlots("NewCounter", n)
 	c := types.NewDirectCounter(n)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		c.Instrument(cfg.probe, true)
+	if cfg.Probe != nil {
+		c.Instrument(cfg.Probe, true)
 	}
 	cfg.register(c)
 	return c
@@ -298,10 +321,11 @@ type Clock = types.DirectClock
 
 // NewClock returns an n-slot wait-free logical clock.
 func NewClock(n int, opts ...Option) *Clock {
+	needSlots("NewClock", n)
 	c := types.NewDirectClock(n)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		c.Instrument(cfg.probe, true)
+	if cfg.Probe != nil {
+		c.Instrument(cfg.Probe, true)
 	}
 	cfg.register(c)
 	return c
@@ -316,21 +340,31 @@ func NewClock(n int, opts ...Option) *Clock {
 // the counter's motivating application.
 type Consensus = consensus.Consensus
 
-// NewConsensus returns an n-slot binary consensus object. The seed
-// controls the local randomness of the shared coins (reproducibility);
-// safety never depends on it. WithSeed, when given, overrides the
-// positional seed.
-func NewConsensus(n int, seed int64, opts ...Option) *Consensus {
+// NewBinaryConsensus returns an n-slot binary consensus object. The
+// local randomness of the shared coins is seeded with WithSeed
+// (default 0); safety never depends on the seed — it exists only for
+// reproducibility.
+func NewBinaryConsensus(n int, opts ...Option) *Consensus {
+	needSlots("NewBinaryConsensus", n)
 	cfg := buildConfig(opts)
-	if cfg.hasSeed {
-		seed = cfg.seed
-	}
-	c := consensus.New(n, seed)
-	if cfg.probe != nil {
-		c.Instrument(cfg.probe)
+	c := consensus.New(n, cfg.Seed)
+	if cfg.Probe != nil {
+		c.Instrument(cfg.Probe)
 	}
 	cfg.register(c)
 	return c
+}
+
+// NewConsensus returns an n-slot binary consensus object with a
+// positional seed. WithSeed, when given, overrides the positional
+// seed.
+//
+// Deprecated: the positional seed duplicates WithSeed — use
+// NewBinaryConsensus(n, apram.WithSeed(seed)) instead. This form is
+// the last positional-parameter constructor and will not grow new
+// capabilities.
+func NewConsensus(n int, seed int64, opts ...Option) *Consensus {
+	return NewBinaryConsensus(n, append([]Option{WithSeed(seed)}, opts...)...)
 }
 
 // AdoptCommit is the wait-free adopt-commit object underlying
@@ -341,10 +375,11 @@ type AdoptCommit = consensus.AdoptCommit
 // NewAdoptCommit returns an n-slot adopt-commit object for
 // non-negative integer proposals.
 func NewAdoptCommit(n int, opts ...Option) *AdoptCommit {
+	needSlots("NewAdoptCommit", n)
 	ac := consensus.NewAdoptCommit(n)
 	cfg := buildConfig(opts)
-	if cfg.probe != nil {
-		ac.Instrument(cfg.probe, true)
+	if cfg.Probe != nil {
+		ac.Instrument(cfg.Probe, true)
 	}
 	cfg.register(ac)
 	return ac

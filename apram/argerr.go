@@ -1,0 +1,35 @@
+package apram
+
+import "fmt"
+
+// ArgError is the panic value every constructor in this package (and
+// in apram/serve) raises on an impossible argument — n ≤ 0 process
+// slots, eps ≤ 0 tolerance, a negative queue depth. Impossible
+// arguments are programming errors, not runtime conditions: they can
+// never become valid later, so the constructors panic rather than
+// return an error the caller would have to thread through every
+// construction site. The one constructor that returns an error,
+// NewCheckedObject, reserves it for a property of the *spec* —
+// failing Property 1 — which a caller may legitimately probe for.
+type ArgError struct {
+	// Fn is the constructor that rejected the argument, e.g.
+	// "NewCounter".
+	Fn string
+	// Arg is the parameter name, e.g. "n".
+	Arg string
+	// Value is the rejected value.
+	Value any
+	// Why states the requirement the value failed.
+	Why string
+}
+
+func (e *ArgError) Error() string {
+	return fmt.Sprintf("apram: %s: %s = %v: %s", e.Fn, e.Arg, e.Value, e.Why)
+}
+
+// needSlots validates a slot count; every constructor calls it first.
+func needSlots(fn string, n int) {
+	if n <= 0 {
+		panic(&ArgError{Fn: fn, Arg: "n", Value: n, Why: "need at least one process slot"})
+	}
+}

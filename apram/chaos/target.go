@@ -61,6 +61,8 @@ func targets() map[string]*target {
 	for _, s := range types.AllTypes() {
 		add(universalTarget(s))
 	}
+	add(serveTarget(types.Counter{}))
+	add(serveTarget(types.GSet{}))
 	add(snapshotTarget("snapshot", true))
 	add(snapshotTarget("snapshot-literal", false))
 	add(dcsnapshotTarget())
@@ -144,6 +146,107 @@ func universalTarget(s types.Sampler) *target {
 			}, nil
 		},
 	}
+}
+
+// serveBatchCap bounds the batches the serve targets compose. Kept
+// small so shrunk traces stay readable while multi-operation batches
+// are still the common case.
+const serveBatchCap = 3
+
+// serveTarget drives the apram/serve batching layer's publication
+// path under the chaos scheduler: the base type's logical operations
+// are greedily packed into internally commuting batches (the same
+// spec.CanBatch admission rule a slot worker applies) and executed
+// through the universal construction over spec.Batch(base). This is
+// where randomized mutator-batch-vs-mutator-batch schedules get
+// their linearizability coverage — the serve package's exhaustive sim
+// tests stop at mutator-vs-pure because the two-mutator schedule
+// space is millions of leaves. The trace records only the logical
+// operations; packing is deterministic, so replay and shrink rebuild
+// identical batches. Only types whose batches provably preserve
+// Property 1 (spec.CheckBatchable) are registered.
+func serveTarget(s types.Sampler) *target {
+	baseName := s.Name()
+	bs := spec.Batch(s)
+	return &target{
+		name: "serve-" + baseName,
+		// No specName: the trace format only names registered base
+		// specs, and the linearizability oracle below checks against
+		// the batched spec directly.
+		spec: bs,
+		script: func(rng *rand.Rand, cfg Config, proc int) []histio.TraceOp {
+			ops := make([]histio.TraceOp, cfg.OpsPerProc)
+			for i := range ops {
+				ops[i] = genSpecOp(rng, baseName)
+			}
+			return ops
+		},
+		build: func(tr *histio.TraceFile) (*instance, error) {
+			n := tr.N
+			lay := snapshot.Layout{Base: 0, N: n}
+			mem := pram.NewMem(lay.Regs(), n)
+			u := core.NewSim(bs, n, 0, mem)
+			cms := make([]*core.Machine, n)
+			machines := make([]pram.Machine, n)
+			scripts := make([][]spec.Inv, n)
+			for p := 0; p < n; p++ {
+				logical := make([]spec.Inv, len(tr.Scripts[p]))
+				for i, op := range tr.Scripts[p] {
+					arg, _, err := histio.NormalizeOp(baseName, op.Name, op.Arg, nil)
+					if err != nil {
+						return nil, fmt.Errorf("chaos: process %d op %d: %w", p, i, err)
+					}
+					logical[i] = spec.Inv{Op: op.Name, Arg: arg}
+				}
+				scripts[p] = packBatches(s, logical)
+				cms[p] = core.NewMachine(u, p, scripts[p])
+				machines[p] = cms[p]
+			}
+			return &instance{
+				mem:  mem,
+				sys:  pram.NewSystem(mem, machines),
+				nops: func(p int) int { return len(scripts[p]) },
+				inv: func(p, i int) (string, any) {
+					// Unwrap to the plain invocation slice: the batched
+					// spec accepts it as a batch argument, and it
+					// serializes without the internal memo wrapper.
+					inner, _ := spec.BatchOf(cms[p].Invocation(i))
+					return spec.BatchOp, inner
+				},
+				resp: func(p, i int) any { return cms[p].Results()[i] },
+				bound: func(p, i int) uint64 {
+					// A batch is ONE published operation of the
+					// universal construction: the base Execute bounds
+					// apply unchanged regardless of batch size.
+					if spec.IsPure(bs, cms[p].Invocation(i)) {
+						return obs.PureExecuteBound(n)
+					}
+					return obs.ExecuteBound(n)
+				},
+				opKind: obs.OpBatch,
+			}, nil
+		},
+	}
+}
+
+// packBatches composes consecutive logical operations into batches of
+// at most serveBatchCap, admitting an operation only while it keeps
+// the batch internally commuting (spec.CanBatch) and flushing on the
+// first conflict.
+func packBatches(base spec.Spec, logical []spec.Inv) []spec.Inv {
+	var out []spec.Inv
+	var cur []spec.Inv
+	for _, inv := range logical {
+		if len(cur) > 0 && (len(cur) >= serveBatchCap || !spec.CanBatch(base, cur, inv)) {
+			out = append(out, spec.BatchInv(cur...))
+			cur = nil
+		}
+		cur = append(cur, inv)
+	}
+	if len(cur) > 0 {
+		out = append(out, spec.BatchInv(cur...))
+	}
+	return out
 }
 
 // genSpecOp generates one random operation for the named spec, with

@@ -84,10 +84,10 @@ func ExampleNewAgreement() {
 	// Output: true true
 }
 
-// ExampleNewConsensus elects one of two proposed values; all callers
-// always receive the same decision.
-func ExampleNewConsensus() {
-	cons := apram.NewConsensus(2, 1)
+// ExampleNewBinaryConsensus elects one of two proposed values; all
+// callers always receive the same decision.
+func ExampleNewBinaryConsensus() {
+	cons := apram.NewBinaryConsensus(2, apram.WithSeed(1))
 	var wg sync.WaitGroup
 	out := make([]int, 2)
 	for p := 0; p < 2; p++ {

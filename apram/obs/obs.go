@@ -71,6 +71,11 @@ const (
 	OpACApply
 	// OpDecide is a consensus Decide.
 	OpDecide
+	// OpBatch is one apram/serve slot-worker turn: the composed batch
+	// operation executed on behalf of queued client requests. The
+	// inner universal-construction Execute reports its own OpExecute;
+	// OpBatch brackets it together with the fan-out.
+	OpBatch
 
 	// NumOps bounds the Op enum; keep it last.
 	NumOps
@@ -79,7 +84,7 @@ const (
 var opNames = [NumOps]string{
 	"scan", "execute", "counter-add", "counter-reset", "counter-read",
 	"clock-merge", "clock-read", "prmw-update", "prmw-read",
-	"agree", "adopt-commit", "decide",
+	"agree", "adopt-commit", "decide", "batch",
 }
 
 // String names the operation (stable identifiers, used as JSON keys).
@@ -125,6 +130,10 @@ const (
 	// back to a full rebuild of the entry graph (the incremental
 	// engine's slow path; purely local, no register traffic).
 	EvLinRebuild
+	// EvBatch is an apram/serve slot worker publishing one composed
+	// batch on behalf of queued client requests (the batch's size goes
+	// to BatchProbe.BatchDone, which Stats turns into a distribution).
+	EvBatch
 
 	// NumEvents bounds the Event enum; keep it last.
 	NumEvents
@@ -133,7 +142,7 @@ const (
 var eventNames = [NumEvents]string{
 	"retry", "help", "publish", "pure-elide", "epoch-restart",
 	"round", "coin-step", "coin-flip", "commit", "adopt",
-	"lin-rebuild",
+	"lin-rebuild", "batch-flush",
 }
 
 // String names the event (stable identifiers, used as JSON keys).
@@ -185,6 +194,28 @@ func Begin(p Probe, slot int, op Op) {
 	}
 }
 
+// BatchProbe is an optional Probe extension for observers that track
+// the apram/serve layer's batch sizes. It follows the same pattern as
+// SpanProbe: the serve workers announce each completed batch through
+// obs.BatchDone, plain Probes ignore it, and Stats folds the sizes
+// into a distribution. Same single-writer, wait-free contract as every
+// Probe method.
+type BatchProbe interface {
+	Probe
+	// BatchDone records that slot completed one composed batch
+	// carrying size logical client operations.
+	BatchDone(slot, size int)
+}
+
+// BatchDone reports a completed batch to p if (and only if) p is a
+// BatchProbe. Callers guard with their usual nil-probe check;
+// BatchDone itself only pays a type assertion.
+func BatchDone(p Probe, slot, size int) {
+	if bp, ok := p.(BatchProbe); ok {
+		bp.BatchDone(slot, size)
+	}
+}
+
 // Nop is the no-op probe: the default when no probe is attached.
 // Objects keep a nil probe and skip reporting entirely, so the nil
 // fast path costs one predictable branch per operation; Nop exists for
@@ -198,6 +229,7 @@ func (nop) RegWrites(int, int) {}
 func (nop) Event(int, Event)   {}
 func (nop) OpDone(int, Op)     {}
 func (nop) OpBegin(int, Op)    {}
+func (nop) BatchDone(int, int) {}
 
 // Multi fans callbacks out to several probes in order. Nil entries are
 // dropped; an empty result degenerates to Nop.
@@ -254,6 +286,16 @@ func (m multi) OpBegin(slot int, op Op) {
 	}
 }
 
+// BatchDone forwards the batch completion to every member that is
+// itself a BatchProbe, mirroring OpBegin's extension forwarding.
+func (m multi) BatchDone(slot, size int) {
+	for _, p := range m {
+		if bp, ok := p.(BatchProbe); ok {
+			bp.BatchDone(slot, size)
+		}
+	}
+}
+
 // Kind discriminates trace records.
 type Kind uint8
 
@@ -269,6 +311,8 @@ const (
 	KindOp
 	// KindBegin is an OpBegin callback (span-aware probes only).
 	KindBegin
+	// KindBatch is a BatchDone callback (batch-aware probes only).
+	KindBatch
 )
 
 // String names the kind.
@@ -284,6 +328,8 @@ func (k Kind) String() string {
 		return "op"
 	case KindBegin:
 		return "begin"
+	case KindBatch:
+		return "batch"
 	}
 	return "kind?"
 }
@@ -298,7 +344,8 @@ type Record struct {
 	Op Op
 	// Event is set for KindEvent records.
 	Event Event
-	// N is the access count for KindReads/KindWrites records.
+	// N is the access count for KindReads/KindWrites records and the
+	// batch size for KindBatch records.
 	N int
 }
 
@@ -323,3 +370,6 @@ func (t Trace) OpDone(slot int, op Op) { t(Record{Slot: slot, Kind: KindOp, Op: 
 
 // OpBegin traces an operation start, making Trace a SpanProbe.
 func (t Trace) OpBegin(slot int, op Op) { t(Record{Slot: slot, Kind: KindBegin, Op: op}) }
+
+// BatchDone traces a batch completion, making Trace a BatchProbe.
+func (t Trace) BatchDone(slot, size int) { t(Record{Slot: slot, Kind: KindBatch, N: size}) }

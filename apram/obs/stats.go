@@ -25,6 +25,13 @@ type slotStats struct {
 	steps  [NumOps]atomic.Uint64 // register accesses attributed to each op kind
 	hist   [HistBuckets]atomic.Uint64
 
+	// batches/batched/bhist record the apram/serve layer's composed
+	// batches: how many completed, how many logical client operations
+	// they carried in total, and the size distribution.
+	batches atomic.Uint64
+	batched atomic.Uint64
+	bhist   [HistBuckets]atomic.Uint64
+
 	// mark is the slot's access total at its previous OpDone. It is
 	// touched only by the slot's own goroutine (never by aggregation),
 	// so it needs no atomicity.
@@ -79,6 +86,34 @@ func (s *Stats) OpDone(slot int, op Op) {
 	sl.ops[op].Add(1)
 	sl.steps[op].Add(steps)
 	sl.hist[bucket(steps)].Add(1)
+}
+
+// BatchDone records one completed serve batch of the given size,
+// making Stats a BatchProbe.
+func (s *Stats) BatchDone(slot, size int) {
+	sl := s.slot(slot)
+	sl.batches.Add(1)
+	sl.batched.Add(uint64(size))
+	sl.bhist[bucket(uint64(size))].Add(1)
+}
+
+// Batches returns the aggregate completed-batch count.
+func (s *Stats) Batches() uint64 {
+	var t uint64
+	for i := range s.slots {
+		t += s.slots[i].batches.Load()
+	}
+	return t
+}
+
+// BatchedOps returns the aggregate count of logical operations
+// delivered through batches.
+func (s *Stats) BatchedOps() uint64 {
+	var t uint64
+	for i := range s.slots {
+		t += s.slots[i].batched.Load()
+	}
+	return t
 }
 
 // bucket maps a step count to its power-of-two histogram bucket.
@@ -156,6 +191,10 @@ type SlotSummary struct {
 	Events map[string]uint64 `json:"events,omitempty"`
 	// Hist is the slot's power-of-two steps-per-op histogram.
 	Hist []uint64 `json:"hist,omitempty"`
+	// Batches and BatchedOps are the slot's serve-batch totals (zero
+	// outside a serving layer).
+	Batches    uint64 `json:"batches,omitempty"`
+	BatchedOps uint64 `json:"batched_ops,omitempty"`
 }
 
 // Summary is a consistent-enough aggregation of a Stats: each counter
@@ -178,6 +217,15 @@ type Summary struct {
 	Ops map[string]OpSummary `json:"ops,omitempty"`
 	// Hist is the aggregate power-of-two steps-per-op histogram.
 	Hist []uint64 `json:"hist"`
+	// Batches and BatchedOps count the apram/serve layer's completed
+	// batches and the logical client operations they carried;
+	// MeanBatch is their ratio and BatchHist the power-of-two
+	// batch-size distribution. All are zero/absent outside a serving
+	// layer.
+	Batches    uint64   `json:"batches,omitempty"`
+	BatchedOps uint64   `json:"batched_ops,omitempty"`
+	MeanBatch  float64  `json:"mean_batch,omitempty"`
+	BatchHist  []uint64 `json:"batch_hist,omitempty"`
 	// PerSlot holds each slot's own totals; summing them reproduces
 	// the aggregate fields exactly.
 	PerSlot []SlotSummary `json:"per_slot"`
@@ -193,16 +241,24 @@ func (s *Stats) Snapshot() Summary {
 		Hist:   make([]uint64, HistBuckets),
 	}
 	var opCount, opSteps [NumOps]uint64
+	var bhist [HistBuckets]uint64
 	for i := range s.slots {
 		sl := &s.slots[i]
 		ss := SlotSummary{
-			Slot:   i,
-			Reads:  sl.reads.Load(),
-			Writes: sl.writes.Load(),
-			Hist:   make([]uint64, HistBuckets),
+			Slot:       i,
+			Reads:      sl.reads.Load(),
+			Writes:     sl.writes.Load(),
+			Hist:       make([]uint64, HistBuckets),
+			Batches:    sl.batches.Load(),
+			BatchedOps: sl.batched.Load(),
 		}
 		sum.Reads += ss.Reads
 		sum.Writes += ss.Writes
+		sum.Batches += ss.Batches
+		sum.BatchedOps += ss.BatchedOps
+		for b := 0; b < HistBuckets; b++ {
+			bhist[b] += sl.bhist[b].Load()
+		}
 		for e := Event(0); e < NumEvents; e++ {
 			if c := sl.events[e].Load(); c > 0 {
 				sum.Events[e.String()] += c
@@ -237,6 +293,10 @@ func (s *Stats) Snapshot() Summary {
 			Steps:     opSteps[op],
 			MeanSteps: float64(opSteps[op]) / float64(opCount[op]),
 		}
+	}
+	if sum.Batches > 0 {
+		sum.MeanBatch = float64(sum.BatchedOps) / float64(sum.Batches)
+		sum.BatchHist = append([]uint64(nil), bhist[:]...)
 	}
 	return sum
 }

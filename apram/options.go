@@ -1,26 +1,25 @@
 package apram
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 
 	"repro/apram/obs"
 )
 
 // This file is the options-based construction surface. Every
-// constructor in this package accepts trailing Options, added as
-// variadic parameters so all pre-existing positional call sites
-// compile unchanged:
+// constructor in this package accepts trailing Options:
 //
-//	// before (still valid)
-//	c := apram.NewCounter(8)
-//	// after: same constructor, observability attached
 //	st := apram.NewStats(8)
 //	c := apram.NewCounter(8, apram.WithProbe(st), apram.WithName("requests"))
 //
-// Migration guidance: there is nothing to migrate — the positional
-// forms are not deprecated. Options exist for the cross-cutting
-// concerns (probes, names, seeds) that would otherwise multiply
-// constructor arities.
+// Migration guidance: the options forms are the constructor API.
+// Positional parameters that duplicate an option — today only the
+// seed parameter of NewConsensus — are deprecated; use the
+// option-only constructor (NewBinaryConsensus with WithSeed) instead.
+// The deprecated forms keep working, and WithSeed overrides the
+// positional value when both are given.
 
 // Probe is the observability callback interface; see package
 // repro/apram/obs for the contract (wait-free implementations only)
@@ -68,23 +67,46 @@ func NewRecorder(n int, opts ...obs.RecorderOption) *Recorder { return obs.NewRe
 func SummarizeSpans(spans []Span) []SpanOpSummary { return obs.SummarizeSpans(spans) }
 
 // Option configures an object at construction time; build them with
-// WithProbe, WithSeed and WithName.
-type Option func(*config)
+// WithProbe, WithRecorder, WithSeed, WithName, WithBatchCap and
+// WithQueueDepth.
+type Option func(*Options)
 
-type config struct {
-	probe   obs.Probe
-	name    string
-	seed    int64
-	hasSeed bool
+// Options is the resolved form of a constructor's trailing Option
+// list. It is exported so layers building on this package — notably
+// apram/serve — can accept the same Option values the constructors
+// do; most callers never touch it.
+type Options struct {
+	// Probe is the observability callback, already composed with any
+	// WithRecorder recorders (nil when neither was given).
+	Probe obs.Probe
+	// Name is the WithName label ("" when unset; Register substitutes
+	// a generated default).
+	Name string
+	// Seed and HasSeed carry WithSeed.
+	Seed    int64
+	HasSeed bool
+	// BatchCap and QueueDepth carry the apram/serve tuning options
+	// (0 when unset, meaning "use the layer's default").
+	BatchCap   int
+	QueueDepth int
+
+	recorders []obs.Probe
 }
 
-func buildConfig(opts []Option) config {
-	var c config
+// ResolveOptions folds an Option list into its resolved Options,
+// composing WithProbe and WithRecorder values into a single Probe.
+func ResolveOptions(opts ...Option) Options {
+	var c Options
 	for _, o := range opts {
 		o(&c)
 	}
+	if len(c.recorders) > 0 {
+		c.Probe = obs.Multi(append([]obs.Probe{c.Probe}, c.recorders...)...)
+	}
 	return c
 }
+
+func buildConfig(opts []Option) Options { return ResolveOptions(opts...) }
 
 // WithProbe attaches an observability probe to the constructed object:
 // exact register read/write accounting, structural events, and
@@ -94,7 +116,23 @@ func buildConfig(opts []Option) config {
 // inside it. The probe must be wait-free; obs.NewStats is, and the
 // no-probe default costs one predictable branch per operation.
 func WithProbe(p obs.Probe) Option {
-	return func(c *config) { c.probe = p }
+	return func(c *Options) { c.Probe = p }
+}
+
+// WithRecorder attaches a flight recorder (obs.NewRecorder) to the
+// constructed object, composing it with any WithProbe probe via
+// obs.Multi — so `WithProbe(stats), WithRecorder(rec)` wires both.
+// It exists because a Recorder is a Probe but obs.RecorderOption is
+// not an Option: the recorder must be constructed (sized for n, with
+// its own ring/clock options) before it can be attached, and this
+// keeps that two-step explicit while letting the attachment ride the
+// same option list as everything else.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(c *Options) {
+		if r != nil {
+			c.recorders = append(c.recorders, r)
+		}
+	}
 }
 
 // WithSeed sets the seed for objects with local randomness (currently
@@ -102,29 +140,81 @@ func WithProbe(p obs.Probe) Option {
 // seed argument. Objects without randomness ignore it. Safety never
 // depends on the seed — it exists for reproducibility.
 func WithSeed(seed int64) Option {
-	return func(c *config) { c.seed, c.hasSeed = seed, true }
+	return func(c *Options) { c.Seed, c.HasSeed = seed, true }
+}
+
+// WithBatchCap bounds how many logical client operations one
+// apram/serve slot worker may compose into a single published batch
+// (default serve.DefaultBatchCap). Constructors in this package
+// ignore it. serve.New panics with an ArgError on cap < 0; cap 1
+// disables composition.
+func WithBatchCap(cap int) Option {
+	return func(c *Options) { c.BatchCap = cap }
+}
+
+// WithQueueDepth sets the per-slot submission queue depth of an
+// apram/serve server (default serve.DefaultQueueDepth) — the
+// backpressure bound on requests awaiting a slot worker.
+// Constructors in this package ignore it. serve.New panics with an
+// ArgError on depth ≤ 0.
+func WithQueueDepth(depth int) Option {
+	return func(c *Options) { c.QueueDepth = depth }
 }
 
 // WithName labels the object; NameOf retrieves the label. Names are
 // for telemetry plumbing — wiring one object's stats to one expvar or
 // JSON key — and have no semantic effect.
 func WithName(name string) Option {
-	return func(c *config) { c.name = name }
+	return func(c *Options) { c.Name = name }
 }
 
-// objectNames maps constructed objects to their WithName labels. A
+// objectNames maps constructed objects to their registered names. A
 // sync.Map keyed by pointer identity: reads are lock-free, and writes
-// happen only at construction time, never on an operation path.
+// happen only at construction time, never on an operation path. The
+// map retains every constructed object for the process lifetime —
+// acceptable because these are long-lived shared structures, not
+// throwaway values.
 var objectNames sync.Map
 
-func (c config) register(obj any) {
-	if c.name != "" {
-		objectNames.Store(obj, c.name)
+var (
+	nameMu   sync.Mutex
+	nameSeqs = map[string]uint64{}
+)
+
+// defaultName generates "<type>#<seq>" for objects constructed
+// without WithName: the lowercased concrete type name, stripped of
+// pointer and package qualifiers, with a per-type sequence number.
+func defaultName(obj any) string {
+	t := strings.TrimPrefix(fmt.Sprintf("%T", obj), "*")
+	if i := strings.LastIndexByte(t, '.'); i >= 0 {
+		t = t[i+1:]
 	}
+	t = strings.ToLower(t)
+	nameMu.Lock()
+	nameSeqs[t]++
+	seq := nameSeqs[t]
+	nameMu.Unlock()
+	return fmt.Sprintf("%s#%d", t, seq)
 }
 
-// NameOf returns the WithName label the object was constructed with,
-// or "" if it has none.
+// Register records the object's name for NameOf. Objects constructed
+// without WithName get a generated "<type>#<seq>" default, so
+// telemetry keyed by NameOf never shows blank identities. Exported
+// for layers (apram/serve) that construct objects on the caller's
+// behalf; the constructors in this package call it themselves.
+func (c Options) Register(obj any) {
+	name := c.Name
+	if name == "" {
+		name = defaultName(obj)
+	}
+	objectNames.Store(obj, name)
+}
+
+func (c Options) register(obj any) { c.Register(obj) }
+
+// NameOf returns the name the object was registered with at
+// construction: the WithName label, or the generated "<type>#<seq>"
+// default. It returns "" only for values no apram constructor built.
 func NameOf(obj any) string {
 	if v, ok := objectNames.Load(obj); ok {
 		return v.(string)

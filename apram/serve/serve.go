@@ -1,0 +1,389 @@
+// Package serve is the slot-multiplexed serving layer: it fronts any
+// Property 1 apram object with an unbounded population of client
+// goroutines, multiplexing them onto the object's n wait-free process
+// slots.
+//
+// Every object in this repository is built for a fixed n, and the
+// universal construction pays its O(n²) anchor-array scan per
+// *published operation* (Section 5.4). A server turns that per-
+// operation cost into a per-batch cost: each slot runs a worker
+// goroutine that drains a bounded submission queue, composes the
+// pending logical operations into one batched invocation (spec.Batch),
+// publishes it through the universal construction with a single scan,
+// and fans the inner responses back out over per-request futures. The
+// Section 2 cost model charges only shared-memory accesses, so the
+// local work of composing and fanning out is free; shared accesses
+// per logical operation fall roughly by the batch size (experiment
+// E17 measures this).
+//
+// Pure operations get a fast path for free: reads commute with
+// reads, so a worker facing a run of pure requests composes a pure
+// batch, and the batched spec marks a batch pure when every member is
+// — the universal construction then elides publication entirely (one
+// scan, no writes, EvPureElide), exactly as it does for a single pure
+// operation.
+//
+// Batching is only sound for types whose commuting batches preserve
+// Property 1. New decides this at construction with
+// spec.CheckBatchable and silently degrades to singleton batches
+// (BatchCap() == 1) when the check fails — the directory is the known
+// example — or when the spec provides no sample invocations to check
+// against. Singleton batches are always sound: Property 1 over
+// singletons is the base spec's Property 1.
+//
+// The layer preserves the stack's guarantees in the terms that
+// survive multiplexing: the slot workers execute wait-free operations
+// (a worker turn is bounded regardless of other workers), the object
+// stays linearizable — each composed batch is internally commuting,
+// so every logical operation can be linearized at its batch's
+// linearization point — and clients get backpressure, not unbounded
+// queueing: when a slot's queue is full, Do blocks until space or
+// context cancellation.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/apram"
+	"repro/apram/obs"
+	"repro/internal/spec"
+)
+
+const (
+	// DefaultBatchCap bounds the logical operations composed into one
+	// published batch when WithBatchCap is not given.
+	DefaultBatchCap = 64
+	// DefaultQueueDepth is the per-slot submission queue depth when
+	// WithQueueDepth is not given.
+	DefaultQueueDepth = 256
+	// flushSpins bounds the worker's flush pause: how many scheduler
+	// yields it spends topping an under-full batch up from the queue
+	// before composing what it has.
+	flushSpins = 3
+)
+
+// ErrClosed is returned by Do for requests that could not complete
+// because the server was closed.
+var ErrClosed = errors.New("serve: server closed")
+
+// request is one logical client operation in flight: the invocation,
+// and a future (done) the owning slot worker resolves with either a
+// response or an error.
+type request struct {
+	inv  spec.Inv
+	resp any
+	err  error
+	done chan struct{}
+}
+
+// Server multiplexes client goroutines onto the n process slots of a
+// wait-free object implementing the given spec. All methods are safe
+// for concurrent use.
+type Server struct {
+	base     spec.Spec
+	obj      *apram.Object
+	n        int
+	batchCap int
+	depth    int
+	batching bool
+	probe    obs.Probe
+
+	queues []chan *request
+	next   atomic.Uint64
+
+	// mu guards closed. Do holds the read lock across its closed-check
+	// and queue send, so once Close holds the write lock and sets
+	// closed, no further request can be enqueued — which makes the
+	// workers' final drain (after quit closes) exhaustive.
+	mu     sync.RWMutex
+	closed bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a server for spec s over a fresh n-slot universal object.
+// It accepts the same options as the apram constructors; WithBatchCap
+// and WithQueueDepth tune this layer, everything else (probes,
+// recorders, names) is applied to the underlying object as usual.
+// Impossible arguments panic with an apram.ArgError.
+//
+// The underlying object is constructed over apram.BatchSpec(s), so
+// its operations are batches; clients never see that — Do takes and
+// returns the base spec's invocations and responses.
+func New(s apram.Spec, n int, opts ...apram.Option) *Server {
+	if n <= 0 {
+		panic(&apram.ArgError{Fn: "serve.New", Arg: "n", Value: n, Why: "need at least one process slot"})
+	}
+	ro := apram.ResolveOptions(opts...)
+	if ro.BatchCap < 0 {
+		panic(&apram.ArgError{Fn: "serve.New", Arg: "batchCap", Value: ro.BatchCap, Why: "batch cap must be non-negative"})
+	}
+	if ro.QueueDepth < 0 {
+		panic(&apram.ArgError{Fn: "serve.New", Arg: "queueDepth", Value: ro.QueueDepth, Why: "queue depth must be non-negative"})
+	}
+	cap := ro.BatchCap
+	if cap == 0 {
+		cap = DefaultBatchCap
+	}
+	depth := ro.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+
+	// Composition is admitted only when the batched spec provably
+	// keeps Property 1 over the type's sample invocations; otherwise
+	// the server runs singleton batches, which are sound for any
+	// Property 1 base spec.
+	batching := cap > 1
+	if batching {
+		sampler, ok := s.(interface{ SampleInvocations() []spec.Inv })
+		if !ok {
+			batching, cap = false, 1
+		} else if ok2, _ := spec.CheckBatchable(s, sampler.SampleInvocations()); !ok2 {
+			batching, cap = false, 1
+		}
+	}
+
+	sv := &Server{
+		base:     s,
+		n:        n,
+		batchCap: cap,
+		depth:    depth,
+		batching: batching,
+		probe:    ro.Probe,
+		queues:   make([]chan *request, n),
+		quit:     make(chan struct{}),
+	}
+	sv.obj = apram.NewObject(apram.BatchSpec(s), n, opts...)
+	ro.Register(sv)
+	for p := 0; p < n; p++ {
+		sv.queues[p] = make(chan *request, depth)
+		sv.wg.Add(1)
+		go sv.worker(p)
+	}
+	return sv
+}
+
+// N returns the number of process slots (worker goroutines).
+func (sv *Server) N() int { return sv.n }
+
+// BatchCap returns the effective batch cap: the configured cap, or 1
+// when batching was disabled because the spec's batches do not
+// preserve Property 1.
+func (sv *Server) BatchCap() int { return sv.batchCap }
+
+// QueueDepth returns the per-slot submission queue depth.
+func (sv *Server) QueueDepth() int { return sv.depth }
+
+// Batching reports whether the server composes multi-operation
+// batches (false when the spec failed CheckBatchable or the cap is 1).
+func (sv *Server) Batching() bool { return sv.batching }
+
+// Object returns the underlying universal object (its spec is
+// apram.BatchSpec of the serving spec). Exposed for observability and
+// test oracles; invoking it directly while the server runs would
+// violate the slots' single-writer discipline.
+func (sv *Server) Object() *apram.Object { return sv.obj }
+
+// Do executes one logical operation, blocking until a slot worker
+// completes it, the context is cancelled, or the server closes.
+// Requests are distributed round-robin across slots; operations
+// submitted by one goroutine in sequence may land on different slots
+// and are ordered only by their batches' linearization points.
+//
+// Cancellation is delivery-bounded: once a worker has picked the
+// request up, Do waits for the response even if ctx expires — the
+// operation may already be published, and reporting ctx.Err() then
+// would mask an applied effect.
+func (sv *Server) Do(ctx context.Context, inv apram.Inv) (any, error) {
+	req := &request{inv: inv, done: make(chan struct{})}
+	slot := int(sv.next.Add(1)-1) % sv.n
+
+	sv.mu.RLock()
+	if sv.closed {
+		sv.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case sv.queues[slot] <- req:
+		sv.mu.RUnlock()
+	case <-ctx.Done():
+		sv.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case <-req.done:
+		return req.resp, req.err
+	case <-ctx.Done():
+		// The request is enqueued and will be executed or failed by
+		// its worker; we just stop waiting for the outcome.
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the server down: it stops accepting requests, lets the
+// workers drain their queues (pending requests fail with ErrClosed),
+// and waits for the workers to exit. Close is idempotent.
+func (sv *Server) Close() {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return
+	}
+	sv.closed = true
+	sv.mu.Unlock()
+	close(sv.quit)
+	sv.wg.Wait()
+}
+
+// worker is slot p's goroutine: block for one request, top the
+// pending set up from the queue without blocking, compose a batch,
+// execute it, fan out, repeat.
+//
+// Composition cherry-picks: the batch is seeded with the OLDEST
+// pending request and extended with every pending request that
+// commutes with the members so far (up to the cap); the rest stay
+// pending for later turns. Reordering across requests is sound
+// because each queued request belongs to a distinct client goroutine
+// blocked in Do — there is no cross-client ordering to preserve, and
+// a single client's next operation only arrives after its previous
+// one completed. Seeding with the oldest pending request bounds
+// deferral: every request seeds a batch after at most the number of
+// turns it spent pending, so nothing starves. Cherry-picking is what
+// keeps batches large under mixed workloads — with FIFO-only
+// composition a lone read caps an inc-run at the read, collapsing
+// amortization (and ballooning the universal construction's
+// published history, which the linearization engine pays for
+// quadratically on rebuilds).
+func (sv *Server) worker(p int) {
+	defer sv.wg.Done()
+	q := sv.queues[p]
+	var pending []*request
+	for {
+		if len(pending) == 0 {
+			select {
+			case req := <-q:
+				pending = append(pending, req)
+			case <-sv.quit:
+				sv.drainClosed(q, nil)
+				return
+			}
+		}
+		sv.fill(q, &pending)
+		// Flush pause: if the queue drain left the batch under-full,
+		// yield a few times so clients racing toward this queue can land
+		// their sends before the batch is composed. Composition quality
+		// is not just a throughput knob — every under-full batch
+		// permanently inflates the published history, and the
+		// linearization engine's rebuild cost is quadratic in that
+		// history, so a burst of tiny batches early in a run taxes every
+		// operation after it. The pause is bounded (wait-freedom is
+		// per-turn bounded work) and purely local — the Section 2 cost
+		// model charges only shared accesses, so waiting is free.
+		for spin := 0; len(pending) < sv.batchCap && spin < flushSpins; spin++ {
+			runtime.Gosched()
+			sv.fill(q, &pending)
+		}
+
+		batch := []*request{pending[0]}
+		invs := []spec.Inv{pending[0].inv}
+		rest := pending[:0]
+		for _, req := range pending[1:] {
+			if len(batch) < sv.batchCap && spec.CanBatch(sv.base, invs, req.inv) {
+				batch = append(batch, req)
+				invs = append(invs, req.inv)
+			} else {
+				rest = append(rest, req)
+			}
+		}
+		pending = rest
+
+		sv.execute(p, batch, invs)
+
+		select {
+		case <-sv.quit:
+			sv.drainClosed(q, pending)
+			return
+		default:
+		}
+	}
+}
+
+// fill tops pending up from the queue without blocking, up to the
+// batch cap.
+func (sv *Server) fill(q chan *request, pending *[]*request) {
+	for len(*pending) < sv.batchCap {
+		select {
+		case req := <-q:
+			*pending = append(*pending, req)
+		default:
+			return
+		}
+	}
+}
+
+// drainClosed fails the worker's leftover pending requests and every
+// queued request with ErrClosed. It runs after Close set closed under
+// the write lock, and Do only enqueues while holding the read lock
+// with closed unset — so the queue cannot grow again and the
+// non-blocking drain is exhaustive.
+func (sv *Server) drainClosed(q chan *request, pending []*request) {
+	for _, req := range pending {
+		req.err = ErrClosed
+		close(req.done)
+	}
+	for {
+		select {
+		case req := <-q:
+			req.err = ErrClosed
+			close(req.done)
+		default:
+			return
+		}
+	}
+}
+
+// execute publishes one composed batch on slot p and fans the inner
+// responses out. The batch span (OpBatch) brackets the underlying
+// object's own OpExecute span plus the fan-out; EvBatch marks the
+// flush and BatchDone feeds the batch-size distribution.
+func (sv *Server) execute(p int, batch []*request, invs []spec.Inv) {
+	obs.Begin(sv.probe, p, obs.OpBatch)
+	resp, err := sv.run(p, invs)
+	for i, req := range batch {
+		if err != nil {
+			req.err = err
+		} else {
+			req.resp = resp[i]
+		}
+		close(req.done)
+	}
+	if sv.probe != nil {
+		sv.probe.Event(p, obs.EvBatch)
+		obs.BatchDone(sv.probe, p, len(batch))
+		sv.probe.OpDone(p, obs.OpBatch)
+	}
+}
+
+// run executes the batch on the underlying object, converting a spec
+// panic (e.g. a malformed invocation) into an error delivered to the
+// batch's requests instead of killing the slot worker.
+func (sv *Server) run(p int, invs []spec.Inv) (resp []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: operation panicked: %v", r)
+		}
+	}()
+	out := sv.obj.Execute(p, spec.BatchInv(invs...))
+	rs, ok := out.([]any)
+	if !ok || len(rs) != len(invs) {
+		return nil, fmt.Errorf("serve: malformed batch response %T", out)
+	}
+	return rs, nil
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	aprambench                    # run every experiment (E1..E16)
+//	aprambench                    # run every experiment (E1..E17)
 //	aprambench -exp e3,e5         # run a subset
 //	aprambench -list              # list experiments
 //	aprambench -markdown          # emit GitHub-flavoured markdown
@@ -251,6 +251,7 @@ func titleOnly(id string) (string, error) {
 		"e13": "Atomic-register constructions (extension)",
 		"e14": "Exhaustive schedule enumeration (extension)",
 		"e16": "Incremental linearization vs history length (extension)",
+		"e17": "Slot-multiplexed serving: batching amortizes the O(n²) scan",
 	}
 	t, ok := titles[id]
 	if !ok {

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	const replicas = 5
-	cons := apram.NewConsensus(replicas, 2026)
+	cons := apram.NewBinaryConsensus(replicas, apram.WithSeed(2026))
 
 	prefs := []int{0, 1, 1, 0, 1}
 	type vote struct{ replica, decision int }

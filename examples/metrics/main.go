@@ -51,7 +51,7 @@ func main() {
 		apram.WithProbe(rec), apram.WithName("last-sample"))
 	meta := apram.NewObject(apram.DirectorySpec{}, workers+1,
 		apram.WithProbe(rec), apram.WithName("meta"))
-	flushVote := apram.NewConsensus(workers+1, 0,
+	flushVote := apram.NewBinaryConsensus(workers+1,
 		apram.WithProbe(rec), apram.WithSeed(7), apram.WithName("flush-vote"))
 
 	var wg sync.WaitGroup

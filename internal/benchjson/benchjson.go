@@ -117,6 +117,9 @@ func options(probe obs.Probe) []apram.Option {
 func scanReads(n int) float64  { return float64(n*n - 1) }
 func scanWrites(n int) float64 { return float64(n + 1) }
 
+// benchBatch is the object-batched driver's batch size.
+const benchBatch = 20
+
 func structures() []structure {
 	return []structure{
 		{
@@ -213,6 +216,38 @@ func structures() []structure {
 			},
 		},
 		{
+			// The universal construction with logical operations composed
+			// into commuting batches before publication (BatchSpec /
+			// BatchInv — exactly what an apram/serve slot worker does).
+			// Ops counts LOGICAL operations; each batch of up to
+			// benchBatch of them costs the same two Scans a single
+			// Execute does, so reads/op ≈ 2(n²−1)/benchBatch — the
+			// amortization experiment E17 measures under live load. No
+			// closed-form columns: the last batch may be short when ops
+			// is not a multiple of benchBatch.
+			name: "object-batched",
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				u := apram.NewObject(apram.BatchSpec(apram.CounterSpec{}), n, options(probe)...)
+				var elapsed time.Duration
+				for done, b := 0, 0; done < ops; b++ {
+					k := benchBatch
+					if ops-done < k {
+						k = ops - done
+					}
+					invs := make([]apram.Inv, k)
+					for i := range invs {
+						invs[i] = apram.Inc(1)
+					}
+					batch := apram.BatchInv(invs...)
+					start := time.Now()
+					u.Execute(b%n, batch)
+					elapsed += time.Since(start)
+					done += k
+				}
+				return elapsed
+			},
+		},
+		{
 			// The snapshot driver again, but with a flight recorder
 			// attached in every pass — including the timed one. Gating
 			// this row's ns/op against the baseline bounds the recorder's
@@ -245,7 +280,7 @@ func structures() []structure {
 				var elapsed time.Duration
 				seed := int64(1)
 				for done := 0; done < ops; {
-					c := apram.NewConsensus(n, seed, options(probe)...)
+					c := apram.NewBinaryConsensus(n, append(options(probe), apram.WithSeed(seed))...)
 					seed++
 					start := time.Now()
 					for p := 0; p < n && done < ops; p++ {

@@ -34,7 +34,18 @@ import (
 // Entry is immutable after publication; entries are shared freely
 // across snapshots, clones, and goroutines.
 type Entry struct {
-	// Proc and Seq identify the entry: the Seq-th operation of Proc.
+	// Proc and Seq identify the entry. Seq is a Lamport-style stamp:
+	// strictly greater than the publisher's previous stamp and than
+	// every stamp in the snapshot view the entry was created from. It
+	// is therefore monotone per process (so it doubles as the anchor
+	// cell's lattice tag) and consistent with precedence, which keeps
+	// concurrent publishers' stamps interleaved near the top of the
+	// history — the property the linearization engine's suffix-
+	// compatibility check needs for its fast path to stay the common
+	// case under concurrency. (With plain per-process counters, slots
+	// running at different speeds drift apart and every cross-slot
+	// observation lands below the watermark, forcing a full O(m²)
+	// rebuild per operation.)
 	Proc int
 	Seq  uint64
 	// Inv and Resp are the operation and its chosen response.
@@ -79,6 +90,20 @@ func Respond(s spec.Spec, view []*Entry, inv spec.Inv) (any, []*Entry, error) {
 	return NewLinearizer(s).Respond(view, inv)
 }
 
+// nextSeq returns the Lamport stamp for a process's next entry:
+// strictly above its own previous stamp and above every entry in the
+// snapshot view the entry will point at. Purely local — the view was
+// already scanned — so the paper's cost accounting is unaffected.
+func nextSeq(view []*Entry, own uint64) uint64 {
+	s := own
+	for _, e := range view {
+		if e != nil && e.Seq > s {
+			s = e.Seq
+		}
+	}
+	return s + 1
+}
+
 // viewOf extracts the latest-entry-per-process view from a snapshot
 // vector whose cells carry *Entry payloads.
 func viewOf(vec lattice.Vec) []*Entry {
@@ -100,7 +125,7 @@ type Universal struct {
 	n    int
 	vl   lattice.Vector
 	snap *snapshot.Snapshot
-	seq  []uint64 // per-process sequence numbers (owned by that process)
+	seq  []uint64 // per-process last-used Lamport stamps (owned by that process)
 
 	// lins[p] is process p's incremental linearization engine. Like
 	// seq[p] it is owned by the goroutine driving p; it holds only
@@ -200,9 +225,9 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 		}
 		return resp
 	}
-	e := &Entry{Proc: p, Seq: u.seq[p] + 1, Inv: inv, Resp: resp, Prev: view}
+	e := &Entry{Proc: p, Seq: nextSeq(view, u.seq[p]), Inv: inv, Resp: resp, Prev: view}
 	// Step 2: publish the entry (Write_L on the anchor array).
-	u.seq[p]++
+	u.seq[p] = e.Seq
 	u.snap.Update(p, u.vl.Single(p, e.Seq, e))
 	if u.probe != nil {
 		u.probe.Event(p, obs.EvPublish)

@@ -67,6 +67,15 @@ type Linearizer struct {
 	state    spec.State
 	stateKey string
 
+	// dom memoizes spec.Dominates per entry pair. Dominance depends
+	// only on the two entries' immutable (Inv, Proc), yet a full
+	// rebuild re-asks every pair — O(m²) evaluations each time — and
+	// with batched invocations (apram/serve) a single evaluation costs
+	// O(cap²) base-algebra calls. The memo caps total algebra work at
+	// one evaluation per distinct pair for the engine's lifetime, at
+	// O(pairs) memory against entries the engine retains anyway.
+	dom map[domPair]bool
+
 	// stats, exposed via Stats.
 	calls, extensions, rebuilds, checkpointMisses uint64
 
@@ -84,10 +93,24 @@ func NewLinearizer(s spec.Spec) *Linearizer {
 		s:           s,
 		index:       map[*Entry]int32{},
 		visited:     map[*Entry]uint32{},
+		dom:         map[domPair]bool{},
 		state:       st,
 		stateKey:    s.Key(st),
 		incremental: true,
 	}
+}
+
+type domPair struct{ a, b *Entry }
+
+// dominates is the memoized Definition 14 check for indexed entries.
+func (l *Linearizer) dominates(a, b *Entry) bool {
+	k := domPair{a, b}
+	if v, ok := l.dom[k]; ok {
+		return v
+	}
+	v := spec.Dominates(l.s, a.Inv, a.Proc, b.Inv, b.Proc)
+	l.dom[k] = v
+	return v
 }
 
 // SetIncremental toggles the incremental fast path. With incremental
@@ -242,7 +265,7 @@ func (l *Linearizer) suffixCompatible(oldN int, fresh []*Entry) bool {
 				continue
 			}
 			o := l.entries[y]
-			if spec.Dominates(l.s, o.Inv, o.Proc, e.Inv, e.Proc) {
+			if l.dominates(o, e) {
 				return false
 			}
 		}
@@ -292,8 +315,7 @@ func (l *Linearizer) extendOrder(fresh []*Entry) error {
 		}
 	}
 	lin, err := lingraph.Build(pg, func(i, j int) bool {
-		a, b := batch[i], batch[j]
-		return spec.Dominates(l.s, a.Inv, a.Proc, b.Inv, b.Proc)
+		return l.dominates(batch[i], batch[j])
 	})
 	if err != nil {
 		return err
@@ -325,8 +347,7 @@ func (l *Linearizer) rebuild() error {
 		})
 	}
 	lin, err := lingraph.Build(pg, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		return spec.Dominates(l.s, a.Inv, a.Proc, b.Inv, b.Proc)
+		return l.dominates(sorted[i], sorted[j])
 	})
 	if err != nil {
 		return err

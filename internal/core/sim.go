@@ -182,11 +182,11 @@ func (mc *Machine) afterScanStep() {
 			return
 		}
 		mc.pending = &Entry{
-			Proc: mc.proc, Seq: mc.seq + 1,
+			Proc: mc.proc, Seq: nextSeq(view, mc.seq),
 			Inv: mc.cur, Resp: resp, Prev: view,
 		}
 		// Step 2 of Figure 4: publish the entry via Write_L.
-		mc.seq++
+		mc.seq = mc.pending.Seq
 		mc.scan.Enqueue(mc.u.VL.Single(mc.proc, mc.pending.Seq, mc.pending))
 		mc.ph = simPublishing
 	case simPublishing:

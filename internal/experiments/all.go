@@ -25,6 +25,7 @@ var Registry = map[string]func() Table{
 	// e15 is the chaos harness walk-through in EXPERIMENTS.md — a
 	// narrative, not a table — so the registry skips to e16.
 	"e16": E16LongHistory,
+	"e17": E17Serve,
 }
 
 // IDs returns the experiment ids in numeric order.

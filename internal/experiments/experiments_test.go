@@ -233,9 +233,28 @@ func TestE16CachedArmNeverRebuilds(t *testing.T) {
 	}
 }
 
+// TestE17AmortizationDecreases checks E17's structural claim without
+// depending on wall-clock timing: shared accesses per logical
+// operation fall strictly as offered concurrency grows past n,
+// because batches grow with queue occupancy and the scan bill is per
+// batch. The spans between the tested concurrency levels are 4× and
+// 8×, so the strict inequality is robust to scheduling noise.
+func TestE17AmortizationDecreases(t *testing.T) {
+	const n = 4
+	prev := -1.0
+	for _, clients := range []int{n, 4 * n, 32 * n} {
+		r := runServeLoad(n, clients, 0, 512/clients)
+		if prev >= 0 && r.accessesOp >= prev {
+			t.Fatalf("clients=%d: accesses/op %.3f did not fall below %.3f",
+				clients, r.accessesOp, prev)
+		}
+		prev = r.accessesOp
+	}
+}
+
 func TestRegistryAndRendering(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" {
+	if len(ids) != 16 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[15] != "e17" {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil {

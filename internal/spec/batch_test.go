@@ -1,0 +1,163 @@
+package spec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
+)
+
+// batchSafe are the Property 1 types whose batched form preserves
+// Property 1 over commuting batches; the directory is the known
+// exception (see TestDirectoryNotBatchable).
+func batchSafe() []types.Sampler {
+	return []types.Sampler{
+		types.Counter{}, types.Clock{}, types.GSet{}, types.MaxReg{}, types.Register{},
+	}
+}
+
+// TestBatchAlgebra validates the derived batch algebra the hard way:
+// for every batch-safe type, every commuting batch formed from the
+// sample invocations is checked with CheckAlgebra against the
+// executable Apply on the sample states — declared batch commutes
+// must commute, declared batch overwrites must overwrite, Property 1
+// must hold over the batch universe, and declared-pure batches must
+// not change state.
+func TestBatchAlgebra(t *testing.T) {
+	for _, s := range batchSafe() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			batches := spec.CommutingBatches(s, s.SampleInvocations(), 3)
+			if len(batches) <= len(s.SampleInvocations()) {
+				t.Fatalf("only %d batches from %d invocations; no composition happened",
+					len(batches), len(s.SampleInvocations()))
+			}
+			if vs := spec.CheckAlgebra(spec.Batch(s), s.SampleStates(), batches); len(vs) > 0 {
+				t.Fatalf("batched %s fails algebra validation (%d violations): %s",
+					s.Name(), len(vs), vs[0])
+			}
+			if ok, w := spec.CheckBatchable(s, s.SampleInvocations()); !ok {
+				t.Fatalf("CheckBatchable(%s) = false, witness %v vs %v", s.Name(), w[0], w[1])
+			}
+		})
+	}
+}
+
+// TestDirectoryNotBatchable pins the counterexample that makes batch
+// admission type-dependent: two internally commuting put-batches over
+// overlapping key sets neither commute nor overwrite either way, so
+// Property 1 does not lift and a serving layer must keep directory
+// batches singleton.
+func TestDirectoryNotBatchable(t *testing.T) {
+	d := types.Directory{}
+	ok, w := spec.CheckBatchable(d, d.SampleInvocations())
+	if ok {
+		t.Fatal("CheckBatchable(directory) = true; the put-pair counterexample should fail it")
+	}
+	for _, b := range w {
+		if _, isBatch := spec.BatchOf(b); !isBatch {
+			t.Fatalf("witness %v is not a batch invocation", b)
+		}
+	}
+	// The concrete counterexample from the batch.go package comment.
+	b1 := spec.BatchInv(types.Put("k", "a"), types.Put("j", "b"))
+	b2 := spec.BatchInv(types.Put("k", "c"), types.Put("m", "d"))
+	bd := spec.Batch(d)
+	if bd.Commutes(b1, b2) || bd.Overwrites(b1, b2) || bd.Overwrites(b2, b1) {
+		t.Fatalf("put-pair batches %v / %v should be algebraically unrelated", b1, b2)
+	}
+}
+
+// TestBatchApply checks response packaging and state threading.
+func TestBatchApply(t *testing.T) {
+	b := spec.Batch(types.Counter{})
+	st, resp := b.Apply(b.Init(), spec.BatchInv(types.Inc(2), types.Inc(3), types.Read()))
+	if got, want := resp, []any{nil, nil, int64(5)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch responses = %v, want %v", got, want)
+	}
+	if st != spec.State(int64(5)) {
+		t.Fatalf("batch final state = %v, want 5", st)
+	}
+	if name := b.Name(); name != "batch(counter)" {
+		t.Fatalf("Name() = %q", name)
+	}
+}
+
+// TestBatchPure: a batch is pure iff every member is, so read-only
+// batches ride the universal construction's one-scan elision.
+func TestBatchPure(t *testing.T) {
+	b := spec.Batch(types.Counter{})
+	if !spec.IsPure(b, spec.BatchInv(types.Read())) {
+		t.Error("read-only batch should be pure")
+	}
+	if !spec.IsPure(b, spec.BatchInv()) {
+		t.Error("empty batch should be pure")
+	}
+	if spec.IsPure(b, spec.BatchInv(types.Read(), types.Inc(1))) {
+		t.Error("batch containing inc should not be pure")
+	}
+	if spec.IsPure(b, types.Read()) {
+		t.Error("non-batch invocation should not be pure under the batched spec")
+	}
+}
+
+// TestCanBatch checks the admission rule on the counter algebra.
+func TestCanBatch(t *testing.T) {
+	c := types.Counter{}
+	cases := []struct {
+		have []spec.Inv
+		next spec.Inv
+		want bool
+	}{
+		{nil, types.Inc(1), true},
+		{[]spec.Inv{types.Inc(1)}, types.Dec(2), true},
+		{[]spec.Inv{types.Inc(1)}, types.Read(), false},
+		{[]spec.Inv{types.Read()}, types.Read(), true},
+		{[]spec.Inv{types.Inc(1)}, types.Reset(0), false},
+		{[]spec.Inv{types.Reset(0)}, types.Reset(1), false},
+	}
+	for _, tc := range cases {
+		if got := spec.CanBatch(c, tc.have, tc.next); got != tc.want {
+			t.Errorf("CanBatch(%v, %v) = %v, want %v", tc.have, tc.next, got, tc.want)
+		}
+	}
+}
+
+// TestBatchOf checks the invocation round trip and rejection of
+// non-batch invocations.
+func TestBatchOf(t *testing.T) {
+	inner := []spec.Inv{types.Inc(1), types.Dec(2)}
+	invs, ok := spec.BatchOf(spec.BatchInv(inner...))
+	if !ok || !reflect.DeepEqual(invs, inner) {
+		t.Fatalf("BatchOf round trip = %v, %v", invs, ok)
+	}
+	if _, ok := spec.BatchOf(types.Inc(1)); ok {
+		t.Error("BatchOf should reject a plain invocation")
+	}
+}
+
+// TestBatchOverwriteShapes pins the derived overwrite relation on the
+// cases the serve layer depends on.
+func TestBatchOverwriteShapes(t *testing.T) {
+	b := spec.Batch(types.Counter{})
+	incs := spec.BatchInv(types.Inc(1), types.Dec(2))
+	reads := spec.BatchInv(types.Read(), types.Read())
+	reset := spec.BatchInv(types.Reset(0))
+	empty := spec.BatchInv()
+	if !b.Overwrites(incs, reads) {
+		t.Error("a mutator batch should overwrite a read batch")
+	}
+	if b.Overwrites(reads, incs) {
+		t.Error("a read batch must not overwrite a mutator batch")
+	}
+	if !b.Overwrites(reset, incs) {
+		t.Error("a reset batch should overwrite an inc batch")
+	}
+	if !b.Overwrites(incs, empty) {
+		t.Error("everything overwrites the empty batch")
+	}
+	if b.Overwrites(empty, incs) {
+		t.Error("the empty batch overwrites only no-ops")
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/lattice"
+	"repro/internal/pram"
 	"repro/internal/snapshot"
 	"repro/internal/spec"
 	"repro/internal/types"
@@ -165,13 +166,30 @@ type Object = core.Universal
 // have not been independently validated.
 func NewObject(s Spec, n int, opts ...Option) *Object {
 	needSlots("NewObject", n)
-	u := core.New(s, n)
 	cfg := buildConfig(opts)
+	u := newUniversal(s, n, cfg.Backend)
 	if cfg.Probe != nil {
 		u.Instrument(cfg.Probe)
 	}
 	cfg.register(u)
 	return u
+}
+
+// newUniversal constructs the universal object on the selected
+// substrate: native atomics (core.New) or the step-granular simulated
+// registers (core.NewSimulated) when WithBackend(Simulated(...)) was
+// given. apram.BackendScheduler and the simulator's scheduler
+// interface have identical method sets, so the configured scheduler
+// passes through directly.
+func newUniversal(s Spec, n int, b Backend) *Object {
+	if b.IsSimulated() {
+		var sc pram.Scheduler
+		if bs := b.Scheduler(); bs != nil {
+			sc = bs
+		}
+		return core.NewSimulated(s, n, sc)
+	}
+	return core.New(s, n)
 }
 
 // NewCheckedObject validates the spec's declared algebra (and
@@ -180,11 +198,11 @@ func NewObject(s Spec, n int, opts ...Option) *Object {
 // cannot be implemented wait-free from registers.
 func NewCheckedObject(s Spec, n int, states []spec.State, invs []Inv, opts ...Option) (*Object, error) {
 	needSlots("NewCheckedObject", n)
-	u, err := core.NewChecked(s, n, states, invs)
-	if err != nil {
+	if err := core.CheckProperty1(s, states, invs); err != nil {
 		return nil, err
 	}
 	cfg := buildConfig(opts)
+	u := newUniversal(s, n, cfg.Backend)
 	if cfg.Probe != nil {
 		u.Instrument(cfg.Probe)
 	}

@@ -1,0 +1,73 @@
+package apram
+
+import "fmt"
+
+// BackendScheduler chooses which pending process slot takes the next
+// step on the simulated substrate. It is structurally identical to
+// sim.Scheduler (and satisfied by every scheduler in repro/apram/sim:
+// round-robin, random, bursty, crash, priority, replay), declared here
+// so selecting a backend does not require importing the simulator.
+type BackendScheduler interface {
+	// Next returns the index of the slot to step next, given the
+	// ascending, non-empty indices of slots with unfinished operations.
+	Next(running []int) int
+}
+
+// Backend selects the register substrate an object's algorithm runs
+// on. The zero value is Native — see WithBackend for which
+// constructors honor the choice.
+type Backend struct {
+	simulated bool
+	sched     BackendScheduler
+}
+
+// Native selects the hardware substrate: sync/atomic registers driven
+// by real goroutines under the Go scheduler. This is the default and
+// the production configuration — operations run genuinely in parallel,
+// wall-clock numbers mean something, and wait-freedom is a claim about
+// the machine you are actually on (experiment E18 measures it).
+func Native() Backend { return Backend{} }
+
+// Simulated selects the model substrate: the same algorithm body,
+// stepped one shared-memory access at a time on a simulated register
+// array, with sc choosing which pending slot advances at each step
+// (nil = fair round-robin). Accesses are serialized — that
+// serialization is the definition of the model's atomic registers —
+// so step counts are exact, runs are deterministic under a
+// deterministic scheduler, and nanoseconds are fiction. Use it for
+// exact cost accounting, schedule-adversarial testing, and as the
+// reference side of cross-backend comparisons.
+func Simulated(sc BackendScheduler) Backend {
+	return Backend{simulated: true, sched: sc}
+}
+
+// IsSimulated reports whether the backend is the simulated substrate.
+func (b Backend) IsSimulated() bool { return b.simulated }
+
+// Scheduler returns the configured simulated-substrate scheduler (nil
+// means the fair round-robin default, or a native backend).
+func (b Backend) Scheduler() BackendScheduler { return b.sched }
+
+// String implements fmt.Stringer with the benchjson axis names.
+func (b Backend) String() string {
+	if b.simulated {
+		if b.sched != nil {
+			return fmt.Sprintf("sim(%T)", b.sched)
+		}
+		return "sim"
+	}
+	return "native"
+}
+
+// WithBackend selects the register substrate for constructors whose
+// algorithm bodies have both ports: NewObject and NewCheckedObject
+// (the universal construction's Figure 4 machine runs on either
+// substrate) and serve.New (whose underlying object inherits the
+// choice; its slot workers and clients are real goroutines on both —
+// only the register substrate under them changes). Constructors for
+// the hand-optimized native structures (NewCounter, NewSnapshot, ...)
+// ignore it, as objects without randomness ignore WithSeed; their
+// simulated counterparts are the machines in repro/apram/sim.
+func WithBackend(b Backend) Option {
+	return func(c *Options) { c.Backend = b }
+}

@@ -582,8 +582,8 @@ type consMachine struct {
 	st *consensus.Stepper
 }
 
-func (c *consMachine) Step(*pram.Mem) { c.st.Step() }
-func (c *consMachine) Done() bool     { return c.st.Done() }
+func (c *consMachine) Step(pram.Memory) { c.st.Step() }
+func (c *consMachine) Done() bool       { return c.st.Done() }
 func (c *consMachine) Completed() int {
 	if c.st.Done() {
 		return 1

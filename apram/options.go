@@ -89,6 +89,9 @@ type Options struct {
 	// (0 when unset, meaning "use the layer's default").
 	BatchCap   int
 	QueueDepth int
+	// Backend carries WithBackend; the zero value is the native
+	// (sync/atomic) substrate.
+	Backend Backend
 
 	recorders []obs.Probe
 }

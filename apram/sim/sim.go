@@ -17,12 +17,19 @@
 package sim
 
 import (
+	"repro/apram/obs"
 	"repro/internal/pram"
+	"repro/internal/pram/native"
 	"repro/internal/sched"
 )
 
 // Core simulator types.
 type (
+	// Memory is the register-substrate interface every machine body
+	// programs against: the simulated Mem implements it, and so does
+	// the native sync/atomic memory (see NewNativeMem). One algorithm
+	// body, two substrates.
+	Memory = pram.Memory
 	// Mem is an array of atomic registers with access counting and
 	// optional single-writer/single-reader enforcement.
 	Mem = pram.Mem
@@ -72,6 +79,37 @@ const NoOwner = pram.NoOwner
 
 // NewMem returns a memory of size registers for nproc processes.
 func NewMem(size, nproc int) *Mem { return pram.NewMem(size, nproc) }
+
+// NativeMem is the hardware register substrate: an array of
+// sync/atomic cells implementing the same Memory interface as the
+// simulated Mem, so one machine body runs on either. Registers are
+// configured (Init/SetOwner/SetReader) before the memory is shared;
+// afterwards real goroutines access them concurrently. Ownership
+// checks are on by default — a read or write violating the declared
+// single-writer/single-reader discipline panics with a diagnostic —
+// and can be disabled for peak-throughput measurement with SetChecks.
+type NativeMem = native.Mem
+
+// NewNativeMem returns a native memory of size registers for nproc
+// process slots, ownership checks enabled.
+func NewNativeMem(size, nproc int) *NativeMem { return native.NewMem(size, nproc) }
+
+// RunNative drives one goroutine per machine against a native memory
+// until every machine is Done, recovering machine panics into the
+// returned error. This is the hardware-substrate counterpart of
+// System.Run — there is no scheduler argument because on this
+// substrate the Go runtime and the silicon are the adversary.
+func RunNative(m *NativeMem, machines []Machine) error { return native.Run(m, machines) }
+
+// RunNativeTimed is RunNative recording wall-clock operation spans
+// (nanoseconds from a single monotonic epoch) for machines that
+// implement Progress, and reporting op begin/done to probe (which may
+// be nil) under op. Pair it with an obs.Recorder using
+// obs.WithMonotonicClock to capture native latency distributions —
+// experiment E18's measurement path.
+func RunNativeTimed(m *NativeMem, machines []Machine, probe obs.Probe, op obs.Op) ([]OpSpan, error) {
+	return native.RunTimed(m, machines, probe, op)
+}
 
 // NewSystem assembles machines over a shared memory.
 func NewSystem(m *Mem, machines []Machine) *System { return pram.NewSystem(m, machines) }

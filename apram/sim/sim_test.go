@@ -15,7 +15,7 @@ type flagMachine struct {
 	sawOther  bool
 }
 
-func (m *flagMachine) Step(mem *sim.Mem) {
+func (m *flagMachine) Step(mem sim.Memory) {
 	switch m.phase {
 	case 0:
 		mem.Write(m.me, m.me, true)

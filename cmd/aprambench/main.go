@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	aprambench                    # run every experiment (E1..E17)
+//	aprambench                    # run every experiment (E1..E18)
 //	aprambench -exp e3,e5         # run a subset
 //	aprambench -list              # list experiments
 //	aprambench -markdown          # emit GitHub-flavoured markdown
 //	aprambench -json out.json     # per-structure benchmark JSON ("-" = stdout)
 //	aprambench -json - -structures snapshot,counter -n 16 -ops 5000
+//	aprambench -json - -backend native     # native-substrate rows only
+//	aprambench -json - -backend sim        # simulated-substrate rows only
 //	aprambench -json - -trace trace.json   # also dump a Chrome trace
 //	aprambench -baseline BENCH_baseline.json -structures object
 //	aprambench -exp e16 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -19,13 +21,19 @@
 // benchmarks at the baseline report's configuration and fails (exit 1)
 // if any selected structure's ns/op regressed beyond -tolerance (a
 // factor, default 2), or if the deterministic register-access counts
-// no longer reproduce. -cpuprofile/-memprofile write pprof profiles of
-// whatever work ran.
+// no longer reproduce. Rows are compared strictly like-for-like by
+// (backend, name); -backend restricts the gate to one substrate's
+// rows. -cpuprofile/-memprofile write pprof profiles of whatever work
+// ran.
 //
-// The JSON document (schema "apram-bench/v2") carries, per structure,
-// ops/sec and allocations from a probe-free timing pass, measured
-// register reads/writes per operation from an instrumented pass, the
-// paper's Section 6.2 predictions for comparison, and the complete
+// The JSON document (schema "apram-bench/v3") carries one row per
+// (backend, structure): native rows report ops/sec and allocations
+// from a probe-free timing pass plus measured register reads/writes
+// per operation from an instrumented pass; sim rows run the identical
+// algorithm body on the step-granular simulated substrate and report
+// exact steps per operation instead of wall-clock (which a serialized
+// substrate cannot honestly provide). Both carry the paper's Section
+// 6.2 predictions where closed forms exist, and the complete
 // per-event count map. -trace additionally dumps the counting pass's
 // flight-recorder timeline as Chrome trace-event JSON (one process per
 // structure, one track per slot) loadable in chrome://tracing or
@@ -56,6 +64,7 @@ func main() {
 	structs := flag.String("structures", "", "comma-separated structure names for -json/-baseline (default: all; see -json -structures list)")
 	nslots := flag.Int("n", 8, "process slots per structure for -json")
 	ops := flag.Int("ops", 2000, "operations per structure for -json")
+	backend := flag.String("backend", "", "with -json/-baseline: restrict rows to one register substrate (native|sim; default both)")
 	tracePath := flag.String("trace", "", "with -json: write a Chrome trace of the counting pass to this path")
 	baseline := flag.String("baseline", "", "perf gate: compare a fresh benchmark run against this baseline report")
 	tolerance := flag.Float64("tolerance", 2, "ns/op regression factor tolerated by -baseline")
@@ -73,6 +82,9 @@ func main() {
 	}
 	if *tracePath != "" && *jsonPath == "" {
 		fatal(fmt.Errorf("-trace requires -json"))
+	}
+	if *backend != "" && *jsonPath == "" && *baseline == "" {
+		fatal(fmt.Errorf("-backend requires -json or -baseline"))
 	}
 
 	if *cpuprofile != "" {
@@ -96,9 +108,9 @@ func main() {
 			fmt.Printf("%-4s %s\n", id, tab)
 		}
 	case *baseline != "":
-		code = runBaseline(*baseline, *structs, *tolerance)
+		code = runBaseline(*baseline, *structs, *backend, *tolerance)
 	case *jsonPath != "":
-		runJSON(*jsonPath, *tracePath, *structs, *nslots, *ops)
+		runJSON(*jsonPath, *tracePath, *structs, *backend, *nslots, *ops)
 	default:
 		ids := experiments.IDs()
 		if *exp != "" {
@@ -137,7 +149,7 @@ func main() {
 // runBaseline re-runs the JSON benchmarks at the baseline report's
 // configuration and gates the result through benchjson.Compare. Exit 1
 // on any finding; the findings name the regressing structures.
-func runBaseline(path, structs string, tolerance float64) int {
+func runBaseline(path, structs, backend string, tolerance float64) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -146,6 +158,20 @@ func runBaseline(path, structs string, tolerance float64) int {
 	f.Close()
 	if err != nil {
 		fatal(err)
+	}
+	// -backend scopes the gate to one substrate: drop the baseline's
+	// other rows so Compare neither re-runs nor misses them.
+	if backend != "" {
+		var rows []benchjson.Result
+		for _, s := range base.Structures {
+			if s.Backend == backend {
+				rows = append(rows, s)
+			}
+		}
+		if len(rows) == 0 {
+			fatal(fmt.Errorf("baseline %s has no %q rows", path, backend))
+		}
+		base.Structures = rows
 	}
 	var sel []string
 	if structs != "" {
@@ -158,7 +184,7 @@ func runBaseline(path, structs string, tolerance float64) int {
 	// The run must mirror the baseline's parameters — ns/op at n=4 says
 	// nothing about a baseline taken at n=8 — so -n/-ops are ignored.
 	cur, err := benchjson.Run(benchjson.Config{
-		N: base.NSlots, Ops: base.OpsPerStructure, Structures: sel,
+		N: base.NSlots, Ops: base.OpsPerStructure, Structures: sel, Backend: backend,
 	})
 	if err != nil {
 		fatal(err)
@@ -180,8 +206,8 @@ func runBaseline(path, structs string, tolerance float64) int {
 
 // runJSON executes the native-structure benchmarks and writes the
 // report, plus the counting pass's Chrome trace when -trace is given.
-func runJSON(path, tracePath, structs string, n, ops int) {
-	cfg := benchjson.Config{N: n, Ops: ops}
+func runJSON(path, tracePath, structs, backend string, n, ops int) {
+	cfg := benchjson.Config{N: n, Ops: ops, Backend: backend}
 	if structs == "list" {
 		for _, name := range benchjson.Names() {
 			fmt.Println(name)
@@ -252,6 +278,7 @@ func titleOnly(id string) (string, error) {
 		"e14": "Exhaustive schedule enumeration (extension)",
 		"e16": "Incremental linearization vs history length (extension)",
 		"e17": "Slot-multiplexed serving: batching amortizes the O(n²) scan",
+		"e18": "Practically wait-free: sim step counts vs native wall-clock",
 	}
 	t, ok := titles[id]
 	if !ok {

@@ -42,7 +42,7 @@ func (l Layout) Reg(p int) int { return l.Base + p }
 
 // Install initializes the object's registers in m: all entries start
 // at round zero with no preference, and register p is owned by p.
-func (l Layout) Install(m *pram.Mem) {
+func (l Layout) Install(m pram.Memory) {
 	for p := 0; p < l.N; p++ {
 		m.Init(l.Reg(p), Entry{})
 		m.SetOwner(l.Reg(p), p)
@@ -141,7 +141,7 @@ func (mc *Machine) Clone() pram.Machine {
 }
 
 // Step performs the machine's next shared-memory access.
-func (mc *Machine) Step(m *pram.Mem) {
+func (mc *Machine) Step(m pram.Memory) {
 	switch mc.ph {
 	case phInputRead:
 		// Line 2: if r[P].prefer = ⊥ ...

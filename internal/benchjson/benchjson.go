@@ -10,27 +10,50 @@
 // a counting pass with an obs.Stats attached (what the operations
 // actually did to the registers). The report's schema is stable —
 // tests pin the field set — so successive runs are comparable.
+//
+// Since v3 every row carries a backend axis: "native" rows run on
+// sync/atomic registers and report nanoseconds; "sim" rows run the
+// same algorithm body step-granularly on the simulated register
+// substrate and report exact shared-memory steps per operation
+// instead — wall-clock time on a serialized substrate is fiction, so
+// sim rows omit ns/op entirely. Rows are therefore keyed by
+// (backend, name); the gate in Compare only ever diffs like-backend
+// pairs.
 package benchjson
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/apram"
 	"repro/apram/obs"
+	"repro/apram/serve"
 )
 
 // Schema identifies the report format; bump only with a new version
 // suffix, never in place. v2 added the complete per-event count map
 // (every obs.Event name, zeros included) and the snapshot-recorder
-// structure; ReadJSON still accepts v1 documents.
+// structure; v3 added the backend axis (BackendNative / BackendSim
+// rows, ns/op for native only, steps/op for sim) and the
+// deterministic flag that scopes the exact-count gate. ReadJSON still
+// accepts v1 and v2 documents, normalizing their rows to
+// deterministic native ones.
 const (
-	Schema   = "apram-bench/v2"
+	Schema   = "apram-bench/v3"
+	SchemaV2 = "apram-bench/v2"
 	SchemaV1 = "apram-bench/v1"
+)
+
+// The backend axis values of a Result row.
+const (
+	BackendNative = "native"
+	BackendSim    = "sim"
 )
 
 // Config selects what to run.
@@ -40,8 +63,12 @@ type Config struct {
 	// Ops is the number of operations per structure (default 2000).
 	Ops int
 	// Structures filters by name; nil or empty runs all. Unknown
-	// names are an error.
+	// names are an error. A name selects its rows on every backend
+	// that Backend admits.
 	Structures []string
+	// Backend filters rows by substrate: BackendNative, BackendSim, or
+	// "" for both. Any other value is an error.
+	Backend string
 	// Trace, when non-nil, receives one combined Chrome trace-event
 	// JSON document covering every selected structure's counting pass
 	// — one Chrome process per structure, one track per slot. The
@@ -50,18 +77,36 @@ type Config struct {
 	Trace io.Writer
 }
 
-// Result is one structure's measurements.
+// Result is one structure's measurements. Rows are identified by
+// (Backend, Name): the same structure name may appear once per
+// substrate.
 type Result struct {
 	// Name identifies the structure.
 	Name string `json:"name"`
+	// Backend is the register substrate the row ran on: BackendNative
+	// (sync/atomic, real goroutines, nanoseconds are real) or
+	// BackendSim (serialized step-granular registers, steps are exact).
+	Backend string `json:"backend"`
+	// Deterministic marks rows whose register counts must reproduce
+	// exactly run to run; Compare's exact-count gate applies only to
+	// them. Concurrently-driven rows are not deterministic — the Go
+	// scheduler chooses the interleaving — and are gated on ns/op only.
+	Deterministic bool `json:"deterministic"`
 	// N is the number of process slots it was built with.
 	N int `json:"n_slots"`
 	// Ops is the number of operations measured.
 	Ops int `json:"ops"`
 	// NsPerOp and OpsPerSec are from the probe-free timing pass.
-	NsPerOp   float64 `json:"ns_per_op"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	// AllocsPerOp is heap allocations per op in the timing pass.
+	// Native rows only: a sim row's serialized substrate makes
+	// wall-clock meaningless, so both fields are omitted there.
+	NsPerOp   float64 `json:"ns_per_op,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// StepsPerOp is the exact shared-memory accesses (reads+writes)
+	// per operation. Sim rows only — it is the substrate's own serial
+	// step count, the paper's cost measure.
+	StepsPerOp float64 `json:"steps_per_op,omitempty"`
+	// AllocsPerOp is heap allocations per op in the timing pass
+	// (native rows only).
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// ReadsPerOp and WritesPerOp are measured register accesses per
 	// op from the counting pass.
@@ -99,10 +144,12 @@ type Report struct {
 type driver func(n, ops int, probe obs.Probe) time.Duration
 
 type structure struct {
-	name        string
-	paperReads  func(n int) float64 // per op; nil = no closed form
-	paperWrites func(n int) float64
-	run         driver
+	name          string
+	backend       string              // BackendNative or BackendSim
+	deterministic bool                // exact register counts reproduce run to run
+	paperReads    func(n int) float64 // per op; nil = no closed form
+	paperWrites   func(n int) float64
+	run           driver
 }
 
 // options builds the constructor options for a pass.
@@ -120,8 +167,44 @@ func scanWrites(n int) float64 { return float64(n + 1) }
 // benchBatch is the object-batched driver's batch size.
 const benchBatch = 20
 
+// gsetElems is the fixed element universe the uc-gset drivers cycle
+// through, shared between backends so both run the same workload.
+var gsetElems = func() []string {
+	out := make([]string, 64)
+	for i := range out {
+		out[i] = fmt.Sprintf("e%d", i)
+	}
+	return out
+}()
+
+// driveConcurrent splits ops operations across k worker goroutines
+// (the division remainder lands on worker 0) and returns the
+// wall-clock time of the whole concurrent phase — the native-backend
+// rows' timing discipline, where contention is part of what is being
+// measured.
+func driveConcurrent(k, ops int, do func(worker, i int)) time.Duration {
+	per := ops / k
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < k; w++ {
+		m := per
+		if w == 0 {
+			m = ops - per*(k-1)
+		}
+		wg.Add(1)
+		go func(w, m int) {
+			defer wg.Done()
+			for i := 0; i < m; i++ {
+				do(w, i)
+			}
+		}(w, m)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
 func structures() []structure {
-	return []structure{
+	rows := []structure{
 		{
 			// One Scan per op: the Figure 5 optimized loop.
 			name:        "snapshot",
@@ -270,6 +353,104 @@ func structures() []structure {
 			},
 		},
 		{
+			// The universal construction's machine body on real hardware:
+			// one goroutine per slot, all slots contending on the native
+			// atomics. Interleavings are the Go scheduler's choice, so
+			// register counts vary run to run (linearizer rebuilds, view
+			// growth) and the row is gated on ns/op only.
+			name:    "uc-counter",
+			backend: BackendNative,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				u := apram.NewObject(apram.CounterSpec{}, n, options(probe)...)
+				return driveConcurrent(n, ops, func(p, i int) {
+					u.Execute(p, apram.Inc(1))
+				})
+			},
+		},
+		{
+			// The identical Figure 4 machine body on the simulated
+			// substrate (apram.WithBackend(Simulated)): every shared
+			// access serialized and counted, steps/op exact — the model
+			// side of experiment E18's comparison. Sequential round-robin
+			// drive keeps the count deterministic.
+			name:          "uc-counter",
+			backend:       BackendSim,
+			deterministic: true,
+			paperReads:    func(n int) float64 { return 2 * scanReads(n) },
+			paperWrites:   func(n int) float64 { return 2 * scanWrites(n) },
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				u := apram.NewObject(apram.CounterSpec{}, n,
+					append(options(probe), apram.WithBackend(apram.Simulated(nil)))...)
+				for i := 0; i < ops; i++ {
+					u.Execute(i%n, apram.Inc(1))
+				}
+				return 0
+			},
+		},
+		{
+			// The grow-set on native atomics, concurrent drive as above.
+			// A second spec exercises a different response computation
+			// (set union vs integer sum) through the same machine body.
+			name:    "uc-gset",
+			backend: BackendNative,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				u := apram.NewObject(apram.GSetSpec{}, n, options(probe)...)
+				return driveConcurrent(n, ops, func(p, i int) {
+					u.Execute(p, apram.Add(gsetElems[i%len(gsetElems)]))
+				})
+			},
+		},
+		{
+			// The grow-set on the simulated substrate.
+			name:          "uc-gset",
+			backend:       BackendSim,
+			deterministic: true,
+			paperReads:    func(n int) float64 { return 2 * scanReads(n) },
+			paperWrites:   func(n int) float64 { return 2 * scanWrites(n) },
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				u := apram.NewObject(apram.GSetSpec{}, n,
+					append(options(probe), apram.WithBackend(apram.Simulated(nil)))...)
+				for i := 0; i < ops; i++ {
+					u.Execute(i%n, apram.Add(gsetElems[i%len(gsetElems)]))
+				}
+				return 0
+			},
+		},
+		{
+			// The full serving layer on native atomics: a live server,
+			// 2n client goroutines, slot workers composing commuting
+			// batches. Ops counts logical client operations; batching
+			// makes both the wall-clock and the per-op register counts
+			// load-dependent, so the row is gated on ns/op only.
+			name:    "serve",
+			backend: BackendNative,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				sv := serve.New(apram.CounterSpec{}, n, options(probe)...)
+				defer sv.Close()
+				return driveConcurrent(2*n, ops, func(c, i int) {
+					sv.Do(context.Background(), apram.Inc(1))
+				})
+			},
+		},
+		{
+			// The same serving layer with its object on the simulated
+			// substrate — clients and slot workers are still real
+			// goroutines; only the registers under the universal object
+			// change. Batch composition depends on arrival timing, so
+			// steps/op is a measurement, not a constant.
+			name:    "serve",
+			backend: BackendSim,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				sv := serve.New(apram.CounterSpec{}, n,
+					append(options(probe), apram.WithBackend(apram.Simulated(nil)))...)
+				defer sv.Close()
+				for done := 0; done < ops; done++ {
+					sv.Do(context.Background(), apram.Inc(1))
+				}
+				return 0
+			},
+		},
+		{
 			// One Decide per op; a fresh object every n decides (a
 			// consensus object is single-shot per slot). Register costs
 			// are dominated by the shared-coin random walk, so there is
@@ -293,13 +474,29 @@ func structures() []structure {
 			},
 		},
 	}
+	// The pre-v3 rows predate the backend axis: they are all
+	// sequentially-driven native measurements with exactly reproducible
+	// register counts, which the zero values above leave unsaid.
+	for i := range rows {
+		if rows[i].backend == "" {
+			rows[i].backend = BackendNative
+			rows[i].deterministic = true
+		}
+	}
+	return rows
 }
 
-// Names lists the available structure names in run order.
+// Names lists the available structure names in run order, each once —
+// dual-substrate structures (uc-counter, uc-gset, serve) contribute a
+// row per backend under a single name.
 func Names() []string {
 	var out []string
+	seen := map[string]bool{}
 	for _, s := range structures() {
-		out = append(out, s.name)
+		if !seen[s.name] {
+			seen[s.name] = true
+			out = append(out, s.name)
+		}
 	}
 	return out
 }
@@ -312,21 +509,31 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 2000
 	}
+	if cfg.Backend != "" && cfg.Backend != BackendNative && cfg.Backend != BackendSim {
+		return nil, fmt.Errorf("unknown backend %q (have %q, %q, or empty for both)",
+			cfg.Backend, BackendNative, BackendSim)
+	}
 	all := structures()
-	selected := all
-	if len(cfg.Structures) > 0 {
-		byName := map[string]structure{}
-		for _, s := range all {
-			byName[s.name] = s
+	known := map[string]bool{}
+	for _, s := range all {
+		known[s.name] = true
+	}
+	want := map[string]bool{}
+	for _, name := range cfg.Structures {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown structure %q (have %v)", name, Names())
 		}
-		selected = nil
-		for _, name := range cfg.Structures {
-			s, ok := byName[name]
-			if !ok {
-				return nil, fmt.Errorf("unknown structure %q (have %v)", name, Names())
-			}
-			selected = append(selected, s)
+		want[name] = true
+	}
+	var selected []structure
+	for _, s := range all {
+		if cfg.Backend != "" && s.backend != cfg.Backend {
+			continue
 		}
+		if len(want) > 0 && !want[s.name] {
+			continue
+		}
+		selected = append(selected, s)
 	}
 	rep := &Report{
 		Schema:          Schema,
@@ -339,7 +546,11 @@ func Run(cfg Config) (*Report, error) {
 		res, spans := measure(s, cfg.N, cfg.Ops, cfg.Trace != nil)
 		rep.Structures = append(rep.Structures, res)
 		if cfg.Trace != nil {
-			procs = append(procs, obs.ChromeProcess{Pid: i, Name: s.name, Spans: spans})
+			label := s.name
+			if s.backend == BackendSim {
+				label += " (sim)"
+			}
+			procs = append(procs, obs.ChromeProcess{Pid: i, Name: label, Spans: spans})
 		}
 	}
 	if cfg.Trace != nil {
@@ -352,12 +563,17 @@ func Run(cfg Config) (*Report, error) {
 
 func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 	// Timing pass: no probe, the path users of uninstrumented objects
-	// run. Mallocs delta brackets only this pass.
+	// run. Mallocs delta brackets only this pass. Sim rows skip it
+	// entirely — their substrate serializes every access, so the only
+	// honest numbers are step counts, which the counting pass provides.
+	var elapsed time.Duration
 	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	elapsed := s.run(n, ops, nil)
-	runtime.ReadMemStats(&after)
+	if s.backend != BackendSim {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		elapsed = s.run(n, ops, nil)
+		runtime.ReadMemStats(&after)
+	}
 
 	// Counting pass: probe attached, untimed. With tracing on, a
 	// flight recorder rides alongside the stats; its ring is sized so
@@ -378,16 +594,22 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 	sum := st.Snapshot()
 
 	res := Result{
-		Name:        s.name,
-		N:           n,
-		Ops:         ops,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
-		ReadsPerOp:  float64(sum.Reads) / float64(ops),
-		WritesPerOp: float64(sum.Writes) / float64(ops),
+		Name:          s.name,
+		Backend:       s.backend,
+		Deterministic: s.deterministic,
+		N:             n,
+		Ops:           ops,
+		ReadsPerOp:    float64(sum.Reads) / float64(ops),
+		WritesPerOp:   float64(sum.Writes) / float64(ops),
 	}
-	if elapsed > 0 {
-		res.OpsPerSec = float64(ops) / elapsed.Seconds()
+	if s.backend == BackendSim {
+		res.StepsPerOp = float64(sum.Reads+sum.Writes) / float64(ops)
+	} else {
+		res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		if elapsed > 0 {
+			res.OpsPerSec = float64(ops) / elapsed.Seconds()
+		}
 	}
 	if s.paperReads != nil {
 		res.PaperReadsPerOp = s.paperReads(n)
@@ -417,14 +639,20 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// Compare gates cur against a committed baseline report: for every
-// selected structure (all of base's when structures is nil) it flags
+// Compare gates cur against a committed baseline report. Rows are
+// matched by (backend, name) — a native row is never compared against
+// a sim row, whose numbers measure a different substrate. For every
+// selected row (all of base's when structures is nil; a name selects
+// its rows on every backend) it flags
 //
 //   - a ns/op regression beyond the tolerance factor (e.g. 2 = fail
-//     when the current run is more than twice as slow), and
-//   - any change at all in measured register reads or writes per op —
-//     the drivers are deterministic, so the paper-model counts must
-//     reproduce exactly.
+//     when the current run is more than twice as slow) — rows with
+//     timing only, so sim rows are exempt, and
+//   - any change at all in measured register reads or writes per op
+//     for rows both reports mark Deterministic — those drivers are
+//     sequential, so the paper-model counts must reproduce exactly.
+//     Concurrently-driven rows are exempt: their interleavings are
+//     the Go scheduler's choice.
 //
 // It returns human-readable findings, empty when the gate passes.
 // Mismatched configurations (schema, slot count, op count) are
@@ -444,57 +672,80 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 			base.NSlots, base.OpsPerStructure, cur.NSlots, cur.OpsPerStructure))
 		return out
 	}
+	key := func(s Result) string { return s.Backend + "/" + s.Name }
 	index := func(r *Report) map[string]Result {
 		m := make(map[string]Result, len(r.Structures))
 		for _, s := range r.Structures {
-			m[s.Name] = s
+			m[key(s)] = s
 		}
 		return m
 	}
 	baseBy, curBy := index(base), index(cur)
+	var keys []string
 	if structures == nil {
 		for _, s := range base.Structures {
-			structures = append(structures, s.Name)
+			keys = append(keys, key(s))
+		}
+	} else {
+		for _, name := range structures {
+			found := false
+			for _, s := range base.Structures {
+				if s.Name == name {
+					keys = append(keys, key(s))
+					found = true
+				}
+			}
+			if !found {
+				out = append(out, fmt.Sprintf("%s: missing from baseline", name))
+			}
 		}
 	}
-	for _, name := range structures {
-		b, ok := baseBy[name]
+	for _, k := range keys {
+		b := baseBy[k]
+		c, ok := curBy[k]
 		if !ok {
-			out = append(out, fmt.Sprintf("%s: missing from baseline", name))
-			continue
-		}
-		c, ok := curBy[name]
-		if !ok {
-			out = append(out, fmt.Sprintf("%s: missing from current run", name))
+			out = append(out, fmt.Sprintf("%s: missing from current run", k))
 			continue
 		}
 		if b.NsPerOp > 0 && c.NsPerOp > tolerance*b.NsPerOp {
 			out = append(out, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (%.2fx > %.2fx tolerance)",
-				name, b.NsPerOp, c.NsPerOp, c.NsPerOp/b.NsPerOp, tolerance))
+				k, b.NsPerOp, c.NsPerOp, c.NsPerOp/b.NsPerOp, tolerance))
+		}
+		if !b.Deterministic || !c.Deterministic {
+			continue
 		}
 		if c.ReadsPerOp != b.ReadsPerOp {
 			out = append(out, fmt.Sprintf("%s: reads/op changed %v -> %v (deterministic count must reproduce)",
-				name, b.ReadsPerOp, c.ReadsPerOp))
+				k, b.ReadsPerOp, c.ReadsPerOp))
 		}
 		if c.WritesPerOp != b.WritesPerOp {
 			out = append(out, fmt.Sprintf("%s: writes/op changed %v -> %v (deterministic count must reproduce)",
-				name, b.WritesPerOp, c.WritesPerOp))
+				k, b.WritesPerOp, c.WritesPerOp))
 		}
 	}
 	return out
 }
 
 // ReadJSON parses a report written by WriteJSON and validates its
-// schema tag. Both the current schema and v1 are accepted — v1
-// baselines stay readable (their Events maps are sparse; Compare
-// still works because it never diffs event counts).
+// schema tag. The current schema plus v1 and v2 are accepted — old
+// baselines stay readable. Pre-v3 rows predate the backend axis; they
+// were all sequential native measurements, so they are normalized to
+// Backend "native", Deterministic true, preserving their exact-count
+// gate semantics under the keyed Compare.
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("benchjson: parse: %w", err)
 	}
-	if rep.Schema != Schema && rep.Schema != SchemaV1 {
-		return nil, fmt.Errorf("benchjson: schema %q, want %q or %q", rep.Schema, Schema, SchemaV1)
+	switch rep.Schema {
+	case Schema:
+	case SchemaV1, SchemaV2:
+		for i := range rep.Structures {
+			rep.Structures[i].Backend = BackendNative
+			rep.Structures[i].Deterministic = true
+		}
+	default:
+		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q or %q", rep.Schema, Schema, SchemaV2, SchemaV1)
 	}
 	return &rep, nil
 }

@@ -99,13 +99,75 @@ func TestAllStructuresRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(rep.Structures), len(Names()); got != want {
-		t.Fatalf("ran %d structures, want %d", got, want)
+	if got, want := len(rep.Structures), len(structures()); got != want {
+		t.Fatalf("ran %d rows, want %d (one per registered driver)", got, want)
 	}
 	for _, s := range rep.Structures {
 		if s.ReadsPerOp <= 0 || s.WritesPerOp <= 0 {
-			t.Errorf("%s: counting pass saw no register traffic (reads=%v writes=%v)",
-				s.Name, s.ReadsPerOp, s.WritesPerOp)
+			t.Errorf("%s/%s: counting pass saw no register traffic (reads=%v writes=%v)",
+				s.Backend, s.Name, s.ReadsPerOp, s.WritesPerOp)
+		}
+		switch s.Backend {
+		case BackendNative:
+			if s.NsPerOp <= 0 {
+				t.Errorf("%s/%s: native row without timing", s.Backend, s.Name)
+			}
+			if s.StepsPerOp != 0 {
+				t.Errorf("%s/%s: native row carries steps/op %v", s.Backend, s.Name, s.StepsPerOp)
+			}
+		case BackendSim:
+			if s.NsPerOp != 0 || s.OpsPerSec != 0 {
+				t.Errorf("%s/%s: sim row carries wall-clock numbers (ns/op=%v)", s.Backend, s.Name, s.NsPerOp)
+			}
+			if s.StepsPerOp != s.ReadsPerOp+s.WritesPerOp {
+				t.Errorf("%s/%s: steps/op %v != reads+writes %v", s.Backend, s.Name,
+					s.StepsPerOp, s.ReadsPerOp+s.WritesPerOp)
+			}
+		default:
+			t.Errorf("%s: unknown backend %q", s.Name, s.Backend)
+		}
+	}
+}
+
+// TestBackendFilter pins the Config.Backend axis: sim selects exactly
+// the sim rows, native exactly the native ones, junk is an error.
+func TestBackendFilter(t *testing.T) {
+	rep, err := Run(Config{N: 3, Ops: 12, Backend: BackendSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) == 0 {
+		t.Fatal("no sim rows")
+	}
+	for _, s := range rep.Structures {
+		if s.Backend != BackendSim {
+			t.Errorf("backend filter leaked %s/%s", s.Backend, s.Name)
+		}
+	}
+	if _, err := Run(Config{Backend: "quantum"}); err == nil {
+		t.Fatal("unknown backend did not error")
+	}
+}
+
+// TestSimCountsMatchPaper pins the sim rows' exact step accounting:
+// the serialized substrate must reproduce the Figure 4 closed forms
+// to the access.
+func TestSimCountsMatchPaper(t *testing.T) {
+	rep, err := Run(Config{N: 4, Ops: 32, Backend: BackendSim,
+		Structures: []string{"uc-counter", "uc-gset"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Structures))
+	}
+	for _, s := range rep.Structures {
+		if !s.Deterministic {
+			t.Errorf("%s: sim sequential row not marked deterministic", s.Name)
+		}
+		if s.ReadsPerOp != s.PaperReadsPerOp || s.WritesPerOp != s.PaperWritesPerOp {
+			t.Errorf("%s: reads/writes per op = %v/%v, paper predicts %v/%v",
+				s.Name, s.ReadsPerOp, s.WritesPerOp, s.PaperReadsPerOp, s.PaperWritesPerOp)
 		}
 	}
 }
@@ -118,8 +180,10 @@ func TestCompareGate(t *testing.T) {
 	base := &Report{
 		Schema: Schema, NSlots: 8, OpsPerStructure: 2000,
 		Structures: []Result{
-			{Name: "object", NsPerOp: 1000, ReadsPerOp: 126, WritesPerOp: 18},
-			{Name: "counter", NsPerOp: 500, ReadsPerOp: 126, WritesPerOp: 18},
+			{Name: "object", Backend: BackendNative, Deterministic: true, NsPerOp: 1000, ReadsPerOp: 126, WritesPerOp: 18},
+			{Name: "counter", Backend: BackendNative, Deterministic: true, NsPerOp: 500, ReadsPerOp: 126, WritesPerOp: 18},
+			{Name: "uc-counter", Backend: BackendSim, Deterministic: true, StepsPerOp: 144, ReadsPerOp: 126, WritesPerOp: 18},
+			{Name: "uc-counter", Backend: BackendNative, NsPerOp: 2000, ReadsPerOp: 130, WritesPerOp: 18},
 		},
 	}
 	clone := func(mut func(r *Report)) *Report {
@@ -149,6 +213,18 @@ func TestCompareGate(t *testing.T) {
 	drift := clone(func(r *Report) { r.Structures[0].ReadsPerOp = 127 })
 	if got := Compare(base, drift, 2, []string{"object"}); len(got) != 1 {
 		t.Fatalf("reads/op drift not flagged: %v", got)
+	}
+	// A name selects its rows on every backend, matched like-for-like:
+	// drift in the sim row's deterministic counts is flagged even
+	// though the native row of the same name moved too (it is exempt —
+	// concurrent drive).
+	dual := clone(func(r *Report) {
+		r.Structures[2].ReadsPerOp = 127 // sim uc-counter: gated
+		r.Structures[3].ReadsPerOp = 140 // native uc-counter: not deterministic
+	})
+	if got := Compare(base, dual, 2, []string{"uc-counter"}); len(got) != 1 ||
+		!strings.Contains(got[0], "sim/uc-counter") {
+		t.Fatalf("cross-backend gate wrong: %v", got)
 	}
 	// Config mismatches refuse to compare rather than comparing junk.
 	wrongN := clone(func(r *Report) { r.NSlots = 4 })
@@ -194,6 +270,46 @@ func TestGoldenV1(t *testing.T) {
 	}
 	if got := Compare(rep, rep, 2, nil); len(got) != 0 {
 		t.Fatalf("v1 self-comparison flagged: %v", got)
+	}
+}
+
+// TestGoldenV2 keeps v2 baselines readable across the v3 backend-axis
+// bump: the committed v2 document parses, its rows are normalized to
+// deterministic native ones (so the keyed Compare still applies the
+// exact-count gate it always had), and self-comparison passes.
+func TestGoldenV2(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV2 {
+		t.Fatalf("golden schema %q, want %q", rep.Schema, SchemaV2)
+	}
+	if len(rep.Structures) == 0 {
+		t.Fatal("golden report has no structures")
+	}
+	for _, s := range rep.Structures {
+		if s.Backend != BackendNative || !s.Deterministic {
+			t.Errorf("%s: v2 row not normalized (backend=%q deterministic=%v)",
+				s.Name, s.Backend, s.Deterministic)
+		}
+	}
+	if got := Compare(rep, rep, 2, nil); len(got) != 0 {
+		t.Fatalf("v2 self-comparison flagged: %v", got)
+	}
+	// The exact-count gate survives normalization: reads/op drift in a
+	// v2 baseline row must still fail.
+	drifted, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted.Structures[0].ReadsPerOp++
+	if got := Compare(rep, drifted, 2, nil); len(got) != 1 {
+		t.Fatalf("v2 reads/op drift not flagged: %v", got)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"repro/apram/obs"
 	"repro/internal/lattice"
+	"repro/internal/pram"
 	"repro/internal/snapshot"
 	"repro/internal/spec"
 )
@@ -133,6 +134,10 @@ type Universal struct {
 	// paper's cost accounting is unaffected.
 	lins []*Linearizer
 
+	// eng, when non-nil, redirects Execute onto the simulated register
+	// substrate (see NewSimulated); the native fields above are unused.
+	eng *simEngine
+
 	probe obs.Probe // nil when uninstrumented
 }
 
@@ -160,6 +165,22 @@ func NewChecked(s spec.Spec, n int, states []spec.State, invs []spec.Inv) (*Univ
 	return New(s, n), nil
 }
 
+// NewSimulated returns an n-process object whose Execute runs the
+// Figure 4 machine body — the exact state machine the chaos harness
+// and the exhaustive explorer drive — on a simulated memory, with sc
+// (nil = round-robin) choosing which pending slot takes each step.
+// Responses and linearized histories are identical to New's native
+// object on any sequential script; what changes is the substrate:
+// accesses are serialized and counted exactly, so SimCounters reports
+// the paper's step costs to the access, and wall-clock time means
+// nothing. This is the engine behind apram.WithBackend(Simulated).
+func NewSimulated(s spec.Spec, n int, sc pram.Scheduler) *Universal {
+	if n <= 0 {
+		panic("core: need at least one process")
+	}
+	return &Universal{s: s, n: n, eng: newSimEngine(s, n, sc)}
+}
+
 // Instrument attaches a probe. Register accounting flows from the
 // anchor-array snapshot (one OpExecute is one Scan plus, for non-pure
 // operations, one Update — 2(n²−1) reads and 2(n+1) writes); Execute
@@ -167,6 +188,20 @@ func NewChecked(s spec.Spec, n int, states []spec.State, invs []spec.Inv) (*Univ
 // OpExecute completions. Attach before the object is shared.
 func (u *Universal) Instrument(p obs.Probe) {
 	u.probe = p
+	if u.eng != nil {
+		// Simulated backend: the machines report structural events and
+		// the memory's serialized access hooks report register counts —
+		// the engine sees every access, so the probe reports what
+		// happened, exactly as the chaos harness counts.
+		for _, mc := range u.eng.mcs {
+			mc.Instrument(p)
+		}
+		u.eng.mem.Observe(
+			func(proc, r int, v pram.Value) { p.RegReads(proc, 1) },
+			func(proc, r int, v pram.Value) { p.RegWrites(proc, 1) },
+		)
+		return
+	}
 	u.snap.Instrument(p, false)
 }
 
@@ -182,13 +217,38 @@ func (u *Universal) Spec() spec.Spec { return u.s }
 // shared-access trace are identical either way — only local work
 // changes. Call before the object is shared across goroutines.
 func (u *Universal) SetIncremental(on bool) {
+	if u.eng != nil {
+		for _, mc := range u.eng.mcs {
+			mc.SetIncremental(on)
+		}
+		return
+	}
 	for _, l := range u.lins {
 		l.SetIncremental(on)
 	}
 }
 
 // LinStats returns process p's linearization-engine counters.
-func (u *Universal) LinStats(p int) LinStats { return u.lins[p].Stats() }
+func (u *Universal) LinStats(p int) LinStats {
+	if u.eng != nil {
+		return u.eng.mcs[p].LinStats()
+	}
+	return u.lins[p].Stats()
+}
+
+// Simulated reports whether the object executes on the simulated
+// register substrate (NewSimulated) rather than native atomics.
+func (u *Universal) Simulated() bool { return u.eng != nil }
+
+// SimCounters returns the simulated substrate's exact access counters;
+// it panics for native-backend objects, whose accesses are counted by
+// an attached probe instead.
+func (u *Universal) SimCounters() pram.Counters {
+	if u.eng == nil {
+		panic("core: SimCounters on a native-backend object")
+	}
+	return u.eng.counters()
+}
 
 // Execute runs one operation for process p: snapshot the anchor array,
 // linearize, choose the response, publish the new entry (Figure 4).
@@ -198,6 +258,16 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 	}
 	if u.probe != nil {
 		obs.Begin(u.probe, p, obs.OpExecute)
+	}
+	if u.eng != nil {
+		// Simulated backend: the machine body performs Figure 4 step by
+		// step on the serialized substrate; events and register counts
+		// flow to the probe through Instrument's wiring.
+		resp := u.eng.execute(p, inv)
+		if u.probe != nil {
+			u.probe.OpDone(p, obs.OpExecute)
+		}
+		return resp
 	}
 	// Step 1: atomic scan of the anchor array and response choice.
 	vec := u.snap.ReadMax(p).(lattice.Vec)

@@ -22,7 +22,7 @@ type SimUniversal struct {
 
 // NewSim lays out an n-process simulated universal object starting at
 // register base and installs its registers in m.
-func NewSim(s spec.Spec, n, base int, m *pram.Mem) *SimUniversal {
+func NewSim(s spec.Spec, n, base int, m pram.Memory) *SimUniversal {
 	vl := lattice.Vector{N: n}
 	lay := snapshot.Layout{Base: base, N: n}
 	lay.Install(m, vl)
@@ -96,6 +96,14 @@ func (mc *Machine) Enqueue(inv spec.Inv) { mc.script = append(mc.script, inv) }
 // obs.EvPureElide, obs.EvLinRebuild). Clones share the probe.
 func (mc *Machine) Instrument(p obs.Probe) { mc.probe = p }
 
+// SetIncremental toggles the machine's incremental linearization fast
+// path (see Universal.SetIncremental); responses and the shared-access
+// trace are identical either way.
+func (mc *Machine) SetIncremental(on bool) { mc.lin.SetIncremental(on) }
+
+// LinStats returns the machine's linearization-engine counters.
+func (mc *Machine) LinStats() LinStats { return mc.lin.Stats() }
+
 // Invocation returns the i-th scripted invocation; Results()[i] is its
 // response once completed.
 func (mc *Machine) Invocation(i int) spec.Inv { return mc.script[i] }
@@ -128,7 +136,7 @@ func (mc *Machine) Clone() pram.Machine {
 }
 
 // Step performs the machine's next shared-memory access.
-func (mc *Machine) Step(m *pram.Mem) {
+func (mc *Machine) Step(m pram.Memory) {
 	switch mc.ph {
 	case simIdle:
 		if mc.next == len(mc.script) {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/pram"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+)
+
+// simEngine executes the universal construction's machine body
+// (Machine, the same state machine the chaos harness and exhaustive
+// explorer drive) on the simulated register substrate. It is the
+// engine behind the public simulated backend: a Universal built with
+// NewSimulated dispatches every Execute here instead of running the
+// hand-scheduled native body.
+//
+// Execution is serialized by a mutex — that serialization is not a
+// concession but the substrate's semantics: the asynchronous PRAM's
+// registers are defined by a global serial order of accesses, and the
+// engine's scheduler picks which pending process takes each step.
+// Concurrent callers therefore measure exact step counts on a
+// deterministic substrate, never nanoseconds; the native backend is
+// where nanoseconds mean something.
+type simEngine struct {
+	mu    sync.Mutex
+	mem   *pram.Mem
+	sim   *SimUniversal
+	mcs   []*Machine
+	sched pram.Scheduler
+	taken []int // results already returned, per slot
+}
+
+func newSimEngine(s spec.Spec, n int, sc pram.Scheduler) *simEngine {
+	lay := snapshot.Layout{Base: 0, N: n}
+	mem := pram.NewMem(lay.Regs(), n)
+	su := NewSim(s, n, 0, mem)
+	mcs := make([]*Machine, n)
+	for p := range mcs {
+		mcs[p] = NewMachine(su, p, nil)
+	}
+	if sc == nil {
+		sc = sched.NewRoundRobin()
+	}
+	return &simEngine{mem: mem, sim: su, mcs: mcs, sched: sc, taken: make([]int, n)}
+}
+
+// running returns the ascending indices of machines with unfinished
+// operations.
+func (e *simEngine) running() []int {
+	var out []int
+	for i, mc := range e.mcs {
+		if !mc.Done() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// execute runs one operation for slot p: enqueue the invocation, then
+// pump scheduler-chosen steps until p's result is available. Steps
+// granted to other slots' pending operations (enqueued by concurrent
+// callers blocked on the mutex in earlier turns) interleave exactly as
+// the scheduler dictates. A scheduler that stops or chooses outside
+// the running set cannot wedge the public API: the pump falls back to
+// stepping p itself, which is wait-free.
+func (e *simEngine) execute(p int, inv spec.Inv) any {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mcs[p].Enqueue(inv)
+	want := e.taken[p]
+	for len(e.mcs[p].Results()) <= want {
+		running := e.running()
+		pick := e.sched.Next(running)
+		if !containsInt(running, pick) {
+			pick = p
+		}
+		e.mcs[pick].Step(e.mem)
+	}
+	e.taken[p]++
+	return e.mcs[p].Results()[want]
+}
+
+// counters returns the substrate's access counters.
+func (e *simEngine) counters() pram.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mem.Counters()
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -26,6 +26,7 @@ var Registry = map[string]func() Table{
 	// narrative, not a table — so the registry skips to e16.
 	"e16": E16LongHistory,
 	"e17": E17Serve,
+	"e18": E18Backends,
 }
 
 // IDs returns the experiment ids in numeric order.

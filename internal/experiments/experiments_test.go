@@ -4,6 +4,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/types"
 )
 
 func TestE1WithinBound(t *testing.T) {
@@ -252,9 +255,44 @@ func TestE17AmortizationDecreases(t *testing.T) {
 	}
 }
 
+// TestE18BothSubstratesMeasured pins the timer-independent half of
+// E18: the sim rows are deterministic for a fixed seed with a bounded
+// tail (the model's wait-freedom made visible), and the native rows
+// actually measured real operations (positive latencies, one per op).
+func TestE18BothSubstratesMeasured(t *testing.T) {
+	const n, opsPer, seed = 3, 40, 18
+	inc := func(p, i int) spec.Inv { return types.Inc(1) }
+	a := simLatencies(types.Counter{}, n, opsPer, inc, seed)
+	b := simLatencies(types.Counter{}, n, opsPer, inc, seed)
+	if len(a) != n*opsPer {
+		t.Fatalf("sim produced %d latencies, want %d", len(a), n*opsPer)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sim latencies not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Wait-freedom in the model: the slowest op is within a small
+	// constant of the median — no op's in-flight window can exceed
+	// n concurrent ops' worth of serialized steps by much.
+	p50, max := percentile(a, 0.50), percentile(a, 1)
+	if p50 <= 0 || max > 4*p50 {
+		t.Fatalf("sim distribution not tight: p50=%v max=%v", p50, max)
+	}
+	nat := nativeLatencies(types.Counter{}, n, opsPer, inc)
+	if len(nat) != n*opsPer {
+		t.Fatalf("native produced %d latencies, want %d", len(nat), n*opsPer)
+	}
+	for i, v := range nat {
+		if v < 0 {
+			t.Fatalf("native latency %d negative: %v", i, v)
+		}
+	}
+}
+
 func TestRegistryAndRendering(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[15] != "e17" {
+	if len(ids) != 17 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[16] != "e18" {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil {

@@ -11,7 +11,7 @@ type twoStep struct {
 	left int
 }
 
-func (m *twoStep) Step(mem *Mem) {
+func (m *twoStep) Step(mem Memory) {
 	mem.Write(m.proc, m.proc, m.left)
 	m.left--
 }

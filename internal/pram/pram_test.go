@@ -17,7 +17,7 @@ type incMachine struct {
 	done  bool
 }
 
-func (m *incMachine) Step(mem *Mem) {
+func (m *incMachine) Step(mem Memory) {
 	switch {
 	case m.pairs == 0:
 		m.done = true

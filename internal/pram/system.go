@@ -17,7 +17,7 @@ import (
 // what enables adversarial scheduling with lookahead.
 type Machine interface {
 	// Step advances the machine by one step against m.
-	Step(m *Mem)
+	Step(m Memory)
 	// Done reports whether the machine's current operation has
 	// completed (its front-end has returned a response).
 	Done() bool

@@ -36,7 +36,7 @@ func (l LayeredSWMRLayout) reportReg(ri, rj int) Regular {
 }
 
 // Install initializes every regular cell.
-func (l LayeredSWMRLayout) Install(m *pram.Mem) {
+func (l LayeredSWMRLayout) Install(m pram.Memory) {
 	for ri := range l.Readers {
 		l.cellReg(ri).Install(m, TimedVal{})
 		for rj := range l.Readers {
@@ -91,7 +91,7 @@ func (w *LayeredSWMRWriter) Clone() pram.Machine {
 }
 
 // Step performs one regular-cell half-write.
-func (w *LayeredSWMRWriter) Step(m *pram.Mem) {
+func (w *LayeredSWMRWriter) Step(m pram.Memory) {
 	if w.Done() {
 		panic("register: Step after Done")
 	}
@@ -173,7 +173,7 @@ func (r *LayeredSWMRReader) Clone() pram.Machine {
 
 // lamportRead performs one regular read of cell, filtered through the
 // per-register Lamport memory slot.
-func (r *LayeredSWMRReader) lamportRead(m *pram.Mem, cell Regular, slot int) TimedVal {
+func (r *LayeredSWMRReader) lamportRead(m pram.Memory, cell Regular, slot int) TimedVal {
 	got := cell.Read(m, r.lay.Readers[r.ri], r.ch).(TimedVal)
 	if got.Newer(r.mem[slot]) {
 		r.mem[slot] = got
@@ -182,7 +182,7 @@ func (r *LayeredSWMRReader) lamportRead(m *pram.Mem, cell Regular, slot int) Tim
 }
 
 // Step performs one regular-cell access of the current read.
-func (r *LayeredSWMRReader) Step(m *pram.Mem) {
+func (r *LayeredSWMRReader) Step(m pram.Memory) {
 	if r.Done() {
 		panic("register: Step after Done")
 	}

@@ -28,7 +28,7 @@ func (l MRMWLayout) reg(wi int) int { return l.Base + wi }
 
 // Install initializes the registers and enforces single-writer
 // ownership (readable by everyone).
-func (l MRMWLayout) Install(m *pram.Mem) {
+func (l MRMWLayout) Install(m pram.Memory) {
 	for wi, w := range l.Writers {
 		m.Init(l.reg(wi), TimedVal{})
 		m.SetOwner(l.reg(wi), w)
@@ -75,7 +75,7 @@ func (w *MRMWWriter) Clone() pram.Machine {
 }
 
 // Step performs the next access of the current write.
-func (w *MRMWWriter) Step(m *pram.Mem) {
+func (w *MRMWWriter) Step(m pram.Memory) {
 	if w.Done() {
 		panic("register: Step after Done")
 	}
@@ -150,7 +150,7 @@ func (r *MRMWReader) Clone() pram.Machine {
 }
 
 // Step reads the next writer's register.
-func (r *MRMWReader) Step(m *pram.Mem) {
+func (r *MRMWReader) Step(m pram.Memory) {
 	if r.Done() {
 		panic("register: Step after Done")
 	}

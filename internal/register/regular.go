@@ -80,7 +80,7 @@ type Regular struct {
 
 // Install initializes the cell with an initial value and sets the
 // owner.
-func (c Regular) Install(m *pram.Mem, initial pram.Value) {
+func (c Regular) Install(m pram.Memory, initial pram.Value) {
 	m.Init(c.Reg, regCell{Old: initial, New: initial})
 	m.SetOwner(c.Reg, c.Writer)
 }
@@ -89,18 +89,18 @@ func (c Regular) Install(m *pram.Mem, initial pram.Value) {
 // available to overlapping readers while the old one remains valid.
 // prev must be the writer's local copy of the last committed value
 // (the writer is the single writer, so it always knows it).
-func (c Regular) WriteAnnounce(m *pram.Mem, prev, v pram.Value) {
+func (c Regular) WriteAnnounce(m pram.Memory, prev, v pram.Value) {
 	m.Write(c.Writer, c.Reg, regCell{Old: prev, New: v, Writing: true})
 }
 
 // WriteCommit is the second write step: the write completes and only
 // the new value remains.
-func (c Regular) WriteCommit(m *pram.Mem, v pram.Value) {
+func (c Regular) WriteCommit(m pram.Memory, v pram.Value) {
 	m.Write(c.Writer, c.Reg, regCell{Old: v, New: v})
 }
 
 // Read performs the single-step regular read by process p.
-func (c Regular) Read(m *pram.Mem, p int, ch Chooser) pram.Value {
+func (c Regular) Read(m pram.Memory, p int, ch Chooser) pram.Value {
 	cell := m.Read(p, c.Reg).(regCell)
 	if cell.Writing && ch.Old(p, c.Reg) {
 		return cell.Old

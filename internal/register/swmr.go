@@ -51,7 +51,7 @@ func adjIndex(rj, ri int) int {
 
 // Install initializes every register with TimedVal{} and enforces the
 // SWSR restrictions.
-func (l SWMRLayout) Install(m *pram.Mem) {
+func (l SWMRLayout) Install(m pram.Memory) {
 	for ri, reader := range l.Readers {
 		reg := l.cellReg(ri)
 		m.Init(reg, TimedVal{})
@@ -108,7 +108,7 @@ func (w *SWMRWriter) Clone() pram.Machine {
 }
 
 // Step writes the current value to the next reader's cell.
-func (w *SWMRWriter) Step(m *pram.Mem) {
+func (w *SWMRWriter) Step(m pram.Memory) {
 	if w.Done() {
 		panic("register: Step after Done")
 	}
@@ -168,7 +168,7 @@ func (r *SWMRReader) Clone() pram.Machine {
 }
 
 // Step performs one shared access of the current read.
-func (r *SWMRReader) Step(m *pram.Mem) {
+func (r *SWMRReader) Step(m pram.Memory) {
 	if r.Done() {
 		panic("register: Step after Done")
 	}

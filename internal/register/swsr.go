@@ -51,7 +51,7 @@ func (w *SWSRWriter) Clone() pram.Machine {
 }
 
 // Step performs the next write half-step.
-func (w *SWSRWriter) Step(m *pram.Mem) {
+func (w *SWSRWriter) Step(m pram.Memory) {
 	if w.Done() {
 		panic("register: Step after Done")
 	}
@@ -107,7 +107,7 @@ func (r *SWSRReader) Clone() pram.Machine {
 }
 
 // Step performs one read operation (a single shared access).
-func (r *SWSRReader) Step(m *pram.Mem) {
+func (r *SWSRReader) Step(m pram.Memory) {
 	if r.Done() {
 		panic("register: Step after Done")
 	}

@@ -27,7 +27,7 @@ type AfekLayout struct {
 func (l AfekLayout) Reg(p int) int { return l.Base + p }
 
 // Install initializes the cells and assigns owners.
-func (l AfekLayout) Install(m *pram.Mem) {
+func (l AfekLayout) Install(m pram.Memory) {
 	for p := 0; p < l.N; p++ {
 		m.Init(l.Reg(p), afekSimCell{})
 		m.SetOwner(l.Reg(p), p)
@@ -88,7 +88,7 @@ func (mc *AfekScanMachine) Clone() pram.Machine {
 
 // Step reads the next cell of the current collect and resolves the
 // scan at collect boundaries.
-func (mc *AfekScanMachine) Step(m *pram.Mem) {
+func (mc *AfekScanMachine) Step(m pram.Memory) {
 	if mc.done {
 		panic("snapshot: Step after Done")
 	}
@@ -173,7 +173,7 @@ func (mc *AfekUpdateMachine) Clone() pram.Machine {
 }
 
 // Step advances the embedded scan or performs the final write.
-func (mc *AfekUpdateMachine) Step(m *pram.Mem) {
+func (mc *AfekUpdateMachine) Step(m pram.Memory) {
 	if mc.Done() {
 		panic("snapshot: Step after Done")
 	}

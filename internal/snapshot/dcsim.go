@@ -26,7 +26,7 @@ type DCLayout struct {
 func (l DCLayout) Reg(p int) int { return l.Base + p }
 
 // Install initializes the cells and assigns owners.
-func (l DCLayout) Install(m *pram.Mem) {
+func (l DCLayout) Install(m pram.Memory) {
 	for p := 0; p < l.N; p++ {
 		m.Init(l.Reg(p), dcSimCell{})
 		m.SetOwner(l.Reg(p), p)
@@ -69,7 +69,7 @@ func (mc *DCUpdateMachine) Clone() pram.Machine {
 }
 
 // Step writes the next scripted value with a fresh sequence number.
-func (mc *DCUpdateMachine) Step(m *pram.Mem) {
+func (mc *DCUpdateMachine) Step(m pram.Memory) {
 	if mc.Done() {
 		panic("snapshot: Step after Done")
 	}
@@ -138,7 +138,7 @@ func (mc *DCScanMachine) Clone() pram.Machine {
 
 // Step reads the next cell of the current collect; at the end of a
 // collect it either finishes (clean pair) or starts another collect.
-func (mc *DCScanMachine) Step(m *pram.Mem) {
+func (mc *DCScanMachine) Step(m pram.Memory) {
 	if mc.done {
 		panic("snapshot: Step after Done")
 	}

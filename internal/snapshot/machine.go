@@ -46,7 +46,7 @@ func (l Layout) Reg(p, i int) int {
 }
 
 // Install initializes every register to ⊥ and assigns owners.
-func (l Layout) Install(m *pram.Mem, lat lattice.Lattice) {
+func (l Layout) Install(m pram.Memory, lat lattice.Lattice) {
 	bot := lat.Bottom()
 	for p := 0; p < l.N; p++ {
 		for i := 0; i <= l.N+1; i++ {
@@ -174,7 +174,7 @@ func (mc *ScanMachine) finish() {
 }
 
 // Step performs the machine's next shared-memory access.
-func (mc *ScanMachine) Step(m *pram.Mem) {
+func (mc *ScanMachine) Step(m pram.Memory) {
 	switch mc.ph {
 	case phIdle:
 		if len(mc.queue) == 0 {

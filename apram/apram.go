@@ -167,7 +167,7 @@ type Object = core.Universal
 func NewObject(s Spec, n int, opts ...Option) *Object {
 	needSlots("NewObject", n)
 	cfg := buildConfig(opts)
-	u := newUniversal(s, n, cfg.Backend)
+	u := newUniversal(s, n, cfg)
 	if cfg.Probe != nil {
 		u.Instrument(cfg.Probe)
 	}
@@ -181,15 +181,23 @@ func NewObject(s Spec, n int, opts ...Option) *Object {
 // given. apram.BackendScheduler and the simulator's scheduler
 // interface have identical method sets, so the configured scheduler
 // passes through directly.
-func newUniversal(s Spec, n int, b Backend) *Object {
-	if b.IsSimulated() {
+func newUniversal(s Spec, n int, cfg Options) *Object {
+	var u *Object
+	if cfg.Backend.IsSimulated() {
 		var sc pram.Scheduler
-		if bs := b.Scheduler(); bs != nil {
+		if bs := cfg.Backend.Scheduler(); bs != nil {
 			sc = bs
 		}
-		return core.NewSimulated(s, n, sc)
+		u = core.NewSimulated(s, n, sc)
+	} else {
+		u = core.New(s, n)
 	}
-	return core.New(s, n)
+	if cfg.TruncateEvery > 0 {
+		// Best-effort: a spec without a checkpoint codec stays
+		// unbounded (Object.TruncationEnabled tells which way it went).
+		u.EnableTruncation(cfg.TruncateEvery, cfg.RetainEntries)
+	}
+	return u
 }
 
 // NewCheckedObject validates the spec's declared algebra (and
@@ -202,7 +210,7 @@ func NewCheckedObject(s Spec, n int, states []spec.State, invs []Inv, opts ...Op
 		return nil, err
 	}
 	cfg := buildConfig(opts)
-	u := newUniversal(s, n, cfg.Backend)
+	u := newUniversal(s, n, cfg)
 	if cfg.Probe != nil {
 		u.Instrument(cfg.Probe)
 	}

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestSweepTruncatedVsUntruncated is the schedule sweep for the
+// checkpoint-and-truncate protocol: every run executes the truncated
+// system and its unbounded reference twin under one adversarial
+// schedule and requires bit-identical shared-access traces, identical
+// responses, a linearizable history, and intact wait-freedom bounds.
+// The default sweep keeps CI fast; set APRAM_TRUNC_SWEEP to a schedule
+// count (e.g. 5000000) for the full overnight sweep — schedules are
+// seeded sequentially, so any failure reports a replayable
+// (structure, seed, adversary) triple.
+func TestSweepTruncatedVsUntruncated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	total := 240
+	if v := os.Getenv("APRAM_TRUNC_SWEEP"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("APRAM_TRUNC_SWEEP=%q: want a positive integer", v)
+		}
+		total = n
+	}
+	structures := []string{"truncate-counter", "truncate-gset"}
+	adversaries := []string{"random", "bursty", "priority", "roundrobin"}
+	epochs := uint64(0)
+	for i := 0; i < total; i++ {
+		cfg := Config{
+			Structure:  structures[i%len(structures)],
+			N:          2 + i%3,
+			OpsPerProc: 3 + i%5,
+			Seed:       int64(7000 + i),
+			Adversary:  adversaries[i%len(adversaries)],
+			Crashes:    i % 2,
+			Stalls:     i % 3,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("schedule %d (%s seed %d): %v", i, cfg.Structure, cfg.Seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("schedule %d (%s seed %d, %s adversary): %v",
+				i, cfg.Structure, cfg.Seed, cfg.Adversary, rep.Failures)
+		}
+		epochs += truncateEvents(rep)
+	}
+	if epochs == 0 {
+		t.Fatalf("no truncation epoch completed across %d schedules — the sweep is vacuous", total)
+	}
+	t.Logf("%d schedules, %d truncation epochs", total, epochs)
+}

@@ -63,6 +63,9 @@ func targets() map[string]*target {
 	}
 	add(serveTarget(types.Counter{}))
 	add(serveTarget(types.GSet{}))
+	add(truncateTarget(types.Counter{}, false))
+	add(truncateTarget(types.GSet{}, false))
+	add(truncateTarget(types.Counter{}, true))
 	add(snapshotTarget("snapshot", true))
 	add(snapshotTarget("snapshot-literal", false))
 	add(dcsnapshotTarget())

@@ -134,6 +134,15 @@ const (
 	// batch on behalf of queued client requests (the batch's size goes
 	// to BatchProbe.BatchDone, which Stats turns into a distribution).
 	EvBatch
+	// EvCheckpoint is one process folding a dominated history prefix
+	// into its spec.Key-validated checkpoint state during a truncation
+	// epoch (one per process per epoch; purely local, no register
+	// traffic).
+	EvCheckpoint
+	// EvTruncate is a truncation epoch completing: every process has
+	// folded, the dominated entries are freed, and the boundary Prev
+	// pointers are cut. Reported once per epoch, by the last folder.
+	EvTruncate
 
 	// NumEvents bounds the Event enum; keep it last.
 	NumEvents
@@ -142,7 +151,7 @@ const (
 var eventNames = [NumEvents]string{
 	"retry", "help", "publish", "pure-elide", "epoch-restart",
 	"round", "coin-step", "coin-flip", "commit", "adopt",
-	"lin-rebuild", "batch-flush",
+	"lin-rebuild", "batch-flush", "checkpoint", "truncate",
 }
 
 // String names the event (stable identifiers, used as JSON keys).
@@ -216,6 +225,52 @@ func BatchDone(p Probe, slot, size int) {
 	}
 }
 
+// Gauge identifies a point-in-time level reported via
+// GaugeProbe.GaugeSet — a value that moves both ways, unlike the
+// monotone counters behind Event.
+type Gauge uint8
+
+// Gauges.
+const (
+	// GaugeRetained is the number of entries the universal
+	// construction's entry graph currently retains; truncation epochs
+	// lower it, publications raise it.
+	GaugeRetained Gauge = iota
+
+	// NumGauges bounds the Gauge enum; keep it last.
+	NumGauges
+)
+
+var gaugeNames = [NumGauges]string{"retained-entries"}
+
+// String names the gauge (stable identifiers, used as JSON keys).
+func (g Gauge) String() string {
+	if g < NumGauges {
+		return gaugeNames[g]
+	}
+	return "gauge?"
+}
+
+// GaugeProbe is an optional Probe extension for observers that track
+// levels. Objects announce level changes through obs.GaugeSet, which
+// forwards when the attached probe implements the extension and is a
+// no-op otherwise — the same pattern as SpanProbe and BatchProbe.
+// Same single-writer, wait-free contract as every Probe method.
+type GaugeProbe interface {
+	Probe
+	// GaugeSet records that, as observed by slot, gauge g now reads v.
+	GaugeSet(slot int, g Gauge, v uint64)
+}
+
+// GaugeSet reports a gauge level to p if (and only if) p is a
+// GaugeProbe. Callers guard with their usual nil-probe check; GaugeSet
+// itself only pays a type assertion.
+func GaugeSet(p Probe, slot int, g Gauge, v uint64) {
+	if gp, ok := p.(GaugeProbe); ok {
+		gp.GaugeSet(slot, g, v)
+	}
+}
+
 // Nop is the no-op probe: the default when no probe is attached.
 // Objects keep a nil probe and skip reporting entirely, so the nil
 // fast path costs one predictable branch per operation; Nop exists for
@@ -228,8 +283,9 @@ func (nop) RegReads(int, int)  {}
 func (nop) RegWrites(int, int) {}
 func (nop) Event(int, Event)   {}
 func (nop) OpDone(int, Op)     {}
-func (nop) OpBegin(int, Op)    {}
-func (nop) BatchDone(int, int) {}
+func (nop) OpBegin(int, Op)            {}
+func (nop) BatchDone(int, int)         {}
+func (nop) GaugeSet(int, Gauge, uint64) {}
 
 // Multi fans callbacks out to several probes in order. Nil entries are
 // dropped; an empty result degenerates to Nop.
@@ -292,6 +348,16 @@ func (m multi) BatchDone(slot, size int) {
 	for _, p := range m {
 		if bp, ok := p.(BatchProbe); ok {
 			bp.BatchDone(slot, size)
+		}
+	}
+}
+
+// GaugeSet forwards the gauge level to every member that is itself a
+// GaugeProbe, mirroring the other extension forwarders.
+func (m multi) GaugeSet(slot int, g Gauge, v uint64) {
+	for _, p := range m {
+		if gp, ok := p.(GaugeProbe); ok {
+			gp.GaugeSet(slot, g, v)
 		}
 	}
 }

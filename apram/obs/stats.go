@@ -45,6 +45,11 @@ type slotStats struct {
 // methods are wait-free. The zero value is unusable; call NewStats.
 type Stats struct {
 	slots []slotStats
+
+	// gauges are object-global levels (GaugeProbe): the reporting slot
+	// observes the whole object's level, so the latest write wins
+	// rather than summing per slot.
+	gauges [NumGauges]atomic.Uint64
 }
 
 // NewStats returns a Stats for objects with n process slots. Callbacks
@@ -96,6 +101,16 @@ func (s *Stats) BatchDone(slot, size int) {
 	sl.batched.Add(uint64(size))
 	sl.bhist[bucket(uint64(size))].Add(1)
 }
+
+// GaugeSet records a level observation, making Stats a GaugeProbe.
+// Gauges are object-global: the latest observation wins.
+func (s *Stats) GaugeSet(slot int, g Gauge, v uint64) {
+	s.slot(slot) // range-check the reporting slot like every callback
+	s.gauges[g].Store(v)
+}
+
+// Gauge returns the latest observation of g (zero if never set).
+func (s *Stats) Gauge(g Gauge) uint64 { return s.gauges[g].Load() }
 
 // Batches returns the aggregate completed-batch count.
 func (s *Stats) Batches() uint64 {
@@ -226,6 +241,10 @@ type Summary struct {
 	BatchedOps uint64   `json:"batched_ops,omitempty"`
 	MeanBatch  float64  `json:"mean_batch,omitempty"`
 	BatchHist  []uint64 `json:"batch_hist,omitempty"`
+	// RetainedEntries is the latest GaugeRetained observation — the
+	// entry-graph footprint after the most recent truncation epoch
+	// (absent when the object never reported the gauge).
+	RetainedEntries uint64 `json:"retained_entries,omitempty"`
 	// PerSlot holds each slot's own totals; summing them reproduces
 	// the aggregate fields exactly.
 	PerSlot []SlotSummary `json:"per_slot"`
@@ -298,6 +317,7 @@ func (s *Stats) Snapshot() Summary {
 		sum.MeanBatch = float64(sum.BatchedOps) / float64(sum.Batches)
 		sum.BatchHist = append([]uint64(nil), bhist[:]...)
 	}
+	sum.RetainedEntries = s.gauges[GaugeRetained].Load()
 	return sum
 }
 

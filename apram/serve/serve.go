@@ -48,6 +48,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/apram"
 	"repro/apram/obs"
@@ -65,6 +66,10 @@ const (
 	// yields it spends topping an under-full batch up from the queue
 	// before composing what it has.
 	flushSpins = 3
+	// truncTickInterval is how often an idle slot worker lends its slot
+	// to a pending truncation epoch (Object.TruncTick). Only workers of
+	// truncation-enabled objects tick; see worker.
+	truncTickInterval = time.Millisecond
 )
 
 // ErrClosed is returned by Do for requests that could not complete
@@ -265,11 +270,29 @@ func (sv *Server) worker(p int) {
 	defer sv.wg.Done()
 	q := sv.queues[p]
 	var pending []*request
+
+	// When the object truncates (WithTruncateEvery), an epoch needs
+	// every slot to ack and fold — including slots receiving no
+	// traffic. An idle worker therefore wakes periodically and lends
+	// its slot to the coordinator via TruncTick; busy workers advance
+	// epochs for free at each operation's end, so the ticker only
+	// matters for idle slots and its period only bounds how long a
+	// quiet slot can stall an epoch.
+	var tickC <-chan time.Time
+	if sv.obj.TruncationEnabled() {
+		tick := time.NewTicker(truncTickInterval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+
 	for {
 		if len(pending) == 0 {
 			select {
 			case req := <-q:
 				pending = append(pending, req)
+			case <-tickC:
+				sv.obj.TruncTick(p)
+				continue
 			case <-sv.quit:
 				sv.drainClosed(q, nil)
 				return

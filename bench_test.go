@@ -513,6 +513,31 @@ func BenchmarkUniversalLongHistory(b *testing.B) {
 			}
 		})
 	}
+	// The truncated arms make the same flatness claim without the
+	// off-clock reset: one object serves every timed operation, and the
+	// checkpoint-and-truncate protocol (epoch cadence = every) keeps the
+	// live graph — and so the per-op cost — bounded no matter how large
+	// b.N grows. The retained-entries custom metric is the bound being
+	// exercised; an unbounded run at these op counts would show ns/op
+	// climbing with b.N instead of a flat line.
+	for _, every := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("truncated/every=%d", every), func(b *testing.B) {
+			u := core.New(types.Counter{}, n)
+			if !u.EnableTruncation(every, 0) {
+				b.Fatal("counter must be checkpointable")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u.Execute(i%n, types.Inc(1))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(u.Retained()), "retained-entries")
+			if st := u.TruncStats(); b.N > 4*every && st.Epochs == 0 {
+				b.Fatalf("no truncation epoch completed across %d ops", b.N)
+			}
+		})
+	}
 }
 
 // BenchmarkUniversalRebuildAblation ablates the incremental engine at a

@@ -5,17 +5,24 @@
 //
 // Usage:
 //
-//	aprambench                    # run every experiment (E1..E18)
+//	aprambench                    # run every experiment (E1..E19)
 //	aprambench -exp e3,e5         # run a subset
 //	aprambench -list              # list experiments
 //	aprambench -markdown          # emit GitHub-flavoured markdown
 //	aprambench -json out.json     # per-structure benchmark JSON ("-" = stdout)
 //	aprambench -json - -structures snapshot,counter -n 16 -ops 5000
+//	aprambench -json - -structures uc-counter,serve -retain 64
 //	aprambench -json - -backend native     # native-substrate rows only
 //	aprambench -json - -backend sim        # simulated-substrate rows only
 //	aprambench -json - -trace trace.json   # also dump a Chrome trace
 //	aprambench -baseline BENCH_baseline.json -structures object
 //	aprambench -exp e16 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -retain K runs the universal-construction rows (uc-counter, uc-gset,
+// serve) with bounded memory — a checkpoint-and-truncate epoch every K
+// operations — and their rows then carry retained_entries, the final
+// live entry-graph size. Deterministic sim rows keep their exact step
+// counts: truncation performs no shared accesses.
 //
 // -baseline is the perf-regression gate: it re-runs the JSON
 // benchmarks at the baseline report's configuration and fails (exit 1)
@@ -65,6 +72,7 @@ func main() {
 	nslots := flag.Int("n", 8, "process slots per structure for -json")
 	ops := flag.Int("ops", 2000, "operations per structure for -json")
 	backend := flag.String("backend", "", "with -json/-baseline: restrict rows to one register substrate (native|sim; default both)")
+	retain := flag.Int("retain", 0, "with -json: run universal-construction rows with a truncation epoch every K ops (0 = unbounded)")
 	tracePath := flag.String("trace", "", "with -json: write a Chrome trace of the counting pass to this path")
 	baseline := flag.String("baseline", "", "perf gate: compare a fresh benchmark run against this baseline report")
 	tolerance := flag.Float64("tolerance", 2, "ns/op regression factor tolerated by -baseline")
@@ -85,6 +93,12 @@ func main() {
 	}
 	if *backend != "" && *jsonPath == "" && *baseline == "" {
 		fatal(fmt.Errorf("-backend requires -json or -baseline"))
+	}
+	if *retain < 0 {
+		fatal(fmt.Errorf("-retain must be non-negative"))
+	}
+	if *retain > 0 && *jsonPath == "" {
+		fatal(fmt.Errorf("-retain requires -json"))
 	}
 
 	if *cpuprofile != "" {
@@ -110,7 +124,7 @@ func main() {
 	case *baseline != "":
 		code = runBaseline(*baseline, *structs, *backend, *tolerance)
 	case *jsonPath != "":
-		runJSON(*jsonPath, *tracePath, *structs, *backend, *nslots, *ops)
+		runJSON(*jsonPath, *tracePath, *structs, *backend, *nslots, *ops, *retain)
 	default:
 		ids := experiments.IDs()
 		if *exp != "" {
@@ -206,8 +220,8 @@ func runBaseline(path, structs, backend string, tolerance float64) int {
 
 // runJSON executes the native-structure benchmarks and writes the
 // report, plus the counting pass's Chrome trace when -trace is given.
-func runJSON(path, tracePath, structs, backend string, n, ops int) {
-	cfg := benchjson.Config{N: n, Ops: ops, Backend: backend}
+func runJSON(path, tracePath, structs, backend string, n, ops, retain int) {
+	cfg := benchjson.Config{N: n, Ops: ops, Backend: backend, TruncateEvery: retain}
 	if structs == "list" {
 		for _, name := range benchjson.Names() {
 			fmt.Println(name)
@@ -279,6 +293,7 @@ func titleOnly(id string) (string, error) {
 		"e16": "Incremental linearization vs history length (extension)",
 		"e17": "Slot-multiplexed serving: batching amortizes the O(n²) scan",
 		"e18": "Practically wait-free: sim step counts vs native wall-clock",
+		"e19": "Bounded memory: checkpoint-and-truncate vs the unbounded entry graph",
 	}
 	t, ok := titles[id]
 	if !ok {

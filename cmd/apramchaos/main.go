@@ -12,6 +12,12 @@
 //
 // Fuzzing flags:
 //
+//	-backend B         sim (default) | native. The native backend runs
+//	                   structures as real goroutines on sync/atomic
+//	                   registers with goroutine-preemption stalls; runs
+//	                   are not replayable or shrinkable, and only the
+//	                   sequential types plus their truncate-* variants
+//	                   are available (-list -backend native).
 //	-structures s1,s2  structures to fuzz ("all" = every structure)
 //	-n N               processes per run (default 4)
 //	-ops K             scripted operations per process (default 3)
@@ -58,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("apramchaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		backend    = fs.String("backend", "sim", "execution backend: sim or native")
 		structures = fs.String("structures", "all", "comma-separated structures to fuzz, or \"all\"")
 		n          = fs.Int("n", 4, "processes per run")
 		ops        = fs.Int("ops", 3, "operations per process")
@@ -77,13 +84,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *backend != "sim" && *backend != "native" {
+		fmt.Fprintf(stderr, "apramchaos: unknown backend %q (sim or native)\n", *backend)
+		return 2
+	}
 	if *list {
-		for _, s := range chaos.Structures() {
+		names := chaos.Structures()
+		if *backend == "native" {
+			names = chaos.NativeStructures()
+		}
+		for _, s := range names {
 			fmt.Fprintln(stdout, s)
 		}
 		return 0
 	}
 	if *replay != "" {
+		if *backend == "native" {
+			fmt.Fprintln(stderr, "apramchaos: native runs are not replayable (the Go scheduler owns the interleaving)")
+			return 2
+		}
 		return runReplay(*replay, stdout, stderr)
 	}
 
@@ -95,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var names []string
 	if *structures == "all" {
 		names = chaos.Structures()
+		if *backend == "native" {
+			names = chaos.NativeStructures()
+		}
 	} else {
 		names = strings.Split(*structures, ",")
 	}
@@ -113,6 +135,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Crashes: *crashes, Stalls: *stalls, MaxSteps: *maxSteps,
 			})
 		}
+	}
+
+	if *backend == "native" {
+		if *outDir != "" {
+			fmt.Fprintln(stderr, "apramchaos: -out is unavailable with -backend native (no replayable trace to write)")
+			return 2
+		}
+		return runNativeJobs(jobs, *verbose, stdout, stderr)
 	}
 
 	// Run and Shrink (the CPU-heavy parts) happen in the workers; each
@@ -218,6 +248,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "%d runs, %d failing\n", runs, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runNativeJobs executes the job list on the native backend, one run
+// at a time: each run already fans its processes out as goroutines, so
+// serial job order keeps runs from stealing each other's parallelism
+// and keeps the report stream deterministic in everything but the
+// scheduler-owned outcomes themselves.
+func runNativeJobs(jobs []chaos.Config, verbose bool, stdout, stderr io.Writer) int {
+	failures, runs := 0, 0
+	for _, cfg := range jobs {
+		rep, err := chaos.RunNative(cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "apramchaos:", err)
+			return 2
+		}
+		runs++
+		if verbose || rep.Failed() {
+			status := "ok"
+			if rep.Failed() {
+				status = "FAIL " + rep.Failures[0].String()
+			}
+			if rep.LinSkipped {
+				status += " (lin check skipped: history too long)"
+			}
+			fmt.Fprintf(stdout, "%-16s seed=%-4d ops=%-3d crashed=%d stalls=%-3d epochs=%d retained=%d  %s\n",
+				cfg.Structure, cfg.Seed, len(rep.History.Ops), len(rep.Crashed), rep.Stalls,
+				rep.Trunc.Epochs, rep.Retained, status)
+		}
+		if rep.Failed() {
+			failures++
+		}
+	}
+	fmt.Fprintf(stdout, "%d native runs, %d failing\n", runs, failures)
 	if failures > 0 {
 		return 1
 	}

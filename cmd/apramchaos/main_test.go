@@ -150,3 +150,35 @@ func TestWorkerPoolDeterminism(t *testing.T) {
 		t.Fatalf("-workers 0 exited %d, want 2", code)
 	}
 }
+
+// TestNativeBackendFlag pins the -backend contract: native mode lists
+// its own (smaller) structure registry, runs the truncate targets to a
+// clean exit, and rejects the sim-only modes (-replay, -out).
+func TestNativeBackendFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-backend", "native", "-list"}, &out, &errb); code != 0 {
+		t.Fatal("-backend native -list failed")
+	}
+	if !strings.Contains(out.String(), "truncate-counter") || strings.Contains(out.String(), "agreement") {
+		t.Fatalf("native -list has the wrong registry: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-backend", "native", "-structures", "truncate-counter",
+		"-ops", "8", "-seeds", "5"}, &out, &errb); code != 0 {
+		t.Fatalf("native truncate sweep exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "5 native runs, 0 failing") {
+		t.Fatalf("native summary missing: %s", out.String())
+	}
+
+	if code := run([]string{"-backend", "native", "-replay", "x.json"}, &out, &errb); code != 2 {
+		t.Fatal("native -replay must be a usage error")
+	}
+	if code := run([]string{"-backend", "native", "-out", t.TempDir()}, &out, &errb); code != 2 {
+		t.Fatal("native -out must be a usage error")
+	}
+	if code := run([]string{"-backend", "warp"}, &out, &errb); code != 2 {
+		t.Fatal("unknown backend must exit 2")
+	}
+}

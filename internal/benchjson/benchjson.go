@@ -69,6 +69,13 @@ type Config struct {
 	// Backend filters rows by substrate: BackendNative, BackendSim, or
 	// "" for both. Any other value is an error.
 	Backend string
+	// TruncateEvery, when positive, builds the universal-construction
+	// rows (uc-counter, uc-gset, serve) with the bounded-memory option
+	// (apram.WithTruncateEvery): a checkpoint-and-truncate epoch every
+	// TruncateEvery operations. Those rows then report RetainedEntries.
+	// Truncation performs no shared accesses, so deterministic sim rows
+	// keep their exact step counts either way.
+	TruncateEvery int
 	// Trace, when non-nil, receives one combined Chrome trace-event
 	// JSON document covering every selected structure's counting pass
 	// — one Chrome process per structure, one track per slot. The
@@ -116,6 +123,12 @@ type Result struct {
 	// predictions (0 when the paper gives no closed form).
 	PaperReadsPerOp  float64 `json:"paper_reads_per_op,omitempty"`
 	PaperWritesPerOp float64 `json:"paper_writes_per_op,omitempty"`
+	// RetainedEntries is the final live entry-graph size from the
+	// counting pass's GaugeRetained gauge. Nonzero only for rows run
+	// with Config.TruncateEvery (aprambench -retain): it is the bound
+	// the checkpoint-and-truncate protocol maintains, so a growing
+	// value across reports is a leak even when ns/op looks fine.
+	RetainedEntries uint64 `json:"retained_entries,omitempty"`
 	// Events are the structural event totals from the counting pass —
 	// since v2 the map is complete: every obs.Event name appears, with
 	// an explicit zero when the structure never emitted it, so two
@@ -203,7 +216,18 @@ func driveConcurrent(k, ops int, do func(worker, i int)) time.Duration {
 	return time.Since(start)
 }
 
-func structures() []structure {
+// ucOptions builds constructor options for the universal-construction
+// rows: the probe plus, when the report runs with -retain, the
+// bounded-memory truncation cadence.
+func ucOptions(probe obs.Probe, truncEvery int) []apram.Option {
+	o := options(probe)
+	if truncEvery > 0 {
+		o = append(o, apram.WithTruncateEvery(truncEvery))
+	}
+	return o
+}
+
+func structures(truncEvery int) []structure {
 	rows := []structure{
 		{
 			// One Scan per op: the Figure 5 optimized loop.
@@ -361,7 +385,7 @@ func structures() []structure {
 			name:    "uc-counter",
 			backend: BackendNative,
 			run: func(n, ops int, probe obs.Probe) time.Duration {
-				u := apram.NewObject(apram.CounterSpec{}, n, options(probe)...)
+				u := apram.NewObject(apram.CounterSpec{}, n, ucOptions(probe, truncEvery)...)
 				return driveConcurrent(n, ops, func(p, i int) {
 					u.Execute(p, apram.Inc(1))
 				})
@@ -380,7 +404,7 @@ func structures() []structure {
 			paperWrites:   func(n int) float64 { return 2 * scanWrites(n) },
 			run: func(n, ops int, probe obs.Probe) time.Duration {
 				u := apram.NewObject(apram.CounterSpec{}, n,
-					append(options(probe), apram.WithBackend(apram.Simulated(nil)))...)
+					append(ucOptions(probe, truncEvery), apram.WithBackend(apram.Simulated(nil)))...)
 				for i := 0; i < ops; i++ {
 					u.Execute(i%n, apram.Inc(1))
 				}
@@ -394,7 +418,7 @@ func structures() []structure {
 			name:    "uc-gset",
 			backend: BackendNative,
 			run: func(n, ops int, probe obs.Probe) time.Duration {
-				u := apram.NewObject(apram.GSetSpec{}, n, options(probe)...)
+				u := apram.NewObject(apram.GSetSpec{}, n, ucOptions(probe, truncEvery)...)
 				return driveConcurrent(n, ops, func(p, i int) {
 					u.Execute(p, apram.Add(gsetElems[i%len(gsetElems)]))
 				})
@@ -409,7 +433,7 @@ func structures() []structure {
 			paperWrites:   func(n int) float64 { return 2 * scanWrites(n) },
 			run: func(n, ops int, probe obs.Probe) time.Duration {
 				u := apram.NewObject(apram.GSetSpec{}, n,
-					append(options(probe), apram.WithBackend(apram.Simulated(nil)))...)
+					append(ucOptions(probe, truncEvery), apram.WithBackend(apram.Simulated(nil)))...)
 				for i := 0; i < ops; i++ {
 					u.Execute(i%n, apram.Add(gsetElems[i%len(gsetElems)]))
 				}
@@ -425,7 +449,7 @@ func structures() []structure {
 			name:    "serve",
 			backend: BackendNative,
 			run: func(n, ops int, probe obs.Probe) time.Duration {
-				sv := serve.New(apram.CounterSpec{}, n, options(probe)...)
+				sv := serve.New(apram.CounterSpec{}, n, ucOptions(probe, truncEvery)...)
 				defer sv.Close()
 				return driveConcurrent(2*n, ops, func(c, i int) {
 					sv.Do(context.Background(), apram.Inc(1))
@@ -442,7 +466,7 @@ func structures() []structure {
 			backend: BackendSim,
 			run: func(n, ops int, probe obs.Probe) time.Duration {
 				sv := serve.New(apram.CounterSpec{}, n,
-					append(options(probe), apram.WithBackend(apram.Simulated(nil)))...)
+					append(ucOptions(probe, truncEvery), apram.WithBackend(apram.Simulated(nil)))...)
 				defer sv.Close()
 				for done := 0; done < ops; done++ {
 					sv.Do(context.Background(), apram.Inc(1))
@@ -492,7 +516,7 @@ func structures() []structure {
 func Names() []string {
 	var out []string
 	seen := map[string]bool{}
-	for _, s := range structures() {
+	for _, s := range structures(0) {
 		if !seen[s.name] {
 			seen[s.name] = true
 			out = append(out, s.name)
@@ -513,7 +537,7 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("unknown backend %q (have %q, %q, or empty for both)",
 			cfg.Backend, BackendNative, BackendSim)
 	}
-	all := structures()
+	all := structures(cfg.TruncateEvery)
 	known := map[string]bool{}
 	for _, s := range all {
 		known[s.name] = true
@@ -617,6 +641,7 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 	if s.paperWrites != nil {
 		res.PaperWritesPerOp = s.paperWrites(n)
 	}
+	res.RetainedEntries = sum.RetainedEntries
 	res.Events = make(map[string]uint64, obs.NumEvents)
 	for e := obs.Event(0); e < obs.NumEvents; e++ {
 		res.Events[e.String()] = st.Events(e)

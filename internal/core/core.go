@@ -138,6 +138,12 @@ type Universal struct {
 	// substrate (see NewSimulated); the native fields above are unused.
 	eng *simEngine
 
+	// tr, when non-nil, bounds the entry graph: the checkpoint-and-
+	// truncate coordinator shared by every slot (see truncate.go). On
+	// the simulated backend the machines carry the same pointer and
+	// the field here only serves the accessors.
+	tr *Truncation
+
 	probe obs.Probe // nil when uninstrumented
 }
 
@@ -250,6 +256,87 @@ func (u *Universal) SimCounters() pram.Counters {
 	return u.eng.counters()
 }
 
+// EnableTruncation bounds the object's entry graph: once every
+// `every` completed operations (and once more than `retain` entries
+// are live), the slots run a checkpoint-and-truncate epoch that folds
+// the history prefix below every anchor into a spec.Key-validated
+// state checkpoint and frees the folded entries (see Truncation). It
+// returns false — leaving the object unbounded — when the spec has no
+// checkpoint codec. Call before the object is shared; responses,
+// linearizations, and the shared-access trace are identical with or
+// without truncation.
+func (u *Universal) EnableTruncation(every, retain int) bool {
+	tr, ok := NewTruncation(u.s, u.n, every, retain)
+	if !ok {
+		return false
+	}
+	u.tr = tr
+	if u.eng != nil {
+		for _, mc := range u.eng.mcs {
+			mc.SetTruncation(tr)
+		}
+	}
+	return true
+}
+
+// TruncationEnabled reports whether EnableTruncation succeeded.
+func (u *Universal) TruncationEnabled() bool { return u.tr != nil }
+
+// Truncation returns the object's truncation coordinator (nil when
+// truncation is not enabled) — harness access for planting the unsafe
+// watermark (Truncation.SetUnsafe) and inspecting the epoch machinery.
+func (u *Universal) Truncation() *Truncation { return u.tr }
+
+// TruncStats returns the truncation coordinator's counters; the zero
+// value when truncation is not enabled.
+func (u *Universal) TruncStats() TruncationStats {
+	if u.tr == nil {
+		return TruncationStats{Phase: "disabled"}
+	}
+	return u.tr.Stats()
+}
+
+// Retained returns the object's live entry-graph footprint: the
+// maximum entry count any slot's linearizer currently indexes (slots
+// lag each other by at most the entries they have not yet observed).
+func (u *Universal) Retained() int {
+	if u.eng != nil {
+		return u.eng.retained()
+	}
+	max := 0
+	for _, l := range u.lins {
+		if r := l.Retained(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// TruncTick lends slot p's idle time to a pending truncation epoch:
+// it acks a proposed epoch and, when a fold is pending on entries p
+// has not observed yet, performs one extra scan so the fold can
+// complete without waiting for p's next operation. The caller must
+// own slot p (same discipline as Execute). No-op without truncation
+// or when no epoch is in flight; apram/serve's slot workers call this
+// between queue drains.
+func (u *Universal) TruncTick(p int) {
+	if u.tr == nil {
+		return
+	}
+	if u.eng != nil {
+		u.eng.truncTick(p)
+		return
+	}
+	lin := u.lins[p]
+	if u.tr.needsRefresh(p, lin) {
+		vec := u.snap.ReadMax(p).(lattice.Vec)
+		if err := lin.Refresh(viewOf(vec)); err != nil {
+			panic("core: " + err.Error())
+		}
+	}
+	u.tr.tick(p, lin, u.probe)
+}
+
 // Execute runs one operation for process p: snapshot the anchor array,
 // linearize, choose the response, publish the new entry (Figure 4).
 func (u *Universal) Execute(p int, inv spec.Inv) any {
@@ -293,6 +380,9 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 			u.probe.Event(p, obs.EvPureElide)
 			u.probe.OpDone(p, obs.OpExecute)
 		}
+		if u.tr != nil {
+			u.tr.opEnd(p, view, lin, u.probe)
+		}
 		return resp
 	}
 	e := &Entry{Proc: p, Seq: nextSeq(view, u.seq[p]), Inv: inv, Resp: resp, Prev: view}
@@ -302,6 +392,10 @@ func (u *Universal) Execute(p int, inv spec.Inv) any {
 	if u.probe != nil {
 		u.probe.Event(p, obs.EvPublish)
 		u.probe.OpDone(p, obs.OpExecute)
+	}
+	if u.tr != nil {
+		u.tr.notePublish(p)
+		u.tr.opEnd(p, view, lin, u.probe)
 	}
 	return resp
 }

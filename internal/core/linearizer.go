@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/bits"
 	"sort"
 
@@ -61,23 +62,44 @@ type Linearizer struct {
 	maxProc int
 
 	// order is the current linearization of all indexed entries; state
-	// is the spec state after replaying it, and stateKey its spec.Key
-	// at memoization time (checkpoint validation).
+	// is the spec state after replaying it FROM base, and stateKey its
+	// spec.Key at memoization time (checkpoint validation). base is the
+	// folded state of every truncated history prefix (spec.Init() until
+	// the first truncation) and baseKey its validation key: replay
+	// always starts from base, never from Init, so folded entries stay
+	// part of the object's history after their *Entry values are freed.
 	order    []*Entry
 	state    spec.State
 	stateKey string
+	base     spec.State
+	baseKey  string
+
+	// byProc[q] counts the q-entries this engine has EVER indexed —
+	// monotone across truncations (Truncate never decrements it).
+	// Because an engine's views grow monotonically and closures are
+	// ancestor-closed, the indexed q-entries always form a prefix of
+	// q's publication chain, so these counts are exactly the truncation
+	// protocol's fold-readiness watermark (see truncate.go).
+	byProc []int
 
 	// dom memoizes spec.Dominates per entry pair. Dominance depends
 	// only on the two entries' immutable (Inv, Proc), yet a full
 	// rebuild re-asks every pair — O(m²) evaluations each time — and
 	// with batched invocations (apram/serve) a single evaluation costs
-	// O(cap²) base-algebra calls. The memo caps total algebra work at
-	// one evaluation per distinct pair for the engine's lifetime, at
-	// O(pairs) memory against entries the engine retains anyway.
+	// O(cap²) base-algebra calls. The memo trades one evaluation per
+	// distinct pair for O(pairs) memory — which is quadratic in the
+	// live set, so it is capped at domMemoCap entries: a scheduling
+	// burst that balloons the graph while a truncation epoch lags
+	// would otherwise turn one rebuild into hundreds of megabytes of
+	// permanently-filtered pairs. Evaluations past the cap simply are
+	// not memoized; dominance stays a pure local computation either
+	// way, so the cap costs CPU on pathological runs, never
+	// correctness.
 	dom map[domPair]bool
 
 	// stats, exposed via Stats.
 	calls, extensions, rebuilds, checkpointMisses uint64
+	truncations, truncated                        uint64
 
 	// incremental disabled forces the full-rebuild path on every call
 	// (the ablation arm of the long-history benchmarks).
@@ -89,18 +111,24 @@ type Linearizer struct {
 // implementation.
 func NewLinearizer(s spec.Spec) *Linearizer {
 	st := s.Init()
+	key := s.Key(st)
 	return &Linearizer{
 		s:           s,
 		index:       map[*Entry]int32{},
 		visited:     map[*Entry]uint32{},
 		dom:         map[domPair]bool{},
 		state:       st,
-		stateKey:    s.Key(st),
+		stateKey:    key,
+		base:        st,
+		baseKey:     key,
 		incremental: true,
 	}
 }
 
 type domPair struct{ a, b *Entry }
+
+// domMemoCap bounds the dominance memo (see the dom field comment).
+const domMemoCap = 1 << 18
 
 // dominates is the memoized Definition 14 check for indexed entries.
 func (l *Linearizer) dominates(a, b *Entry) bool {
@@ -109,7 +137,9 @@ func (l *Linearizer) dominates(a, b *Entry) bool {
 		return v
 	}
 	v := spec.Dominates(l.s, a.Inv, a.Proc, b.Inv, b.Proc)
-	l.dom[k] = v
+	if len(l.dom) < domMemoCap {
+		l.dom[k] = v
+	}
 	return v
 }
 
@@ -129,6 +159,10 @@ type LinStats struct {
 	// CheckpointMisses counts replay checkpoints rejected by spec.Key
 	// validation (a spec mutating a supposedly immutable state).
 	CheckpointMisses uint64
+	// Truncations counts successful Truncate folds, and Truncated the
+	// total entries those folds freed from this engine's index.
+	Truncations uint64
+	Truncated   uint64
 }
 
 // Stats returns the engine's counters.
@@ -138,7 +172,23 @@ func (l *Linearizer) Stats() LinStats {
 		Extensions:       l.extensions,
 		Rebuilds:         l.rebuilds,
 		CheckpointMisses: l.checkpointMisses,
+		Truncations:      l.truncations,
+		Truncated:        l.truncated,
 	}
+}
+
+// Retained returns the number of entries currently indexed — the
+// engine's live contribution to the entry graph's footprint.
+func (l *Linearizer) Retained() int { return len(l.entries) }
+
+// IndexedByProc returns the number of process-q entries this engine
+// has ever indexed. The count is monotone: truncation does not lower
+// it.
+func (l *Linearizer) IndexedByProc(q int) int {
+	if q < 0 || q >= len(l.byProc) {
+		return 0
+	}
+	return l.byProc[q]
 }
 
 // Respond computes the response to inv after the linearization of
@@ -149,22 +199,34 @@ func (l *Linearizer) Stats() LinStats {
 // must grow monotonically across calls.
 func (l *Linearizer) Respond(view []*Entry, inv spec.Inv) (any, []*Entry, error) {
 	l.calls++
+	if err := l.Refresh(view); err != nil {
+		return nil, nil, err
+	}
+	_, resp := l.s.Apply(l.state, inv)
+	return resp, l.order, nil
+}
+
+// Refresh folds view into the cached linearization without responding
+// to an invocation — the Respond body minus the final Apply. The
+// truncation protocol uses it to let an idle process catch up on the
+// entry graph (one extra scan's worth of indexing) so a pending fold
+// can complete without waiting for the process's next operation.
+func (l *Linearizer) Refresh(view []*Entry) error {
 	oldN := len(l.entries)
 	fresh := l.extend(view)
 	if l.incremental && l.suffixCompatible(oldN, fresh) {
 		if err := l.extendOrder(fresh); err != nil {
-			return nil, nil, err
+			return err
 		}
 		l.extensions++
 	} else {
 		if err := l.rebuild(); err != nil {
-			return nil, nil, err
+			return err
 		}
 		l.rebuilds++
 	}
 	l.bumpWatermark(fresh)
-	_, resp := l.s.Apply(l.state, inv)
-	return resp, l.order, nil
+	return nil
 }
 
 // extend indexes every entry reachable from view that is not already
@@ -226,6 +288,10 @@ func (l *Linearizer) extend(view []*Entry) []*Entry {
 				a.or(l.anc[pid])
 			}
 			l.anc = append(l.anc, a)
+			for e.Proc >= len(l.byProc) {
+				l.byProc = append(l.byProc, 0)
+			}
+			l.byProc[e.Proc]++
 			fresh = append(fresh, e)
 		}
 	}
@@ -358,7 +424,7 @@ func (l *Linearizer) rebuild() error {
 		l.order = append(l.order, sorted[idx])
 		invs = append(invs, sorted[idx].Inv)
 	}
-	st, _ := spec.ReplayFrom(l.s, l.s.Init(), invs)
+	st, _ := spec.ReplayFrom(l.s, l.base, invs)
 	l.state, l.stateKey = st, l.s.Key(st)
 	return nil
 }
@@ -367,11 +433,11 @@ func (l *Linearizer) rebuild() error {
 // suffix. The cached state is validated through spec.Key first: if a
 // spec violated immutability and the memoized state drifted from its
 // recorded key, the checkpoint is discarded and the state recomputed
-// from the initial state (counted as a checkpoint miss).
+// from the base state (counted as a checkpoint miss).
 func (l *Linearizer) checkpoint(suffix []*Entry) {
 	if l.s.Key(l.state) != l.stateKey {
 		l.checkpointMisses++
-		st := l.s.Init()
+		st := l.base
 		for _, e := range l.order[:len(l.order)-len(suffix)] {
 			st, _ = l.s.Apply(st, e.Inv)
 		}
@@ -381,6 +447,125 @@ func (l *Linearizer) checkpoint(suffix []*Entry) {
 		l.state, _ = l.s.Apply(l.state, e.Inv)
 	}
 	l.stateKey = l.s.Key(l.state)
+}
+
+// ErrTruncatePrefix reports that the entries at or below the proposed
+// watermark do not form a prefix of this engine's linearization — a
+// dominance inversion straddles the watermark, so folding would change
+// the object's behaviour. The truncation protocol treats it as an
+// epoch abort: retry later with a higher watermark, which internalizes
+// the offending pair.
+var ErrTruncatePrefix = errors.New("core: watermark entries are not a linearization prefix")
+
+// Truncate folds every indexed entry with Seq ≤ w into the engine's
+// base state and frees them from the index. The caller (the truncation
+// protocol in truncate.go) must have established that the fold set is
+// closed and final: no entry with Seq ≤ w will ever be indexed again,
+// and every engine participating in the epoch has indexed the same
+// fold set. Under those conditions the fold set occupies ranks 0..k-1
+// of every engine's linearization in the same order, so each engine
+// folds to the identical base state — which the order-prefix check
+// verifies and the spec.Key-validated codec round-trip cross-checks.
+//
+// On success it returns the number of entries freed and the surviving
+// entries whose Prev arrays still point into the fold set (the cut
+// boundary — the protocol nils those pointers once every engine has
+// folded). The linearization order, frontier state, and watermark are
+// unchanged: replaying order from the new base is, by determinism,
+// indistinguishable from replaying the full history from Init.
+func (l *Linearizer) Truncate(w uint64) (removed int, boundary []*Entry, err error) {
+	k := 0
+	for _, e := range l.order {
+		if e.Seq <= w {
+			k++
+		}
+	}
+	if k == 0 {
+		return 0, nil, nil
+	}
+	// The fold set must be exactly the first k linearization ranks.
+	for i, e := range l.order {
+		if (i < k) != (e.Seq <= w) {
+			return 0, nil, ErrTruncatePrefix
+		}
+	}
+
+	// Fold: replay the prefix onto base, then validate the fold through
+	// the checkpoint codec (encode → decode → spec.Key cross-check). A
+	// codec failure aborts the fold with the engine untouched.
+	invs := make([]spec.Inv, k)
+	for i := 0; i < k; i++ {
+		invs[i] = l.order[i].Inv
+	}
+	newBase, _ := spec.ReplayFrom(l.s, l.base, invs)
+	ck, err := spec.MakeCheckpoint(l.s, newBase)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Rebuild the index over the survivors. Survivors keep their
+	// relative id order, so closures remap bit-by-bit with fold-set
+	// bits dropped: the fold set is ancestor-closed (Seq is monotone
+	// along Prev chains), so no survivor↔survivor precedence path
+	// routes through it and dropping the bits loses no ordering.
+	idMap := make([]int32, len(l.entries))
+	survivors := make([]*Entry, 0, len(l.entries)-k)
+	for oldID, e := range l.entries {
+		if e.Seq <= w {
+			idMap[oldID] = -1
+			continue
+		}
+		idMap[oldID] = int32(len(survivors))
+		survivors = append(survivors, e)
+	}
+	newIndex := make(map[*Entry]int32, len(survivors))
+	newAnc := make([]bitset, len(survivors))
+	for newID, e := range survivors {
+		old := l.anc[l.index[e]]
+		nb := newBitset(len(survivors))
+		old.each(func(i int) {
+			if m := idMap[i]; m >= 0 {
+				nb.set(int(m))
+			}
+		})
+		newIndex[e] = int32(newID)
+		newAnc[newID] = nb
+		for _, p := range e.Prev {
+			if p != nil && p.Seq <= w {
+				boundary = append(boundary, e)
+				break
+			}
+		}
+	}
+	// Fresh order backing array: the old one keeps fold-set pointers
+	// alive past the cut otherwise.
+	newOrder := make([]*Entry, len(l.order)-k)
+	copy(newOrder, l.order[k:])
+	// The dominance memo survives filtered to surviving pairs — into a
+	// fresh map, never by deleting in place: a Go map's bucket array
+	// never shrinks, so after a backlog spike (the live set inflated
+	// while an epoch lagged behind a stalled process) in-place pruning
+	// would leave every subsequent epoch iterating — and the engine
+	// retaining — the peak-sized table forever. The visited map is
+	// rebuilt for the same reason (and its keys are freed entries).
+	newDom := make(map[domPair]bool, 2*len(survivors))
+	for kp, v := range l.dom {
+		if _, ok := newIndex[kp.a]; !ok {
+			continue
+		}
+		if _, ok := newIndex[kp.b]; !ok {
+			continue
+		}
+		newDom[kp] = v
+	}
+	l.dom = newDom
+	l.entries, l.index, l.anc, l.order = survivors, newIndex, newAnc, newOrder
+	l.visited = map[*Entry]uint32{}
+	l.gen = 0
+	l.base, l.baseKey = newBase, ck.Key
+	l.truncations++
+	l.truncated += uint64(k)
+	return k, boundary, nil
 }
 
 // sortEntries orders entries by the reference's deterministic key.

@@ -74,6 +74,14 @@ type Machine struct {
 	// memory already observes every access — so the machine reports
 	// only what the engine cannot see from outside.
 	probe obs.Probe
+
+	// tr, when set, is the truncation coordinator shared by every
+	// machine of the object; lastView is the current operation's scan
+	// view, saved for the op-end hook. Truncation advances only at the
+	// machines' turn boundaries — it performs no shared accesses of its
+	// own, so the step trace is bit-identical to an untruncated run.
+	tr       *Truncation
+	lastView []*Entry
 }
 
 // NewMachine returns a machine for process proc with the given
@@ -104,9 +112,49 @@ func (mc *Machine) SetIncremental(on bool) { mc.lin.SetIncremental(on) }
 // LinStats returns the machine's linearization-engine counters.
 func (mc *Machine) LinStats() LinStats { return mc.lin.Stats() }
 
+// SetTruncation attaches a truncation coordinator. Every machine of
+// the object must share the same coordinator, attached before any
+// steps run. A truncation-enabled machine cannot be cloned.
+func (mc *Machine) SetTruncation(tr *Truncation) { mc.tr = tr }
+
+// Retained returns the machine's live entry-graph footprint.
+func (mc *Machine) Retained() int { return mc.lin.Retained() }
+
 // Invocation returns the i-th scripted invocation; Results()[i] is its
 // response once completed.
 func (mc *Machine) Invocation(i int) spec.Inv { return mc.script[i] }
+
+// Recycle releases the bookkeeping of the first consumed completed
+// operations — their invocations, their results, and the inner scan
+// machine's whole result log — shifting the indices of Invocation and
+// Results down by consumed. Only valid between operations, and only
+// for drivers (the simulated-backend engine) that consume results in
+// order and never revisit them; script-driven harnesses index by
+// absolute operation number and must not call this. With Recycle in
+// the loop a machine's footprint is bounded by its in-flight work, so
+// an Enqueue-fed machine can serve unboundedly many operations in
+// bounded memory — the local-state counterpart of the entry graph's
+// checkpoint-and-truncate protocol.
+func (mc *Machine) Recycle(consumed int) {
+	if mc.ph != simIdle {
+		panic("core: Recycle mid-operation")
+	}
+	if consumed < 0 || consumed > len(mc.results) {
+		panic(fmt.Sprintf("core: Recycle(%d) with %d completed results", consumed, len(mc.results)))
+	}
+	k := copy(mc.script, mc.script[consumed:])
+	for i := k; i < len(mc.script); i++ {
+		mc.script[i] = spec.Inv{}
+	}
+	mc.script = mc.script[:k]
+	k = copy(mc.results, mc.results[consumed:])
+	for i := k; i < len(mc.results); i++ {
+		mc.results[i] = nil
+	}
+	mc.results = mc.results[:k]
+	mc.next -= consumed
+	mc.scan.DropResults()
+}
 
 // Results returns the responses of completed operations, in order.
 func (mc *Machine) Results() []any { return mc.results }
@@ -125,6 +173,13 @@ func (mc *Machine) Done() bool { return mc.ph == simIdle && mc.next == len(mc.sc
 // different view sequences), and explorer branches are typically short
 // enough that rebuilding is cheap.
 func (mc *Machine) Clone() pram.Machine {
+	if mc.tr != nil {
+		// A clone's fresh linearizer would rediscover the entry graph
+		// from the anchors — and after a truncation cut the folded
+		// prefix is gone, so the rebuilt state would be wrong. The
+		// explorer (the only cloning driver) does not run truncation.
+		panic("core: cannot clone a truncation-enabled machine")
+	}
 	cp := *mc
 	cp.scan = mc.scan.Clone().(*snapshot.ScanMachine)
 	cp.lin = NewLinearizer(mc.u.Spec)
@@ -133,6 +188,26 @@ func (mc *Machine) Clone() pram.Machine {
 	cp.recViews = append([][]*Entry(nil), mc.recViews...)
 	cp.recHists = append([][]*Entry(nil), mc.recHists...)
 	return &cp
+}
+
+// RefreshScan runs one complete anchor-array scan synchronously and
+// folds the view into the machine's linearizer — the idle-slot
+// catch-up a pending truncation fold may need. Only valid between
+// operations (ph == simIdle); the scan's accesses are charged to the
+// machine's process like any other steps.
+func (mc *Machine) RefreshScan(m pram.Memory) {
+	if mc.ph != simIdle {
+		panic("core: RefreshScan mid-operation")
+	}
+	mc.scan.Enqueue(mc.u.VL.Bottom())
+	for !mc.scan.Done() {
+		mc.scan.Step(m)
+	}
+	rs := mc.scan.Results()
+	last := rs[len(rs)-1].(lattice.Vec)
+	if err := mc.lin.Refresh(viewOf(last)); err != nil {
+		panic("core: " + err.Error())
+	}
 }
 
 // Step performs the machine's next shared-memory access.
@@ -167,6 +242,9 @@ func (mc *Machine) afterScanStep() {
 	switch mc.ph {
 	case simReading:
 		view := viewOf(last)
+		if mc.tr != nil {
+			mc.lastView = view
+		}
 		rebuildsBefore := mc.lin.Stats().Rebuilds
 		resp, hist, err := mc.lin.Respond(view, mc.cur)
 		if err != nil {
@@ -187,6 +265,9 @@ func (mc *Machine) afterScanStep() {
 			}
 			mc.results = append(mc.results, resp)
 			mc.ph = simIdle
+			if mc.tr != nil {
+				mc.tr.opEnd(mc.proc, mc.lastView, mc.lin, mc.probe)
+			}
 			return
 		}
 		mc.pending = &Entry{
@@ -204,6 +285,10 @@ func (mc *Machine) afterScanStep() {
 		mc.results = append(mc.results, mc.pending.Resp)
 		mc.pending = nil
 		mc.ph = simIdle
+		if mc.tr != nil {
+			mc.tr.notePublish(mc.proc)
+			mc.tr.opEnd(mc.proc, mc.lastView, mc.lin, mc.probe)
+		}
 	default:
 		panic(fmt.Sprintf("core: scan finished in phase %d", mc.ph))
 	}

@@ -79,7 +79,18 @@ func (e *simEngine) execute(p int, inv spec.Inv) any {
 		e.mcs[pick].Step(e.mem)
 	}
 	e.taken[p]++
-	return e.mcs[p].Results()[want]
+	resp := e.mcs[p].Results()[want]
+	// Slot p is owned by one caller at a time (the Execute discipline),
+	// so once its result is taken the machine has no unconsumed history:
+	// recycle so a long-running serve's footprint is bounded by in-flight
+	// work, not by lifetime operation count. Other slots' machines may
+	// hold results their owners have not collected yet; they recycle on
+	// their own turns.
+	if mc := e.mcs[p]; mc.Done() && e.taken[p] == len(mc.Results()) {
+		mc.Recycle(e.taken[p])
+		e.taken[p] = 0
+	}
+	return resp
 }
 
 // counters returns the substrate's access counters.
@@ -87,6 +98,45 @@ func (e *simEngine) counters() pram.Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.mem.Counters()
+}
+
+// retained returns the maximum live entry count across the machines.
+func (e *simEngine) retained() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	max := 0
+	for _, mc := range e.mcs {
+		if r := mc.Retained(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// truncTick lends slot p's idle time to a pending truncation epoch.
+// Lock order everywhere is e.mu → tr.mu (the machine hooks fire
+// inside execute, which already holds e.mu). The extra catch-up scan
+// costs real steps on the serialized substrate and is charged to p —
+// acceptable for the serving layer's idle slots, which is the only
+// caller.
+func (e *simEngine) truncTick(p int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mc := e.mcs[p]
+	if mc.tr == nil || !mc.Done() {
+		return
+	}
+	if mc.tr.needsRefresh(p, mc.lin) {
+		mc.RefreshScan(e.mem)
+		// The catch-up scan's result has been folded into the
+		// linearizer; drop it so an idle slot ticking forever (the
+		// serving layer's 1ms ticker) stays at constant footprint.
+		if e.taken[p] == len(mc.Results()) {
+			mc.Recycle(e.taken[p])
+			e.taken[p] = 0
+		}
+	}
+	mc.tr.tick(p, mc.lin, mc.probe)
 }
 
 func containsInt(xs []int, x int) bool {

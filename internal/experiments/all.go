@@ -27,6 +27,7 @@ var Registry = map[string]func() Table{
 	"e16": E16LongHistory,
 	"e17": E17Serve,
 	"e18": E18Backends,
+	"e19": E19BoundedMemory,
 }
 
 // IDs returns the experiment ids in numeric order.

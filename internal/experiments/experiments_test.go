@@ -292,7 +292,7 @@ func TestE18BothSubstratesMeasured(t *testing.T) {
 
 func TestRegistryAndRendering(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[16] != "e18" {
+	if len(ids) != 18 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[17] != "e19" {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil {
@@ -307,5 +307,27 @@ func TestRegistryAndRendering(t *testing.T) {
 	}
 	if md := tab.Markdown(); !strings.Contains(md, "| n |") && !strings.Contains(md, "### E5") {
 		t.Error("Markdown rendering incomplete")
+	}
+}
+
+func TestE19TruncationBoundsRetained(t *testing.T) {
+	tab := E19BoundedMemory()
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		ops, _ := strconv.Atoi(row[0])
+		unbounded, _ := strconv.Atoi(row[1])
+		truncated, _ := strconv.Atoi(row[3])
+		epochs, _ := strconv.Atoi(row[5])
+		if unbounded < ops/2 {
+			t.Errorf("ops=%d: unbounded arm retained only %d entries; the baseline is vacuous", ops, unbounded)
+		}
+		if truncated*4 > unbounded {
+			t.Errorf("ops=%d: truncated arm retained %d of %d entries; truncation is not bounding the graph", ops, truncated, unbounded)
+		}
+		if epochs == 0 {
+			t.Errorf("ops=%d: no truncation epoch completed", ops)
+		}
 	}
 }

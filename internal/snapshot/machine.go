@@ -116,6 +116,17 @@ func (mc *ScanMachine) Results() []any { return mc.results }
 // Completed returns the number of finished scans (pram.Progress).
 func (mc *ScanMachine) Completed() int { return len(mc.results) }
 
+// DropResults discards the completed-scan result log, resetting
+// Completed to zero. Long-running drivers that consume each result as
+// it completes call this between operations so the machine's footprint
+// is bounded by in-flight work, not by how many scans it has ever run.
+func (mc *ScanMachine) DropResults() {
+	for i := range mc.results {
+		mc.results[i] = nil
+	}
+	mc.results = mc.results[:0]
+}
+
 // Done reports whether every enqueued operation has completed.
 func (mc *ScanMachine) Done() bool { return mc.ph == phIdle && len(mc.queue) == 0 }
 

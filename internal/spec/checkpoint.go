@@ -1,0 +1,117 @@
+// Checkpoint: the codec contract behind the universal construction's
+// entry-graph truncation. Folding a linearized history prefix into a
+// single state value is only safe if that state can be validated — a
+// bug in the fold must surface as a failed checkpoint, not as a
+// silently wrong object. The contract is therefore encode → decode →
+// re-encode → Key cross-validation: a checkpoint round-trips through
+// its canonical byte form, and the decoded state's Key must equal the
+// folded state's Key. Types without a codec simply never truncate
+// (the serving layer degrades to unbounded mode), so Checkpointable is
+// an optional extension, like Pure.
+package spec
+
+// Checkpointable is an optional Spec extension: a type that can
+// serialize its states to a canonical byte form and back. Encodings
+// must be canonical — two Equal states encode to identical bytes —
+// because truncation validates folds by comparing Keys of
+// decode(encode(s)) against s.
+type Checkpointable interface {
+	// EncodeState returns a canonical encoding of s.
+	EncodeState(s State) ([]byte, error)
+	// DecodeState inverts EncodeState.
+	DecodeState(data []byte) (State, error)
+}
+
+// Unwrapper is implemented by derived specs (notably Batch) that
+// delegate their state space to a base spec; AsCheckpointable follows
+// the chain so a batched counter checkpoints exactly like a counter.
+type Unwrapper interface {
+	Unwrap() Spec
+}
+
+// AsCheckpointable returns the checkpoint codec for s, unwrapping
+// derived specs whose state space delegates to a base spec. It
+// returns false when neither s nor any spec it wraps implements
+// Checkpointable — the caller must then leave the history unbounded.
+func AsCheckpointable(s Spec) (Checkpointable, bool) {
+	for s != nil {
+		if ck, ok := s.(Checkpointable); ok {
+			return ck, true
+		}
+		u, ok := s.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		s = u.Unwrap()
+	}
+	return nil, false
+}
+
+// Checkpoint is a validated fold of a history prefix: the canonical
+// encoding of the folded state plus the Key it must decode back to.
+type Checkpoint struct {
+	// Data is the canonical encoding of the folded state.
+	Data []byte
+	// Key is the spec Key of the folded state; RestoreCheckpoint
+	// re-derives it from the decoded state and rejects a mismatch.
+	Key string
+}
+
+// MakeCheckpoint folds st into a validated checkpoint: it encodes st,
+// decodes the encoding back, and cross-validates the round-tripped
+// state's Key against st's. A Key mismatch means the codec is not
+// canonical for this state (or the state is corrupt) and the fold must
+// be abandoned.
+func MakeCheckpoint(s Spec, st State) (Checkpoint, error) {
+	ck, ok := AsCheckpointable(s)
+	if !ok {
+		return Checkpoint{}, errNoCodec(s)
+	}
+	data, err := ck.EncodeState(st)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	back, err := ck.DecodeState(data)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	want, got := s.Key(st), s.Key(back)
+	if want != got {
+		return Checkpoint{}, errKeyMismatch{spec: s.Name(), want: want, got: got}
+	}
+	return Checkpoint{Data: data, Key: want}, nil
+}
+
+// RestoreCheckpoint decodes a checkpoint back into a state,
+// cross-validating the decoded state's Key against the recorded one.
+func RestoreCheckpoint(s Spec, c Checkpoint) (State, error) {
+	ck, ok := AsCheckpointable(s)
+	if !ok {
+		return nil, errNoCodec(s)
+	}
+	st, err := ck.DecodeState(c.Data)
+	if err != nil {
+		return nil, err
+	}
+	if got := s.Key(st); got != c.Key {
+		return nil, errKeyMismatch{spec: s.Name(), want: c.Key, got: got}
+	}
+	return st, nil
+}
+
+type errKeyMismatch struct {
+	spec      string
+	want, got string
+}
+
+func (e errKeyMismatch) Error() string {
+	return "spec: checkpoint key mismatch for " + e.spec + ": want " + e.want + ", got " + e.got
+}
+
+type noCodecError struct{ spec string }
+
+func (e noCodecError) Error() string {
+	return "spec: " + e.spec + " has no checkpoint codec"
+}
+
+func errNoCodec(s Spec) error { return noCodecError{spec: s.Name()} }

@@ -1,0 +1,123 @@
+// Checkpoint codecs for the Property-1 types: each spec implements
+// spec.Checkpointable so the universal construction's truncation
+// protocol can fold dominated history prefixes into validated state
+// checkpoints. Encodings go through encoding/json, which sorts map
+// keys — so every codec here is canonical (two Equal states encode to
+// identical bytes), which the Key cross-validation in
+// spec.MakeCheckpoint relies on.
+//
+// The two deliberate Property-1 failures (Queue, StickyBit) get no
+// codec on purpose: they are negative witnesses, and leaving them
+// non-checkpointable exercises the graceful degradation path (a type
+// without a codec simply never truncates).
+package types
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/lattice"
+	"repro/internal/spec"
+)
+
+// EncodeState implements spec.Checkpointable for the counter.
+func (Counter) EncodeState(s spec.State) ([]byte, error) { return json.Marshal(s.(int64)) }
+
+// DecodeState implements spec.Checkpointable for the counter.
+func (Counter) DecodeState(data []byte) (spec.State, error) {
+	var v int64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("counter checkpoint: %w", err)
+	}
+	return v, nil
+}
+
+// EncodeState implements spec.Checkpointable for the max-register.
+func (MaxReg) EncodeState(s spec.State) ([]byte, error) { return json.Marshal(s.(int64)) }
+
+// DecodeState implements spec.Checkpointable for the max-register.
+func (MaxReg) DecodeState(data []byte) (spec.State, error) {
+	var v int64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("maxreg checkpoint: %w", err)
+	}
+	return v, nil
+}
+
+// EncodeState implements spec.Checkpointable for the register.
+func (Register) EncodeState(s spec.State) ([]byte, error) { return json.Marshal(s.(string)) }
+
+// DecodeState implements spec.Checkpointable for the register.
+func (Register) DecodeState(data []byte) (spec.State, error) {
+	var v string
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("register checkpoint: %w", err)
+	}
+	return v, nil
+}
+
+// EncodeState implements spec.Checkpointable for the vector clock. A
+// nil map (the initial state) and an empty map are behaviourally equal
+// and share the encoding "{}".
+func (Clock) EncodeState(s spec.State) ([]byte, error) {
+	m := s.(lattice.IntMap)
+	if m == nil {
+		m = lattice.IntMap{}
+	}
+	return json.Marshal(map[string]int64(m))
+}
+
+// DecodeState implements spec.Checkpointable for the vector clock.
+func (Clock) DecodeState(data []byte) (spec.State, error) {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("clock checkpoint: %w", err)
+	}
+	if m == nil {
+		m = map[string]int64{}
+	}
+	return lattice.IntMap(m), nil
+}
+
+// EncodeState implements spec.Checkpointable for the grow-only set:
+// the sorted element list.
+func (GSet) EncodeState(s spec.State) ([]byte, error) {
+	m := s.(setState)
+	elems := make([]string, 0, len(m))
+	for e := range m {
+		elems = append(elems, e)
+	}
+	sort.Strings(elems)
+	return json.Marshal(elems)
+}
+
+// DecodeState implements spec.Checkpointable for the grow-only set.
+func (GSet) DecodeState(data []byte) (spec.State, error) {
+	var elems []string
+	if err := json.Unmarshal(data, &elems); err != nil {
+		return nil, fmt.Errorf("gset checkpoint: %w", err)
+	}
+	out := make(setState, len(elems))
+	for _, e := range elems {
+		out[e] = struct{}{}
+	}
+	return out, nil
+}
+
+// EncodeState implements spec.Checkpointable for the directory.
+func (Directory) EncodeState(s spec.State) ([]byte, error) {
+	return json.Marshal(map[string]string(s.(dirState)))
+}
+
+// DecodeState implements spec.Checkpointable for the directory.
+func (Directory) DecodeState(data []byte) (spec.State, error) {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("directory checkpoint: %w", err)
+	}
+	if m == nil {
+		m = map[string]string{}
+	}
+	return dirState(m), nil
+}

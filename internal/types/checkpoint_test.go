@@ -1,0 +1,138 @@
+package types
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// stateSamples replays growing prefixes of the spec's sample
+// invocations (twice over, so multisets and maps accumulate), yielding
+// a spread of reachable states including the initial one.
+func stateSamples(s Sampler) []spec.State {
+	invs := s.SampleInvocations()
+	script := append(append([]spec.Inv(nil), invs...), invs...)
+	out := []spec.State{s.Init()}
+	st := s.Init()
+	for _, inv := range script {
+		st, _ = s.Apply(st, inv)
+		out = append(out, st)
+	}
+	return out
+}
+
+// TestCheckpointRoundTrip: every Property 1 type's codec must be
+// canonical — encode → decode → re-encode is the identity on bytes,
+// the decoded state is Equal to the original, and the Keys match
+// (spec.MakeCheckpoint's cross-validation).
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, s := range Property1Types() {
+		ck, ok := spec.AsCheckpointable(s)
+		if !ok {
+			t.Errorf("%s: Property 1 type without a checkpoint codec", s.Name())
+			continue
+		}
+		t.Run(s.Name(), func(t *testing.T) {
+			for i, st := range stateSamples(s) {
+				data, err := ck.EncodeState(st)
+				if err != nil {
+					t.Fatalf("state %d: encode: %v", i, err)
+				}
+				back, err := ck.DecodeState(data)
+				if err != nil {
+					t.Fatalf("state %d: decode: %v", i, err)
+				}
+				if !s.Equal(st, back) {
+					t.Fatalf("state %d: decoded state not Equal: %v vs %v", i, st, back)
+				}
+				if s.Key(st) != s.Key(back) {
+					t.Fatalf("state %d: Key drift: %q vs %q", i, s.Key(st), s.Key(back))
+				}
+				again, err := ck.EncodeState(back)
+				if err != nil {
+					t.Fatalf("state %d: re-encode: %v", i, err)
+				}
+				if string(data) != string(again) {
+					t.Fatalf("state %d: encoding not canonical: %q vs %q", i, data, again)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointMakeRestore drives the spec-level entry points the
+// truncation protocol uses: MakeCheckpoint validates the fold and
+// RestoreCheckpoint recovers the identical state.
+func TestCheckpointMakeRestore(t *testing.T) {
+	for _, s := range Property1Types() {
+		t.Run(s.Name(), func(t *testing.T) {
+			for i, st := range stateSamples(s) {
+				c, err := spec.MakeCheckpoint(s, st)
+				if err != nil {
+					t.Fatalf("state %d: %v", i, err)
+				}
+				if c.Key != s.Key(st) {
+					t.Fatalf("state %d: checkpoint key %q, state key %q", i, c.Key, s.Key(st))
+				}
+				back, err := spec.RestoreCheckpoint(s, c)
+				if err != nil {
+					t.Fatalf("state %d: restore: %v", i, err)
+				}
+				if !s.Equal(st, back) {
+					t.Fatalf("state %d: restored state not Equal", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointBatchedDelegation: the batched spec (the serving
+// layer's composition wrapper) shares its base spec's state space, so
+// its codec must be the base codec, found through spec.Unwrapper —
+// and checkpoints of batch-replayed states must validate.
+func TestCheckpointBatchedDelegation(t *testing.T) {
+	for _, s := range Property1Types() {
+		t.Run(s.Name(), func(t *testing.T) {
+			b := spec.Batch(s)
+			bck, ok := spec.AsCheckpointable(b)
+			if !ok {
+				t.Fatalf("Batch(%s) lost the checkpoint codec", s.Name())
+			}
+			sck, _ := spec.AsCheckpointable(s)
+			if bck != sck {
+				t.Fatalf("Batch(%s) codec differs from the base codec", s.Name())
+			}
+			// A state reached through batched invocations checkpoints
+			// identically to the same history unbatched.
+			invs := s.SampleInvocations()
+			st, _ := spec.Replay(b, []spec.Inv{spec.BatchInv(invs...)})
+			flat, _ := spec.Replay(s, invs)
+			cb, err := spec.MakeCheckpoint(b, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cf, err := spec.MakeCheckpoint(s, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(cb.Data) != string(cf.Data) || cb.Key != cf.Key {
+				t.Fatalf("batched checkpoint differs from flat: %q/%q vs %q/%q",
+					cb.Data, cb.Key, cf.Data, cf.Key)
+			}
+		})
+	}
+}
+
+// TestCheckpointAbsentForConsensusTypes: the queue and sticky bit are
+// deliberately codec-free — they are this repo's graceful-degradation
+// witnesses (and the queue cannot be served wait-free anyway).
+func TestCheckpointAbsentForConsensusTypes(t *testing.T) {
+	for _, s := range []Sampler{Queue{}, StickyBit{}} {
+		if _, ok := spec.AsCheckpointable(s); ok {
+			t.Errorf("%s: unexpectedly checkpointable", s.Name())
+		}
+		if _, err := spec.MakeCheckpoint(s, s.Init()); err == nil {
+			t.Errorf("%s: MakeCheckpoint should fail without a codec", s.Name())
+		}
+	}
+}

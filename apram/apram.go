@@ -245,7 +245,14 @@ type (
 	RegisterSpec = types.Register
 	// DirectorySpec is a last-writer-wins map: put, del, get, getall.
 	DirectorySpec = types.Directory
+	// KCounterSpec is a counter-vector (one counter per string key):
+	// vinc, vread, vsum, vzero. Its per-key operations make it the
+	// canonical shardable type for apram/shard.
+	KCounterSpec = types.KCounter
 )
+
+// KD is the vinc argument: key and signed delta.
+type KD = types.KD
 
 // The deliberate Property 1 failures, exported so callers can see
 // NewCheckedObject reject them: the FIFO queue and the sticky bit (a
@@ -290,6 +297,14 @@ var (
 	Get = types.Get
 	// GetAll builds a directory getall() invocation.
 	GetAll = types.GetAll
+	// VInc builds a kcounter vinc(key, delta) invocation.
+	VInc = types.VInc
+	// VRead builds a kcounter vread(key) invocation.
+	VRead = types.VRead
+	// VSum builds a kcounter vsum() invocation.
+	VSum = types.VSum
+	// VZero builds a kcounter vzero() invocation.
+	VZero = types.VZero
 )
 
 // PRMW is the pseudo read-modify-write object of Anderson (the

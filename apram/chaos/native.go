@@ -66,10 +66,14 @@ func (r *NativeReport) Failed() bool { return len(r.Failures) > 0 }
 
 // nativeTarget resolves a structure name for the native backend:
 // every registered sequential type, plus the truncate-* variants
-// (including the planted-bug one). Machine-granular structures
+// (including the planted-bug one) and the shard-* targets (which
+// RunNative dispatches to runNativeShard). Machine-granular structures
 // (snapshot, dcsnapshot, agreement, consensus, serve-*) are
 // simulator-only.
 func nativeTarget(name string) (s types.Sampler, truncate, planted bool, err error) {
+	if ss, p, ok := shardNativeTarget(name); ok {
+		return ss, false, p, nil
+	}
 	base := name
 	if rest, ok := strings.CutPrefix(base, "truncate-"); ok {
 		truncate = true
@@ -98,7 +102,8 @@ func NativeStructures() []string {
 	for _, t := range types.AllTypes() {
 		out = append(out, t.Name())
 	}
-	out = append(out, "truncate-counter", "truncate-gset", "truncate-counter-bug")
+	out = append(out, "truncate-counter", "truncate-gset", "truncate-counter-bug",
+		"shard-counter", "shard-gset", "shard-counter-bug")
 	return out
 }
 
@@ -131,12 +136,15 @@ func (p *nativeProbe) accesses(slot int) uint64 {
 // which is exactly the window the protocol must survive.
 func RunNative(cfg Config) (*NativeReport, error) {
 	cfg = cfg.withDefaults()
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("chaos: %d processes", cfg.N)
+	}
+	if ss, planted, ok := shardNativeTarget(cfg.Structure); ok {
+		return runNativeShard(cfg, ss, planted)
+	}
 	s, doTrunc, planted, err := nativeTarget(cfg.Structure)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.N < 1 {
-		return nil, fmt.Errorf("chaos: %d processes", cfg.N)
 	}
 	n := cfg.N
 	specName := s.Name()

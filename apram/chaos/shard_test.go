@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// crossOps counts the cross-shard reads in a run's history — the
+// operations whose composition the shard targets exist to check.
+func crossOps(h []string) func(rep *Report) int {
+	names := map[string]bool{}
+	for _, n := range h {
+		names[n] = true
+	}
+	return func(rep *Report) int {
+		c := 0
+		for _, op := range rep.History.Ops {
+			if names[op.Name] {
+				c++
+			}
+		}
+		return c
+	}
+}
+
+// TestShardTargetsUnderFaults: across the CI seed set, with crash and
+// stall faults, the tag-validated cross-shard composition must stay
+// linearizable against the unpartitioned sequential spec, and keyed
+// operations must stay within their single-shard wait-freedom bounds.
+// The vacuity guard asserts cross-shard reads actually completed over
+// the sweep — a target whose scripts never merged anything would pass
+// trivially.
+func TestShardTargetsUnderFaults(t *testing.T) {
+	for _, tc := range []struct {
+		structure string
+		cross     func(rep *Report) int
+	}{
+		{"shard-counter", crossOps([]string{"vsum"})},
+		{"shard-gset", crossOps([]string{"members"})},
+	} {
+		crossed := 0
+		for _, seed := range ciSeeds {
+			rep, err := Run(Config{Structure: tc.structure, Seed: seed,
+				OpsPerProc: 6, Crashes: 1, Stalls: 1})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.structure, seed, err)
+			}
+			if rep.Failed() {
+				t.Fatalf("%s seed %d: %v", tc.structure, seed, rep.Failures)
+			}
+			crossed += tc.cross(rep)
+		}
+		if crossed == 0 {
+			t.Errorf("%s: no cross-shard read completed across %d seeds — the target is vacuous", tc.structure, len(ciSeeds))
+		}
+	}
+}
+
+// TestShardPlantedBugCaught is the acceptance test for the planted
+// cross-shard snapshot bug on the simulated substrate: with the tag
+// validation skipped, the naive per-shard compose admits merged
+// responses no single instant exhibits, and the linearizability oracle
+// must catch one across the seed sweep. The failing trace must shrink
+// to a smaller reproducer that still fails.
+//
+// The sweep uses the bursty adversary: the bug's window opens only
+// when a writer completes two publishes to different shards between a
+// reader's two sub-scans, which needs a sustained scheduling burst for
+// one process — runs a uniform random scheduler essentially never
+// produces (measured 0/60 seeds random vs 8/60 bursty).
+func TestShardPlantedBugCaught(t *testing.T) {
+	failures := 0
+	var failing *Report
+	for seed := int64(0); seed < 60; seed++ {
+		rep, err := Run(Config{Structure: "shard-counter-bug", Seed: seed,
+			OpsPerProc: 6, Adversary: "bursty"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			failures++
+			if failing == nil {
+				failing = rep
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("planted cross-shard snapshot bug was never caught across 60 seeds")
+	}
+	t.Logf("planted bug caught on %d/60 seeds; first failure: %v", failures, failing.Failures[0])
+
+	min, err := Shrink(failing.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FailsOracle(min.Oracle) {
+		t.Fatalf("shrunk trace no longer fails oracle %q", min.Oracle)
+	}
+	if TraceSize(min) > TraceSize(failing.Trace) {
+		t.Fatalf("shrink grew the trace: %d -> %d", TraceSize(failing.Trace), TraceSize(min))
+	}
+}
+
+// TestShardBugSafeVariantDiffersOnlyInValidation: the same seeds on
+// the safe target must all pass, so the planted failure is
+// attributable to the skipped tag validation alone.
+func TestShardBugSafeVariantDiffersOnlyInValidation(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rep, err := Run(Config{Structure: "shard-counter", Seed: seed,
+			OpsPerProc: 6, Adversary: "bursty"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("safe variant failed on seed %d: %v", seed, rep.Failures)
+		}
+	}
+}
+
+// TestNativeShardTargets drives the real apram/shard server — routing
+// locks, serve pipelines, optimistic validator, write-lock quiesce —
+// with crash and preemption-stall injection. The gset target runs the
+// generic mixed alphabet (clear exercises the quiesce path under
+// faults) checked against the unpartitioned sequential spec; the
+// counter target runs the directed single-writer workload checked by
+// its prefix-sum oracle, with a vacuity guard that cross-shard sums
+// actually completed.
+// The counter rows run N=8: at 4 slots per shard the validated reader
+// loop degenerates into back-to-back quiesce fallbacks that starve the
+// single writer on one CPU, stretching a clean run to ~40s; at 8 slots
+// the optimistic path mostly validates and the same run takes under a
+// second.
+func TestNativeShardTargets(t *testing.T) {
+	for _, tc := range []struct {
+		structure  string
+		n          int
+		seeds, ops int
+	}{
+		{"shard-counter", 8, 5, 6},
+		{"shard-gset", 0, 10, 8},
+	} {
+		structure := tc.structure
+		sums := 0
+		for seed := int64(0); seed < int64(tc.seeds); seed++ {
+			rep, err := RunNative(Config{Structure: structure, Seed: seed, N: tc.n,
+				OpsPerProc: tc.ops, Crashes: 1, Stalls: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				t.Fatalf("%s seed %d: %v", structure, seed, rep.Failures)
+			}
+			for _, op := range rep.History.Ops {
+				if op.Name == "vsum" || op.Name == "members" {
+					sums++
+				}
+			}
+		}
+		if sums == 0 {
+			t.Errorf("%s: no cross-shard read completed across %d native seeds", structure, tc.seeds)
+		}
+	}
+}
+
+// TestNativeShardPlantedBugCaught: the planted unvalidated compose on
+// the real server must produce a non-linearizable merged read on some
+// schedules. The directed runner's tear window — a full writer round
+// landing between the reader's two sub-reads — opens roughly once per
+// few hundred free-running vsums at 8 slots per shard (and essentially
+// never at 4, where slot-queue reordering is too shallow), so the
+// sweep runs N=8 with long free-running scripts — the tear rate is
+// proportional to writer rounds, and at a quarter of this length a
+// whole 10-seed sweep occasionally misses. For attribution, the safe
+// target runs the identical
+// configurations and must stay clean — the probe that sized this
+// workload saw zero torn sums over 8.5M validated cross-shard reads.
+// Unlike the planted truncation bug this one is not a data race —
+// every access stays an atomic register operation under the shard read
+// locks; the bug is purely semantic — so this test runs under -race as
+// well.
+func TestNativeShardPlantedBugCaught(t *testing.T) {
+	caught := 0
+	for seed := int64(0); seed < 10; seed++ {
+		rep, err := RunNative(Config{Structure: "shard-counter-bug", Seed: seed, N: 8, OpsPerProc: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			caught++
+		}
+		safe, err := RunNative(Config{Structure: "shard-counter", Seed: seed, N: 8, OpsPerProc: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if safe.Failed() {
+			t.Fatalf("safe variant failed on seed %d: %v", seed, safe.Failures)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("planted cross-shard snapshot bug never caught across 10 native seeds")
+	}
+	t.Logf("planted bug caught on %d/10 native seeds", caught)
+}

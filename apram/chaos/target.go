@@ -66,6 +66,9 @@ func targets() map[string]*target {
 	add(truncateTarget(types.Counter{}, false))
 	add(truncateTarget(types.GSet{}, false))
 	add(truncateTarget(types.Counter{}, true))
+	add(shardTarget("shard-counter", types.KCounter{}, false))
+	add(shardTarget("shard-gset", types.GSet{}, false))
+	add(shardTarget("shard-counter", types.KCounter{}, true))
 	add(snapshotTarget("snapshot", true))
 	add(snapshotTarget("snapshot-literal", false))
 	add(dcsnapshotTarget())
@@ -298,6 +301,22 @@ func genSpecOp(rng *rand.Rand, specName string) histio.TraceOp {
 			return histio.TraceOp{Name: types.OpDel, Arg: key()}
 		default:
 			return histio.TraceOp{Name: types.OpGetAll}
+		}
+	case "kcounter":
+		key := func() string { return string(rune('k' + rng.Intn(3))) }
+		switch d := rng.Intn(20); {
+		case d < 8:
+			return histio.TraceOp{Name: types.OpVInc,
+				Arg: map[string]any{"K": key(), "D": int64(1 + rng.Intn(5))}}
+		case d < 11:
+			return histio.TraceOp{Name: types.OpVInc,
+				Arg: map[string]any{"K": key(), "D": int64(-1 - rng.Intn(3))}}
+		case d < 15:
+			return histio.TraceOp{Name: types.OpVRead, Arg: key()}
+		case d < 18:
+			return histio.TraceOp{Name: types.OpVSum}
+		default:
+			return histio.TraceOp{Name: types.OpVZero}
 		}
 	case "logical-clock":
 		if rng.Intn(2) == 0 {

@@ -143,6 +143,13 @@ const (
 	// folded, the dominated entries are freed, and the boundary Prev
 	// pointers are cut. Reported once per epoch, by the last folder.
 	EvTruncate
+	// EvTruncLag is a truncation epoch falling behind live traffic:
+	// another full proposal interval's worth of operations completed
+	// while the epoch was still waiting on some slot's ack or fold —
+	// the retention-backpressure signal that a starved or stalled slot
+	// is keeping the entry graph from shrinking. Reported at most once
+	// per epoch, by whichever slot's operation crossed the threshold.
+	EvTruncLag
 
 	// NumEvents bounds the Event enum; keep it last.
 	NumEvents
@@ -151,7 +158,7 @@ const (
 var eventNames = [NumEvents]string{
 	"retry", "help", "publish", "pure-elide", "epoch-restart",
 	"round", "coin-step", "coin-flip", "commit", "adopt",
-	"lin-rebuild", "batch-flush", "checkpoint", "truncate",
+	"lin-rebuild", "batch-flush", "checkpoint", "truncate", "trunc-lag",
 }
 
 // String names the event (stable identifiers, used as JSON keys).

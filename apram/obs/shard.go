@@ -1,0 +1,48 @@
+package obs
+
+// Shard returns a view of p that shifts every slot index by offset
+// before forwarding. The sharded construction gives each shard its own
+// n-slot server but wants one observer over all of them, so shard i's
+// callbacks land on slots [i·n, (i+1)·n) of the shared probe — a shard
+// axis encoded in the slot space, which keeps the single-writer
+// discipline intact (each underlying slot still has exactly one
+// driving goroutine) and lets Stats/Recorder work unchanged.
+//
+// The wrapper forwards the optional extensions (SpanProbe, BatchProbe,
+// GaugeProbe) through the same conditional helpers objects use, so an
+// extension reaches the wrapped probe exactly when that probe
+// implements it. Wrapping nil returns nil, preserving the objects'
+// nil-probe fast path; wrapping a Shard composes the offsets.
+func Shard(p Probe, offset int) Probe {
+	if p == nil {
+		return nil
+	}
+	if sp, ok := p.(*shardProbe); ok {
+		return &shardProbe{inner: sp.inner, off: sp.off + offset}
+	}
+	return &shardProbe{inner: p, off: offset}
+}
+
+type shardProbe struct {
+	inner Probe
+	off   int
+}
+
+func (s *shardProbe) RegReads(slot, n int)  { s.inner.RegReads(slot+s.off, n) }
+func (s *shardProbe) RegWrites(slot, n int) { s.inner.RegWrites(slot+s.off, n) }
+func (s *shardProbe) Event(slot int, e Event) {
+	s.inner.Event(slot+s.off, e)
+}
+func (s *shardProbe) OpDone(slot int, op Op) { s.inner.OpDone(slot+s.off, op) }
+
+// OpBegin implements SpanProbe; it reaches the wrapped probe only when
+// that probe is itself a SpanProbe.
+func (s *shardProbe) OpBegin(slot int, op Op) { Begin(s.inner, slot+s.off, op) }
+
+// BatchDone implements BatchProbe with the same pass-through contract.
+func (s *shardProbe) BatchDone(slot, size int) { BatchDone(s.inner, slot+s.off, size) }
+
+// GaugeSet implements GaugeProbe with the same pass-through contract.
+func (s *shardProbe) GaugeSet(slot int, g Gauge, v uint64) {
+	GaugeSet(s.inner, slot+s.off, g, v)
+}

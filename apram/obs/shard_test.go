@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// TestShardOffsetsSlots: the wrapper lands every callback — core
+// methods and optional extensions alike — on the shifted slot of the
+// wrapped probe, composes offsets, and keeps the nil fast path.
+func TestShardOffsetsSlots(t *testing.T) {
+	st := NewStats(6)
+	p := Shard(st, 2)
+	p.RegReads(0, 3)
+	p.RegWrites(1, 4)
+	p.Event(0, EvPublish)
+	p.OpDone(1, OpExecute)
+	Begin(p, 0, OpExecute)
+	BatchDone(p, 1, 5)
+	GaugeSet(p, 0, GaugeRetained, 7)
+	sum := st.Snapshot()
+	if got := sum.PerSlot[2].Reads; got != 3 {
+		t.Fatalf("slot 2 reads %d, want 3", got)
+	}
+	if got := sum.PerSlot[3].Writes; got != 4 {
+		t.Fatalf("slot 3 writes %d, want 4", got)
+	}
+	if got := st.EventsBy(2, EvPublish); got != 1 {
+		t.Fatalf("slot 2 publish events %d, want 1", got)
+	}
+	for slot := 0; slot < 2; slot++ {
+		if s := sum.PerSlot[slot]; s.Reads != 0 || s.Writes != 0 {
+			t.Fatalf("unshifted slot %d touched: %+v", slot, s)
+		}
+	}
+	if got := st.Gauge(GaugeRetained); got != 7 {
+		t.Fatalf("gauge via wrapper %d, want 7", got)
+	}
+
+	// Composition: Shard(Shard(st, 2), 2) shifts by 4 total and keeps a
+	// single wrapper layer.
+	pp := Shard(p, 2)
+	pp.RegReads(0, 9)
+	if got := st.Snapshot().PerSlot[4].Reads; got != 9 {
+		t.Fatalf("composed offset: slot 4 reads %d, want 9", got)
+	}
+	if inner := pp.(*shardProbe).inner; inner != Probe(st) {
+		t.Fatalf("composed wrapper did not flatten: inner %T", inner)
+	}
+
+	if Shard(nil, 3) != nil {
+		t.Fatal("Shard(nil) must stay nil to preserve the fast path")
+	}
+}

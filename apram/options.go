@@ -97,6 +97,9 @@ type Options struct {
 	// Backend carries WithBackend; the zero value is the native
 	// (sync/atomic) substrate.
 	Backend Backend
+	// Shards carries WithShards (0 when unset, meaning one shard).
+	// Only apram/shard consumes it; everything else ignores it.
+	Shards int
 
 	recorders []obs.Probe
 }
@@ -167,6 +170,19 @@ func WithBatchCap(cap int) Option {
 // ArgError on depth ≤ 0.
 func WithQueueDepth(depth int) Option {
 	return func(c *Options) { c.QueueDepth = depth }
+}
+
+// WithShards partitions a keyed Property 1 object across s independent
+// universal constructions behind one shard.Server front door: keyed
+// operations route to their key's shard, cross-shard operations compose
+// per-shard results into one linearizable response. Only shard.New
+// consumes it — every other constructor ignores it. shard.New panics
+// with an ArgError on s < 0; s of 0 or 1 means a single shard, and a
+// spec that fails the spec.Partitionable gate degrades to a single
+// shard (shard.Server.Sharded reports which way it went, mirroring the
+// serve layer's batching degradation).
+func WithShards(s int) Option {
+	return func(c *Options) { c.Shards = s }
 }
 
 // WithTruncateEvery bounds the memory of objects built on the

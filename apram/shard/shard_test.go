@@ -1,0 +1,297 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/apram"
+	"repro/apram/shard"
+	"repro/internal/types"
+)
+
+func mustDo(t *testing.T, sv *shard.Server, inv apram.Inv) any {
+	t.Helper()
+	resp, err := sv.Do(context.Background(), inv)
+	if err != nil {
+		t.Fatalf("Do(%v): %v", inv, err)
+	}
+	return resp
+}
+
+// TestShardRoutingAndMerge: keyed operations land on one shard each,
+// cross-shard reads merge every shard's contribution, and a
+// cross-shard mutator clears all of them.
+func TestShardRoutingAndMerge(t *testing.T) {
+	sv := shard.New(apram.KCounterSpec{}, 2, apram.WithShards(4))
+	defer sv.Close()
+	if !sv.Sharded() || sv.Shards() != 4 {
+		t.Fatalf("kcounter should shard: shards=%d reason=%q", sv.Shards(), sv.Reason())
+	}
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	var want int64
+	for i, k := range keys {
+		d := int64(i + 1)
+		mustDo(t, sv, apram.VInc(k, d))
+		want += d
+	}
+	for i, k := range keys {
+		if got := mustDo(t, sv, apram.VRead(k)).(int64); got != int64(i+1) {
+			t.Fatalf("vread(%s) = %d, want %d", k, got, i+1)
+		}
+	}
+	if got := mustDo(t, sv, apram.VSum()).(int64); got != want {
+		t.Fatalf("vsum = %d, want %d", got, want)
+	}
+	// The keys must actually spread — a single hot shard would make
+	// every scaling claim vacuous.
+	populated := 0
+	for i := 0; i < sv.Shards(); i++ {
+		if sum, err := sv.Shard(i).Do(context.Background(), apram.VSum()); err == nil && sum.(int64) != 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("only %d of 4 shards hold keys — partitioner not spreading", populated)
+	}
+	mustDo(t, sv, apram.VZero())
+	if got := mustDo(t, sv, apram.VSum()).(int64); got != 0 {
+		t.Fatalf("vsum after vzero = %d, want 0", got)
+	}
+	opt, _, quiesced := sv.CrossStats()
+	if opt == 0 {
+		t.Fatal("no cross-shard read took the optimistic path")
+	}
+	if quiesced == 0 {
+		t.Fatal("vzero did not take the quiesce path")
+	}
+}
+
+// TestShardDegradation: a spec without the Partitionable contract runs
+// one shard, with a reason, and still answers correctly.
+func TestShardDegradation(t *testing.T) {
+	sv := shard.New(apram.CounterSpec{}, 2, apram.WithShards(4))
+	defer sv.Close()
+	if sv.Sharded() || sv.Shards() != 1 || sv.Reason() == "" {
+		t.Fatalf("counter should degrade: shards=%d reason=%q", sv.Shards(), sv.Reason())
+	}
+	mustDo(t, sv, apram.Inc(5))
+	if got := mustDo(t, sv, apram.Read()).(int64); got != 5 {
+		t.Fatalf("read = %d, want 5", got)
+	}
+}
+
+// TestShardSingletonRequested: WithShards(1) (or no option) is exactly
+// the serve layer with none of the cross-shard machinery.
+func TestShardSingletonRequested(t *testing.T) {
+	sv := shard.New(apram.KCounterSpec{}, 2)
+	defer sv.Close()
+	if sv.Sharded() || sv.Reason() != "" {
+		t.Fatalf("unrequested sharding: shards=%d reason=%q", sv.Shards(), sv.Reason())
+	}
+	mustDo(t, sv, apram.VInc("k", 3))
+	if got := mustDo(t, sv, apram.VSum()).(int64); got != 3 {
+		t.Fatalf("vsum = %d, want 3", got)
+	}
+}
+
+// TestShardArgErrors: impossible arguments panic with ArgError.
+func TestShardArgErrors(t *testing.T) {
+	for name, build := range map[string]func(){
+		"slots":  func() { shard.New(apram.KCounterSpec{}, 0, apram.WithShards(2)) },
+		"shards": func() { shard.New(apram.KCounterSpec{}, 2, apram.WithShards(-1)) },
+	} {
+		func() {
+			defer func() {
+				if _, ok := recover().(*apram.ArgError); !ok {
+					t.Fatalf("%s: no ArgError", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+// TestShardGSet: the second Partitionable type end to end — elements
+// route by value, members() composes the union.
+func TestShardGSet(t *testing.T) {
+	sv := shard.New(apram.GSetSpec{}, 2, apram.WithShards(3))
+	defer sv.Close()
+	if !sv.Sharded() {
+		t.Fatalf("gset should shard: %s", sv.Reason())
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	for _, e := range want {
+		mustDo(t, sv, apram.Add(e))
+	}
+	got := mustDo(t, sv, apram.Members()).([]string)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+	mustDo(t, sv, apram.Clear())
+	if got := mustDo(t, sv, apram.Members()).([]string); len(got) != 0 {
+		t.Fatalf("members after clear = %v", got)
+	}
+}
+
+// TestShardProbeShardAxis: a probe sized S·n sees each shard's traffic
+// on its own slot range.
+func TestShardProbeShardAxis(t *testing.T) {
+	const S, n = 2, 2
+	st := apram.NewStats(S * n)
+	sv := shard.New(apram.KCounterSpec{}, n,
+		apram.WithShards(S), apram.WithProbe(st), apram.WithName("front"))
+	defer sv.Close()
+	// Find one key per shard so both slot ranges see publications.
+	for i := 0; i < 64; i++ {
+		mustDo(t, sv, apram.VInc(fmt.Sprintf("k%d", i), 1))
+	}
+	sum := st.Snapshot()
+	var perShard [S]uint64
+	for slot := 0; slot < S*n; slot++ {
+		perShard[slot/n] += sum.PerSlot[slot].Writes
+	}
+	for i, w := range perShard {
+		if w == 0 {
+			t.Fatalf("shard %d slots saw no register writes: %+v", i, perShard)
+		}
+	}
+	if name := apram.NameOf(sv.Shard(0)); name != "front/s0" {
+		t.Fatalf("shard 0 name %q, want front/s0", name)
+	}
+}
+
+// TestShardSimSequentialReference drives a 2-shard kcounter on the
+// simulated backend through every interleaving-free (sequential)
+// script the sampler generates and requires exact agreement with the
+// sequential specification — the routing and merge layers must be
+// response-invisible. Cross-shard operations on the sim backend take
+// the quiesce path, so every response is deterministic.
+func TestShardSimSequentialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := types.KCounter{}
+	keys := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 20; trial++ {
+		sv := shard.New(apram.KCounterSpec{}, 2,
+			apram.WithShards(2), apram.WithBackend(apram.Simulated(nil)))
+		state := base.Init()
+		for op := 0; op < 40; op++ {
+			var inv apram.Inv
+			switch r := rng.Intn(10); {
+			case r < 4:
+				inv = apram.VInc(keys[rng.Intn(len(keys))], int64(rng.Intn(5)-2))
+			case r < 7:
+				inv = apram.VRead(keys[rng.Intn(len(keys))])
+			case r < 9:
+				inv = apram.VSum()
+			default:
+				inv = apram.VZero()
+			}
+			var want any
+			state, want = base.Apply(state, inv)
+			got := mustDo(t, sv, inv)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d op %d %v: got %v, want %v", trial, op, inv, got, want)
+			}
+		}
+		sv.Close()
+	}
+}
+
+// TestShardNativeStress is the -race stress: many clients over ≥4
+// shards, each client owning one key. Per-key isolation gives a strong
+// local oracle (a client's reads see exactly its own running total);
+// concurrent vsum readers check cross-shard linearizability through
+// monotonicity (all deltas are positive, so a reader's successive sums
+// may never decrease); the final sum must equal the applied total.
+func TestShardNativeStress(t *testing.T) {
+	const (
+		S       = 4
+		n       = 4
+		clients = 256
+		perOps  = 12
+	)
+	sv := shard.New(apram.KCounterSpec{}, n, apram.WithShards(S))
+	defer sv.Close()
+	ctx := context.Background()
+	var total atomic.Int64
+	var writers, readers sync.WaitGroup
+	errs := make(chan error, clients+4)
+	for c := 0; c < clients; c++ {
+		writers.Add(1)
+		go func(c int) {
+			defer writers.Done()
+			key := fmt.Sprintf("client-%d", c)
+			var local int64
+			for k := 0; k < perOps; k++ {
+				d := int64(c%7 + 1)
+				if _, err := sv.Do(ctx, apram.VInc(key, d)); err != nil {
+					errs <- err
+					return
+				}
+				local += d
+				if k%8 == 7 {
+					got, err := sv.Do(ctx, apram.VRead(key))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got.(int64) != local {
+						errs <- fmt.Errorf("client %d: vread %d, want %d", c, got, local)
+						return
+					}
+				}
+			}
+			total.Add(local)
+		}(c)
+	}
+	// Cross-shard readers run throughout: sums must be non-decreasing.
+	// They pace themselves — an unthrottled vsum loop under sustained
+	// writes degenerates into back-to-back quiesces that starve the
+	// keyed traffic (and on one CPU under the race detector, the whole
+	// test).
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				got, err := sv.Do(ctx, apram.VSum())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if s := got.(int64); s < last {
+					errs <- fmt.Errorf("reader %d: vsum went backwards %d -> %d", r, last, s)
+					return
+				} else {
+					last = s
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := mustDo(t, sv, apram.VSum()).(int64); got != total.Load() {
+		t.Fatalf("final vsum %d, want %d", got, total.Load())
+	}
+	opt, retried, quiesced := sv.CrossStats()
+	t.Logf("cross-shard: optimistic=%d retried=%d quiesced=%d", opt, retried, quiesced)
+}

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	aprambench                    # run every experiment (E1..E19)
+//	aprambench                    # run every experiment (E1..E20)
 //	aprambench -exp e3,e5         # run a subset
 //	aprambench -list              # list experiments
 //	aprambench -markdown          # emit GitHub-flavoured markdown
 //	aprambench -json out.json     # per-structure benchmark JSON ("-" = stdout)
 //	aprambench -json - -structures snapshot,counter -n 16 -ops 5000
 //	aprambench -json - -structures uc-counter,serve -retain 64
+//	aprambench -json - -structures shard-counter -shards 4
 //	aprambench -json - -backend native     # native-substrate rows only
 //	aprambench -json - -backend sim        # simulated-substrate rows only
 //	aprambench -json - -trace trace.json   # also dump a Chrome trace
@@ -24,17 +25,23 @@
 // live entry-graph size. Deterministic sim rows keep their exact step
 // counts: truncation performs no shared accesses.
 //
-// -baseline is the perf-regression gate: it re-runs the JSON
-// benchmarks at the baseline report's configuration and fails (exit 1)
-// if any selected structure's ns/op regressed beyond -tolerance (a
-// factor, default 2), or if the deterministic register-access counts
-// no longer reproduce. Rows are compared strictly like-for-like by
-// (backend, name); -backend restricts the gate to one substrate's
-// rows. -cpuprofile/-memprofile write pprof profiles of whatever work
-// ran.
+// -shards S runs the shard-counter rows with the keyed object
+// partitioned across S independent universal constructions (default 2;
+// 1 degrades to the unsharded serving layer). The sim shard row's
+// per-op step counts must not depend on S — routing adds no shared
+// accesses to keyed traffic.
 //
-// The JSON document (schema "apram-bench/v3") carries one row per
-// (backend, structure): native rows report ops/sec and allocations
+// -baseline is the perf-regression gate: it re-runs the JSON
+// benchmarks at the baseline report's configuration (including its
+// shard count) and fails (exit 1) if any selected structure's ns/op
+// regressed beyond -tolerance (a factor, default 2), or if the
+// deterministic register-access counts no longer reproduce. Rows are
+// compared strictly like-for-like by (backend, shards, name);
+// -backend restricts the gate to one substrate's rows.
+// -cpuprofile/-memprofile write pprof profiles of whatever work ran.
+//
+// The JSON document (schema "apram-bench/v4") carries one row per
+// (backend, shards, structure): native rows report ops/sec and allocations
 // from a probe-free timing pass plus measured register reads/writes
 // per operation from an instrumented pass; sim rows run the identical
 // algorithm body on the step-granular simulated substrate and report
@@ -73,6 +80,7 @@ func main() {
 	ops := flag.Int("ops", 2000, "operations per structure for -json")
 	backend := flag.String("backend", "", "with -json/-baseline: restrict rows to one register substrate (native|sim; default both)")
 	retain := flag.Int("retain", 0, "with -json: run universal-construction rows with a truncation epoch every K ops (0 = unbounded)")
+	shards := flag.Int("shards", 0, "with -json: shard count for the shard-* rows (default 2; 1 = unsharded serving layer)")
 	tracePath := flag.String("trace", "", "with -json: write a Chrome trace of the counting pass to this path")
 	baseline := flag.String("baseline", "", "perf gate: compare a fresh benchmark run against this baseline report")
 	tolerance := flag.Float64("tolerance", 2, "ns/op regression factor tolerated by -baseline")
@@ -100,6 +108,12 @@ func main() {
 	if *retain > 0 && *jsonPath == "" {
 		fatal(fmt.Errorf("-retain requires -json"))
 	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be non-negative"))
+	}
+	if *shards > 0 && *jsonPath == "" {
+		fatal(fmt.Errorf("-shards requires -json"))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -124,7 +138,7 @@ func main() {
 	case *baseline != "":
 		code = runBaseline(*baseline, *structs, *backend, *tolerance)
 	case *jsonPath != "":
-		runJSON(*jsonPath, *tracePath, *structs, *backend, *nslots, *ops, *retain)
+		runJSON(*jsonPath, *tracePath, *structs, *backend, *nslots, *ops, *retain, *shards)
 	default:
 		ids := experiments.IDs()
 		if *exp != "" {
@@ -199,6 +213,7 @@ func runBaseline(path, structs, backend string, tolerance float64) int {
 	// nothing about a baseline taken at n=8 — so -n/-ops are ignored.
 	cur, err := benchjson.Run(benchjson.Config{
 		N: base.NSlots, Ops: base.OpsPerStructure, Structures: sel, Backend: backend,
+		Shards: base.Shards,
 	})
 	if err != nil {
 		fatal(err)
@@ -220,8 +235,8 @@ func runBaseline(path, structs, backend string, tolerance float64) int {
 
 // runJSON executes the native-structure benchmarks and writes the
 // report, plus the counting pass's Chrome trace when -trace is given.
-func runJSON(path, tracePath, structs, backend string, n, ops, retain int) {
-	cfg := benchjson.Config{N: n, Ops: ops, Backend: backend, TruncateEvery: retain}
+func runJSON(path, tracePath, structs, backend string, n, ops, retain, shards int) {
+	cfg := benchjson.Config{N: n, Ops: ops, Backend: backend, TruncateEvery: retain, Shards: shards}
 	if structs == "list" {
 		for _, name := range benchjson.Names() {
 			fmt.Println(name)
@@ -294,6 +309,7 @@ func titleOnly(id string) (string, error) {
 		"e17": "Slot-multiplexed serving: batching amortizes the O(n²) scan",
 		"e18": "Practically wait-free: sim step counts vs native wall-clock",
 		"e19": "Bounded memory: checkpoint-and-truncate vs the unbounded entry graph",
+		"e20": "Sharded serving: throughput vs shard count, flat per-op cost",
 	}
 	t, ok := titles[id]
 	if !ok {

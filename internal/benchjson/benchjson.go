@@ -16,9 +16,14 @@
 // same algorithm body step-granularly on the simulated register
 // substrate and report exact shared-memory steps per operation
 // instead — wall-clock time on a serialized substrate is fiction, so
-// sim rows omit ns/op entirely. Rows are therefore keyed by
-// (backend, name); the gate in Compare only ever diffs like-backend
-// pairs.
+// sim rows omit ns/op entirely.
+//
+// Since v4 every row also carries a shards axis: the shard-counter
+// rows drive a keyed object partitioned across Config.Shards
+// independent universal constructions (apram/shard), and their numbers
+// are only comparable at equal shard counts. Rows are therefore keyed
+// by (backend, shards, name); the gate in Compare only ever diffs
+// like-keyed pairs.
 package benchjson
 
 import (
@@ -34,6 +39,7 @@ import (
 	"repro/apram"
 	"repro/apram/obs"
 	"repro/apram/serve"
+	"repro/apram/shard"
 )
 
 // Schema identifies the report format; bump only with a new version
@@ -41,11 +47,14 @@ import (
 // (every obs.Event name, zeros included) and the snapshot-recorder
 // structure; v3 added the backend axis (BackendNative / BackendSim
 // rows, ns/op for native only, steps/op for sim) and the
-// deterministic flag that scopes the exact-count gate. ReadJSON still
-// accepts v1 and v2 documents, normalizing their rows to
-// deterministic native ones.
+// deterministic flag that scopes the exact-count gate; v4 added the
+// shards axis (the apram/shard rows and the shard count on every row).
+// ReadJSON still accepts v1 through v3 documents: pre-v3 rows are
+// normalized to deterministic native ones, pre-v4 rows (which all ran
+// unsharded) to shards 1.
 const (
-	Schema   = "apram-bench/v3"
+	Schema   = "apram-bench/v4"
+	SchemaV3 = "apram-bench/v3"
 	SchemaV2 = "apram-bench/v2"
 	SchemaV1 = "apram-bench/v1"
 )
@@ -69,6 +78,10 @@ type Config struct {
 	// Backend filters rows by substrate: BackendNative, BackendSim, or
 	// "" for both. Any other value is an error.
 	Backend string
+	// Shards is the shard count the shard-* rows run with (default 2;
+	// 1 degrades them to the unsharded serving layer). Every other row
+	// ignores it and reports shards 1.
+	Shards int
 	// TruncateEvery, when positive, builds the universal-construction
 	// rows (uc-counter, uc-gset, serve) with the bounded-memory option
 	// (apram.WithTruncateEvery): a checkpoint-and-truncate epoch every
@@ -94,6 +107,11 @@ type Result struct {
 	// (sync/atomic, real goroutines, nanoseconds are real) or
 	// BackendSim (serialized step-granular registers, steps are exact).
 	Backend string `json:"backend"`
+	// Shards is the shard count the row ran with — above 1 only for the
+	// apram/shard rows, whose object is partitioned across that many
+	// independent universal constructions. Part of the row key: numbers
+	// at different shard counts measure different configurations.
+	Shards int `json:"shards"`
 	// Deterministic marks rows whose register counts must reproduce
 	// exactly run to run; Compare's exact-count gate applies only to
 	// them. Concurrently-driven rows are not deterministic — the Go
@@ -144,9 +162,10 @@ type Report struct {
 	Schema string `json:"schema"`
 	// GoVersion records the toolchain (runtime.Version()).
 	GoVersion string `json:"go_version"`
-	// NSlots and OpsPerStructure echo the configuration.
+	// NSlots, OpsPerStructure and Shards echo the configuration.
 	NSlots          int `json:"n_slots"`
 	OpsPerStructure int `json:"ops_per_structure"`
+	Shards          int `json:"shards"`
 	// Structures holds one Result per structure, in run order.
 	Structures []Result `json:"structures"`
 }
@@ -158,8 +177,10 @@ type driver func(n, ops int, probe obs.Probe) time.Duration
 
 type structure struct {
 	name          string
-	backend       string              // BackendNative or BackendSim
-	deterministic bool                // exact register counts reproduce run to run
+	backend       string // BackendNative or BackendSim
+	shards        int    // 0 = unsharded (reported as 1)
+	slotFactor    int    // counting-probe slots = slotFactor*n; 0 = 1 (shard rows span shards*n slots)
+	deterministic bool   // exact register counts reproduce run to run
 	paperReads    func(n int) float64 // per op; nil = no closed form
 	paperWrites   func(n int) float64
 	run           driver
@@ -227,7 +248,18 @@ func ucOptions(probe obs.Probe, truncEvery int) []apram.Option {
 	return o
 }
 
-func structures(truncEvery int) []structure {
+// shardKeys is the fixed key universe the shard-counter drivers cycle
+// through; 64 keys provably spread across every shard count the rows
+// run at.
+var shardKeys = func() []string {
+	out := make([]string, 64)
+	for i := range out {
+		out[i] = fmt.Sprintf("k%d", i)
+	}
+	return out
+}()
+
+func structures(truncEvery, shards int) []structure {
 	rows := []structure{
 		{
 			// One Scan per op: the Figure 5 optimized loop.
@@ -475,6 +507,54 @@ func structures(truncEvery int) []structure {
 			},
 		},
 		{
+			// The sharded serving layer on native atomics: a keyed counter
+			// partitioned across `shards` independent universal
+			// constructions, 2n clients each owning one key — the
+			// key-disjoint traffic shape whose served throughput the shard
+			// layer exists to scale (experiment E20 sweeps the shard axis).
+			// Contention and batching make the numbers load-dependent, so
+			// the row is gated on ns/op only.
+			name:       "shard-counter",
+			backend:    BackendNative,
+			shards:     shards,
+			slotFactor: shards,
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				sv := shard.New(apram.KCounterSpec{}, n,
+					append(options(probe), apram.WithShards(shards))...)
+				defer sv.Close()
+				return driveConcurrent(2*n, ops, func(c, i int) {
+					sv.Do(context.Background(), apram.VInc(shardKeys[c%len(shardKeys)], 1))
+				})
+			},
+		},
+		{
+			// The shard layer with its objects on the simulated substrate,
+			// driven sequentially with the batch cap pinned to one logical
+			// operation per publication: every keyed increment costs
+			// exactly one scan-and-publish on its own shard — 2(n²−1)
+			// reads, 2(n+1) writes — regardless of the shard count. The
+			// deterministic exact-count gate on this row is the claim that
+			// sharding adds zero per-operation shared-memory overhead to
+			// keyed traffic: steps/op is flat in S.
+			name:          "shard-counter",
+			backend:       BackendSim,
+			shards:        shards,
+			slotFactor:    shards,
+			deterministic: true,
+			paperReads:    func(n int) float64 { return 2 * scanReads(n) },
+			paperWrites:   func(n int) float64 { return 2 * scanWrites(n) },
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				sv := shard.New(apram.KCounterSpec{}, n,
+					append(options(probe), apram.WithShards(shards), apram.WithBatchCap(1),
+						apram.WithBackend(apram.Simulated(nil)))...)
+				defer sv.Close()
+				for i := 0; i < ops; i++ {
+					sv.Do(context.Background(), apram.VInc(shardKeys[i%len(shardKeys)], 1))
+				}
+				return 0
+			},
+		},
+		{
 			// One Decide per op; a fresh object every n decides (a
 			// consensus object is single-shot per slot). Register costs
 			// are dominated by the shared-coin random walk, so there is
@@ -500,11 +580,15 @@ func structures(truncEvery int) []structure {
 	}
 	// The pre-v3 rows predate the backend axis: they are all
 	// sequentially-driven native measurements with exactly reproducible
-	// register counts, which the zero values above leave unsaid.
+	// register counts, which the zero values above leave unsaid. Every
+	// unsharded row reports shards 1.
 	for i := range rows {
 		if rows[i].backend == "" {
 			rows[i].backend = BackendNative
 			rows[i].deterministic = true
+		}
+		if rows[i].shards == 0 {
+			rows[i].shards = 1
 		}
 	}
 	return rows
@@ -516,7 +600,7 @@ func structures(truncEvery int) []structure {
 func Names() []string {
 	var out []string
 	seen := map[string]bool{}
-	for _, s := range structures(0) {
+	for _, s := range structures(0, 2) {
 		if !seen[s.name] {
 			seen[s.name] = true
 			out = append(out, s.name)
@@ -533,11 +617,17 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 2000
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
 	if cfg.Backend != "" && cfg.Backend != BackendNative && cfg.Backend != BackendSim {
 		return nil, fmt.Errorf("unknown backend %q (have %q, %q, or empty for both)",
 			cfg.Backend, BackendNative, BackendSim)
 	}
-	all := structures(cfg.TruncateEvery)
+	all := structures(cfg.TruncateEvery, cfg.Shards)
 	known := map[string]bool{}
 	for _, s := range all {
 		known[s.name] = true
@@ -564,6 +654,7 @@ func Run(cfg Config) (*Report, error) {
 		GoVersion:       runtime.Version(),
 		NSlots:          cfg.N,
 		OpsPerStructure: cfg.Ops,
+		Shards:          cfg.Shards,
 	}
 	var procs []obs.ChromeProcess
 	for i, s := range selected {
@@ -599,19 +690,26 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 		runtime.ReadMemStats(&after)
 	}
 
-	// Counting pass: probe attached, untimed. With tracing on, a
-	// flight recorder rides alongside the stats; its ring is sized so
-	// every op's spans survive (overwrite-oldest would silently thin
-	// the exported timeline otherwise).
-	st := obs.NewStats(n)
+	// Counting pass: probe attached, untimed. Shard rows fan their
+	// traffic across shards*n probe slots (obs.Shard gives each shard
+	// its own slot range), so the probe is sized to the row's full slot
+	// span. With tracing on, a flight recorder rides alongside the
+	// stats; its ring is sized so every op's spans survive
+	// (overwrite-oldest would silently thin the exported timeline
+	// otherwise).
+	slots := n
+	if s.slotFactor > 1 {
+		slots = s.slotFactor * n
+	}
+	st := obs.NewStats(slots)
 	var rec *obs.Recorder
 	probe := obs.Probe(st)
 	if trace {
-		perSlot := 8 * (ops/n + 1)
+		perSlot := 8 * (ops/slots + 1)
 		if perSlot < obs.DefaultSpanCapacity {
 			perSlot = obs.DefaultSpanCapacity
 		}
-		rec = obs.NewRecorder(n, obs.WithSpanCapacity(perSlot))
+		rec = obs.NewRecorder(slots, obs.WithSpanCapacity(perSlot))
 		probe = obs.Multi(st, rec)
 	}
 	s.run(n, ops, probe)
@@ -620,6 +718,7 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 	res := Result{
 		Name:          s.name,
 		Backend:       s.backend,
+		Shards:        s.shards,
 		Deterministic: s.deterministic,
 		N:             n,
 		Ops:           ops,
@@ -665,8 +764,9 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // Compare gates cur against a committed baseline report. Rows are
-// matched by (backend, name) — a native row is never compared against
-// a sim row, whose numbers measure a different substrate. For every
+// matched by (backend, shards, name) — a native row is never compared
+// against a sim row, whose numbers measure a different substrate, and
+// a sharded row is never compared across shard counts. For every
 // selected row (all of base's when structures is nil; a name selects
 // its rows on every backend) it flags
 //
@@ -697,7 +797,19 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 			base.NSlots, base.OpsPerStructure, cur.NSlots, cur.OpsPerStructure))
 		return out
 	}
-	key := func(s Result) string { return s.Backend + "/" + s.Name }
+	shardsOf := func(s Result) int {
+		if s.Shards <= 0 {
+			return 1 // pre-v4 rows and handcrafted reports: unsharded
+		}
+		return s.Shards
+	}
+	key := func(s Result) string {
+		k := s.Backend + "/" + s.Name
+		if sh := shardsOf(s); sh > 1 {
+			k += fmt.Sprintf("@s%d", sh)
+		}
+		return k
+	}
 	index := func(r *Report) map[string]Result {
 		m := make(map[string]Result, len(r.Structures))
 		for _, s := range r.Structures {
@@ -752,11 +864,13 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 }
 
 // ReadJSON parses a report written by WriteJSON and validates its
-// schema tag. The current schema plus v1 and v2 are accepted — old
+// schema tag. The current schema plus v1 through v3 are accepted — old
 // baselines stay readable. Pre-v3 rows predate the backend axis; they
 // were all sequential native measurements, so they are normalized to
-// Backend "native", Deterministic true, preserving their exact-count
-// gate semantics under the keyed Compare.
+// Backend "native", Deterministic true. Pre-v4 rows predate the shards
+// axis and all ran unsharded, so they are normalized to Shards 1. Both
+// normalizations preserve the rows' gate semantics under the keyed
+// Compare.
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
@@ -769,8 +883,16 @@ func ReadJSON(r io.Reader) (*Report, error) {
 			rep.Structures[i].Backend = BackendNative
 			rep.Structures[i].Deterministic = true
 		}
+	case SchemaV3:
 	default:
-		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q or %q", rep.Schema, Schema, SchemaV2, SchemaV1)
+		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q, %q or %q",
+			rep.Schema, Schema, SchemaV3, SchemaV2, SchemaV1)
+	}
+	if rep.Schema != Schema {
+		rep.Shards = 1
+		for i := range rep.Structures {
+			rep.Structures[i].Shards = 1
+		}
 	}
 	return &rep, nil
 }

@@ -57,7 +57,7 @@ func TestReportSchemaStable(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"schema", "go_version", "n_slots", "ops_per_structure", "structures"} {
+	for _, key := range []string{"schema", "go_version", "n_slots", "ops_per_structure", "shards", "structures"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("top-level key %q missing", key)
 		}
@@ -70,7 +70,7 @@ func TestReportSchemaStable(t *testing.T) {
 	if err := json.Unmarshal(doc["structures"], &structs); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"name", "n_slots", "ops", "ns_per_op", "ops_per_sec",
+	for _, key := range []string{"name", "n_slots", "ops", "shards", "ns_per_op", "ops_per_sec",
 		"allocs_per_op", "reads_per_op", "writes_per_op", "events"} {
 		if _, ok := structs[0][key]; !ok {
 			t.Errorf("structure key %q missing", key)
@@ -99,7 +99,7 @@ func TestAllStructuresRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(rep.Structures), len(structures(0)); got != want {
+	if got, want := len(rep.Structures), len(structures(0, 2)); got != want {
 		t.Fatalf("ran %d rows, want %d (one per registered driver)", got, want)
 	}
 	for _, s := range rep.Structures {
@@ -248,6 +248,9 @@ func TestReadJSONRejectsBadSchema(t *testing.T) {
 	if _, err := ReadJSON(bytes.NewReader([]byte(`{"schema":"apram-bench/v1"}`))); err != nil {
 		t.Fatalf("v1 schema rejected: %v", err)
 	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"schema":"apram-bench/v3"}`))); err != nil {
+		t.Fatalf("v3 schema rejected: %v", err)
+	}
 }
 
 // TestGoldenV1 keeps old baselines readable: the committed v1 document
@@ -310,6 +313,109 @@ func TestGoldenV2(t *testing.T) {
 	drifted.Structures[0].ReadsPerOp++
 	if got := Compare(rep, drifted, 2, nil); len(got) != 1 {
 		t.Fatalf("v2 reads/op drift not flagged: %v", got)
+	}
+}
+
+// TestGoldenV3 keeps v3 baselines readable across the v4 shards-axis
+// bump: the committed v3 document parses, its rows keep their recorded
+// backend and determinism but gain Shards=1 (pre-v4 runs always served
+// through a single anchor array), and the keyed Compare still
+// round-trips — so a CI fleet mid-upgrade can gate a v4 run against a
+// v3 baseline without key churn.
+func TestGoldenV3(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_v3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV3 {
+		t.Fatalf("golden schema %q, want %q", rep.Schema, SchemaV3)
+	}
+	if len(rep.Structures) == 0 {
+		t.Fatal("golden report has no structures")
+	}
+	if rep.Shards != 1 {
+		t.Fatalf("report shards normalized to %d, want 1", rep.Shards)
+	}
+	backends := map[string]bool{}
+	for _, s := range rep.Structures {
+		backends[s.Backend] = true
+		if s.Shards != 1 {
+			t.Errorf("%s/%s: v3 row shards normalized to %d, want 1", s.Backend, s.Name, s.Shards)
+		}
+	}
+	if !backends[BackendSim] || !backends[BackendNative] {
+		t.Fatalf("golden v3 rows should span both backends, got %v", backends)
+	}
+	if got := Compare(rep, rep, 2, nil); len(got) != 0 {
+		t.Fatalf("v3 self-comparison flagged: %v", got)
+	}
+	// The exact-count gate survives the axis bump: deterministic drift
+	// in a v3 baseline row must still fail.
+	drifted, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range drifted.Structures {
+		if drifted.Structures[i].Deterministic {
+			drifted.Structures[i].ReadsPerOp++
+			break
+		}
+	}
+	if got := Compare(rep, drifted, 2, nil); len(got) != 1 {
+		t.Fatalf("v3 reads/op drift not flagged: %v", got)
+	}
+}
+
+// TestShardRows pins the shard-counter rows: the native row times the
+// real sharded server, and the sim row's sequential keyed drive must
+// hit the single-shard closed forms exactly — 2(n²−1) reads and
+// 2(n+1) writes per op, i.e. one scan-update pair on the routed shard
+// plus zero extra shared accesses for routing. Flatness across S is
+// the per-op half of the scaling claim: sharding must not add shared
+// traffic to keyed operations.
+func TestShardRows(t *testing.T) {
+	perShardSteps := map[int]float64{}
+	for _, shards := range []int{1, 2, 4} {
+		rep, err := Run(Config{N: 4, Ops: 32, Shards: shards, Structures: []string{"shard-counter"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Shards != shards {
+			t.Fatalf("report shards = %d, want %d", rep.Shards, shards)
+		}
+		if len(rep.Structures) != 2 {
+			t.Fatalf("got %d rows, want native+sim", len(rep.Structures))
+		}
+		for _, s := range rep.Structures {
+			if s.Shards != shards {
+				t.Errorf("%s/%s: row shards = %d, want %d", s.Backend, s.Name, s.Shards, shards)
+			}
+			switch s.Backend {
+			case BackendNative:
+				if s.NsPerOp <= 0 {
+					t.Errorf("S=%d native row without timing", shards)
+				}
+			case BackendSim:
+				if !s.Deterministic {
+					t.Errorf("S=%d sim shard row not deterministic", shards)
+				}
+				if s.ReadsPerOp != s.PaperReadsPerOp || s.WritesPerOp != s.PaperWritesPerOp {
+					t.Errorf("S=%d sim row reads/writes = %v/%v, closed form predicts %v/%v",
+						shards, s.ReadsPerOp, s.WritesPerOp, s.PaperReadsPerOp, s.PaperWritesPerOp)
+				}
+				perShardSteps[shards] = s.StepsPerOp
+			}
+		}
+	}
+	if perShardSteps[1] <= 0 {
+		t.Fatal("no sim steps recorded")
+	}
+	if perShardSteps[2] != perShardSteps[1] || perShardSteps[4] != perShardSteps[1] {
+		t.Errorf("per-op shared accesses not flat in S: %v", perShardSteps)
 	}
 }
 

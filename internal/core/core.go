@@ -246,6 +246,37 @@ func (u *Universal) LinStats(p int) LinStats {
 // register substrate (NewSimulated) rather than native atomics.
 func (u *Universal) Simulated() bool { return u.eng != nil }
 
+// RootTags collects each slot's latest published entry stamp from the
+// anchor array's row-0 registers, reusing dst when it has capacity. It
+// owns no slot and may be called from any goroutine: each read is one
+// atomic load of a register its process wrote FIRST in its last
+// Scan/Update (see snapshot.PeekRow0), and stamps are monotone per
+// process (Entry.Seq is Lamport-style). Two equal collects therefore
+// witness that no publication's visibility edge fell between them —
+// every scan starting in that window observes exactly the entries
+// stamped at or below these tags. The sharded construction's
+// cross-shard snapshot validator is built on this; tag 0 means the
+// slot has never published.
+//
+// Simulated-backend objects return nil: step-granular runs have no
+// concurrent observers, so callers (the shard layer) quiesce instead.
+// The n loads are not reported to any probe — RootTags runs outside
+// the per-slot accounting discipline, and its caller owns the cost.
+func (u *Universal) RootTags(dst []uint64) []uint64 {
+	if u.eng != nil {
+		return nil
+	}
+	if cap(dst) < u.n {
+		dst = make([]uint64, u.n)
+	}
+	dst = dst[:u.n]
+	for q := 0; q < u.n; q++ {
+		vec := u.snap.PeekRow0(q).(lattice.Vec)
+		dst[q] = vec[q].Tag
+	}
+	return dst
+}
+
 // SimCounters returns the simulated substrate's exact access counters;
 // it panics for native-backend objects, whose accesses are counted by
 // an attached probe instead.

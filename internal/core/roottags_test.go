@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestRootTagsMonotoneAndPureStable checks the three properties the
+// sharded construction's cross-shard snapshot validator stands on:
+// tags start at zero, each publication strictly raises exactly the
+// publisher's tag, and pure operations (elided, never published) move
+// no tag at all.
+func TestRootTagsMonotoneAndPureStable(t *testing.T) {
+	const n = 3
+	u := New(types.Counter{}, n)
+	tags := u.RootTags(nil)
+	if len(tags) != n {
+		t.Fatalf("RootTags returned %d tags, want %d", len(tags), n)
+	}
+	for q, tag := range tags {
+		if tag != 0 {
+			t.Fatalf("slot %d tag %d before any publication", q, tag)
+		}
+	}
+	u.Execute(0, types.Inc(1))
+	after0 := u.RootTags(nil)
+	if after0[0] == 0 || after0[1] != 0 || after0[2] != 0 {
+		t.Fatalf("after one publish on slot 0: tags %v", after0)
+	}
+	// Pure operations linearize at their scan and are never published:
+	// no tag may move, from any slot.
+	u.Execute(1, types.Read())
+	u.Execute(0, types.Read())
+	if got := u.RootTags(nil); got[0] != after0[0] || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("pure reads moved tags: %v -> %v", after0, got)
+	}
+	// Publications are strictly monotone per process, and a publisher
+	// that saw slot 0's entry stamps above it (Lamport).
+	u.Execute(1, types.Inc(2))
+	after1 := u.RootTags(nil)
+	if after1[1] <= after0[0] {
+		t.Fatalf("slot 1's stamp %d not above observed slot 0 stamp %d", after1[1], after0[0])
+	}
+	u.Execute(1, types.Inc(3))
+	after2 := u.RootTags(after1) // also exercises dst reuse
+	if &after2[0] != &after1[0] {
+		t.Fatalf("RootTags reallocated despite sufficient capacity")
+	}
+	if after2[1] <= after0[0] || after2[0] != after0[0] {
+		t.Fatalf("tags not monotone: %v", after2)
+	}
+}
+
+// TestRootTagsSimNil: simulated-backend objects have no concurrent
+// observers, so RootTags reports nil and callers quiesce instead.
+func TestRootTagsSimNil(t *testing.T) {
+	u := NewSimulated(types.Counter{}, 2, nil)
+	if got := u.RootTags(nil); got != nil {
+		t.Fatalf("sim RootTags = %v, want nil", got)
+	}
+}

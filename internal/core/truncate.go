@@ -111,7 +111,13 @@ type Truncation struct {
 	// propose.
 	nilAt []bool
 
-	epochs, aborts, freed uint64
+	// opsAt snapshots the completion counter at proposal time; lagged
+	// marks the current epoch as having fallen a full proposal interval
+	// behind live traffic (reported once per epoch, see noteLag).
+	opsAt  int64
+	lagged bool
+
+	epochs, aborts, freed, lagEpochs uint64
 }
 
 type truncPhase int32
@@ -173,6 +179,12 @@ type TruncationStats struct {
 	// Epochs counts completed epochs, Aborts epochs abandoned at the
 	// first folder's prefix check, and Freed the entries released.
 	Epochs, Aborts, Freed uint64
+	// LaggingEpochs counts epochs during which another full proposal
+	// interval (`every` operations) completed before the epoch finished
+	// — the retention-backpressure signal that a starved or stalled
+	// slot is holding the fold back while the entry graph keeps
+	// growing. Each such epoch also reports one obs.EvTruncLag event.
+	LaggingEpochs uint64
 	// Phase is the current protocol phase ("idle", "proposed",
 	// "folding") and Watermark the current/last epoch's watermark.
 	Phase     string
@@ -185,7 +197,8 @@ func (t *Truncation) Stats() TruncationStats {
 	defer t.mu.Unlock()
 	return TruncationStats{
 		Epochs: t.epochs, Aborts: t.aborts, Freed: t.freed,
-		Phase: t.phaseL.String(), Watermark: t.w,
+		LaggingEpochs: t.lagEpochs,
+		Phase:         t.phaseL.String(), Watermark: t.w,
 	}
 }
 
@@ -217,7 +230,27 @@ func (t *Truncation) opEnd(p int, view []*Entry, lin *Linearizer, probe obs.Prob
 	t.ops.Add(1)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.noteLag(p, probe)
 	t.advance(p, lin, probe)
+}
+
+// noteLag flags the current epoch once live traffic outruns it: when
+// the operations completed since the proposal exceed a full proposal
+// interval, some slot's ack or fold is holding the epoch — and so the
+// entry graph's release — hostage to its schedule. One event per
+// epoch, charged to the slot whose completion crossed the threshold.
+// Caller holds mu.
+func (t *Truncation) noteLag(p int, probe obs.Probe) {
+	if t.phaseL == truncIdle || t.lagged {
+		return
+	}
+	if t.ops.Load()-t.opsAt > int64(t.every) {
+		t.lagged = true
+		t.lagEpochs++
+		if probe != nil {
+			probe.Event(p, obs.EvTruncLag)
+		}
+	}
 }
 
 // tick is the idle turn-boundary hook: process p is between
@@ -294,6 +327,8 @@ func (t *Truncation) propose(p int, view []*Entry, lin *Linearizer) {
 	}
 	t.w = w
 	t.setPhase(truncProposed)
+	t.opsAt = t.ops.Load()
+	t.lagged = false
 	t.nAcked = 0
 	for i := range t.acked {
 		t.acked[i] = false

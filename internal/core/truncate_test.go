@@ -328,6 +328,57 @@ func TestTruncateSimIdleTick(t *testing.T) {
 	}
 }
 
+// TestTruncateLagBackpressure: a starved slot that never reaches a
+// turn boundary holds the epoch in its proposed phase; once live
+// traffic outruns the stalled epoch by a full proposal interval, the
+// coordinator flags it — LaggingEpochs ticks and exactly one
+// EvTruncLag fires per lagging epoch — and the epoch still completes
+// when the starved slot finally lends its idle ticks.
+func TestTruncateLagBackpressure(t *testing.T) {
+	const n, every = 2, 4
+	st := obs.NewStats(n)
+	u := New(types.Counter{}, n)
+	u.Instrument(st)
+	if !u.EnableTruncation(every, 0) {
+		t.Fatal("counter should be checkpointable")
+	}
+	// Slot 1 is starved: it never executes and never ticks. Slot 0
+	// proposes an epoch around op `every` and then keeps completing
+	// operations against the stuck epoch.
+	for k := 0; k < 6*every; k++ {
+		u.Execute(0, types.Inc(1))
+	}
+	ts := u.TruncStats()
+	if ts.Epochs != 0 {
+		t.Fatalf("epoch completed without slot 1: %+v", ts)
+	}
+	if ts.LaggingEpochs != 1 {
+		t.Fatalf("LaggingEpochs = %d, want 1 (one stuck epoch, flagged once): %+v",
+			ts.LaggingEpochs, ts)
+	}
+	if got := st.Events(obs.EvTruncLag); got != 1 {
+		t.Fatalf("EvTruncLag count %d, want 1", got)
+	}
+	// The starved slot comes back: idle ticks ack and fold, the epoch
+	// completes, and no further lag is charged to it.
+	for i := 0; i < 8; i++ {
+		for p := 0; p < n; p++ {
+			u.TruncTick(p)
+		}
+	}
+	ts = u.TruncStats()
+	if ts.Epochs == 0 {
+		t.Fatalf("epoch never completed after the slot recovered: %+v", ts)
+	}
+	if got := st.Events(obs.EvTruncLag); got != ts.LaggingEpochs {
+		t.Fatalf("EvTruncLag count %d, want %d (one per lagging epoch)",
+			got, ts.LaggingEpochs)
+	}
+	if got := u.Execute(0, types.Read()).(int64); got != 6*every {
+		t.Fatalf("final read %d, want %d", got, 6*every)
+	}
+}
+
 // TestTruncateRetainFloor: with a retain floor far above the workload
 // size no epoch is ever proposed.
 func TestTruncateRetainFloor(t *testing.T) {

@@ -28,6 +28,7 @@ var Registry = map[string]func() Table{
 	"e17": E17Serve,
 	"e18": E18Backends,
 	"e19": E19BoundedMemory,
+	"e20": E20Sharding,
 }
 
 // IDs returns the experiment ids in numeric order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -292,7 +293,7 @@ func TestE18BothSubstratesMeasured(t *testing.T) {
 
 func TestRegistryAndRendering(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[17] != "e19" {
+	if len(ids) != 19 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[18] != "e20" {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil {
@@ -328,6 +329,38 @@ func TestE19TruncationBoundsRetained(t *testing.T) {
 		}
 		if epochs == 0 {
 			t.Errorf("ops=%d: no truncation epoch completed", ops)
+		}
+	}
+}
+
+// TestE20ShardFlatSimCounts pins the machine-independent half of the
+// E20 scaling claim: the sim columns must sit at the single-shard
+// closed forms 2(n²−1) reads and 2(n+1) writes per keyed op for every
+// shard count in the sweep — sharding adds zero shared accesses to
+// keyed traffic. The native speedup column is wall-clock: it is only
+// asserted (weakly) on hosts with more than one CPU, since a single
+// core time-slices the shards and legitimately flattens it.
+func TestE20ShardFlatSimCounts(t *testing.T) {
+	tab := E20Sharding()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tab.Rows))
+	}
+	const n = 4 // must match E20Sharding's per-shard slot count
+	wantReads := strconv.FormatFloat(2*float64(n*n-1), 'g', 4, 64)
+	wantWrites := strconv.FormatFloat(2*float64(n+1), 'g', 4, 64)
+	for _, row := range tab.Rows {
+		if row[5] != wantReads || row[6] != wantWrites {
+			t.Errorf("shards=%s: sim reads/writes per op = %s/%s, want %s/%s",
+				row[0], row[5], row[6], wantReads, wantWrites)
+		}
+	}
+	if runtime.NumCPU() > 1 {
+		speedup, err := strconv.ParseFloat(tab.Rows[2][4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if speedup < 1.0 {
+			t.Errorf("4-shard speedup %v < 1 on a %d-CPU host", speedup, runtime.NumCPU())
 		}
 	}
 }

@@ -183,6 +183,32 @@ func normalize(specName, opName string, arg, resp any) (any, any, error) {
 			r, err := toStrings(resp)
 			return nil, r, err
 		}
+	case "kcounter":
+		switch opName {
+		case types.OpVInc:
+			m, ok := arg.(map[string]any)
+			if !ok {
+				return nil, nil, fmt.Errorf("vinc arg must be {\"K\":..,\"D\":..}, got %T", arg)
+			}
+			k, err := toString(m["K"])
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := toInt64(m["D"])
+			return types.KD{K: k, D: d}, nil, err
+		case types.OpVRead:
+			a, err := toString(arg)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := toInt64(resp)
+			return a, r, err
+		case types.OpVSum:
+			r, err := toInt64(resp)
+			return nil, r, err
+		case types.OpVZero:
+			return nil, nil, nil
+		}
 	}
 	return nil, nil, fmt.Errorf("unsupported operation %q for spec %q", opName, specName)
 }

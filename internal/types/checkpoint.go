@@ -105,6 +105,25 @@ func (GSet) DecodeState(data []byte) (spec.State, error) {
 	return out, nil
 }
 
+// EncodeState implements spec.Checkpointable for the counter-vector.
+// The representation keeps zero counts absent, so the sorted-key JSON
+// map is canonical.
+func (KCounter) EncodeState(s spec.State) ([]byte, error) {
+	return json.Marshal(map[string]int64(s.(kcState)))
+}
+
+// DecodeState implements spec.Checkpointable for the counter-vector.
+func (KCounter) DecodeState(data []byte) (spec.State, error) {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("kcounter checkpoint: %w", err)
+	}
+	if m == nil {
+		m = map[string]int64{}
+	}
+	return kcState(m), nil
+}
+
 // EncodeState implements spec.Checkpointable for the directory.
 func (Directory) EncodeState(s spec.State) ([]byte, error) {
 	return json.Marshal(map[string]string(s.(dirState)))

@@ -1,0 +1,96 @@
+// Partition contracts for the keyed Property-1 types: each spec below
+// implements spec.Partitionable so the sharded universal construction
+// (apram/shard) can route its operations across independent anchor
+// arrays. The contract has two halves — PartitionKey names the single
+// key an operation touches (or declares it cross-partition), and
+// MergeResponses recombines a cross-partition operation's per-shard
+// responses. For the set-shaped reads (members, getall) the merge is
+// the semilattice join the state already lives in: set union over
+// disjoint key ranges, which is also a sorted-list merge of the
+// per-shard responses. For vsum it is the sum — a commutative monoid
+// fold, the aggregate analogue of the join.
+//
+// The scalar types (Counter, MaxReg, Register, Clock) get no contract
+// on purpose: they have a single logical key, so sharding them buys
+// nothing — they exercise spec.CheckPartitionable's singleton
+// degradation instead.
+package types
+
+import (
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// PartitionKey implements spec.Partitionable for the counter-vector.
+func (KCounter) PartitionKey(in spec.Inv) (string, bool) {
+	switch in.Op {
+	case OpVInc, OpVRead:
+		return kcKey(in), true
+	default:
+		return "", false
+	}
+}
+
+// MergeResponses implements spec.Partitionable for the counter-vector:
+// the global sum is the sum of the per-partition sums.
+func (KCounter) MergeResponses(in spec.Inv, parts []any) any {
+	if in.Op != OpVSum {
+		return nil
+	}
+	var sum int64
+	for _, p := range parts {
+		sum += p.(int64)
+	}
+	return sum
+}
+
+// PartitionKey implements spec.Partitionable for the grow-only set:
+// an element is its own key.
+func (GSet) PartitionKey(in spec.Inv) (string, bool) {
+	if in.Op == OpAdd {
+		return in.Arg.(string), true
+	}
+	return "", false
+}
+
+// MergeResponses implements spec.Partitionable for the grow-only set:
+// the global membership is the union (semilattice join) of the
+// per-partition memberships, re-sorted.
+func (GSet) MergeResponses(in spec.Inv, parts []any) any {
+	if in.Op != OpMembers {
+		return nil
+	}
+	return mergeSorted(parts)
+}
+
+// PartitionKey implements spec.Partitionable for the directory.
+func (Directory) PartitionKey(in spec.Inv) (string, bool) {
+	if in.Op == OpGetAll {
+		return "", false
+	}
+	return dirKey(in), true
+}
+
+// MergeResponses implements spec.Partitionable for the directory: the
+// global listing is the union of the per-partition listings — the
+// partitions hold disjoint key ranges, so the join is a plain merge.
+func (Directory) MergeResponses(in spec.Inv, parts []any) any {
+	if in.Op != OpGetAll {
+		return nil
+	}
+	return mergeSorted(parts)
+}
+
+// mergeSorted joins per-partition sorted string lists into one sorted
+// list. Partitions hold disjoint keys, so this is exactly the
+// lattice.SetUnion join of the responses, rendered in the sorted-list
+// form the unpartitioned spec returns.
+func mergeSorted(parts []any) []string {
+	out := []string{}
+	for _, p := range parts {
+		out = append(out, p.([]string)...)
+	}
+	sort.Strings(out)
+	return out
+}

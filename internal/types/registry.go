@@ -16,7 +16,7 @@ type Sampler interface {
 // Property 1 and is therefore constructible by the universal
 // construction.
 func Property1Types() []Sampler {
-	return []Sampler{Counter{}, Clock{}, GSet{}, MaxReg{}, Register{}, Directory{}}
+	return []Sampler{Counter{}, Clock{}, GSet{}, MaxReg{}, Register{}, Directory{}, KCounter{}}
 }
 
 // AllTypes returns every type in this package, including the two

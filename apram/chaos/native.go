@@ -118,8 +118,8 @@ func newNativeProbe(n int) *nativeProbe {
 	return &nativeProbe{reads: make([]atomic.Uint64, n), writes: make([]atomic.Uint64, n)}
 }
 
-func (p *nativeProbe) RegReads(slot, n int)     { p.reads[slot].Add(uint64(n)) }
-func (p *nativeProbe) RegWrites(slot, n int)    { p.writes[slot].Add(uint64(n)) }
+func (p *nativeProbe) RegReads(slot, n int)        { p.reads[slot].Add(uint64(n)) }
+func (p *nativeProbe) RegWrites(slot, n int)       { p.writes[slot].Add(uint64(n)) }
 func (p *nativeProbe) Event(slot int, e obs.Event) {}
 func (p *nativeProbe) OpDone(slot int, op obs.Op)  {}
 

@@ -167,36 +167,47 @@ func WriteChromeTrace(w io.Writer, procs ...ChromeProcess) error {
 		sortInts(slots)
 		for _, slot := range slots {
 			ss := bySlot[slot]
-			// Recording order within the slot, so end edges pair with
-			// the most recent begin.
+			// Recording order within the slot. Each end edge pairs with
+			// the most recent open begin of the SAME op, and unrelated
+			// begins stay open — so a truncation-epoch interval that
+			// overlaps several batch spans (its edges land at turn
+			// boundaries inside different batch turns) still renders as
+			// one "X", alongside the batches it straddles.
 			sortBySeq(ss)
-			var openBegin *Span
+			var open []Span
 			for i := range ss {
 				sp := ss[i]
 				switch sp.Kind {
 				case SpanBegin:
-					if openBegin != nil {
-						// A begin whose end never arrived (crash or ring
-						// overwrite): emit it unterminated.
-						emit(chromeBegin(proc.Pid, *openBegin))
-					}
-					openBegin = &ss[i]
+					open = append(open, ss[i])
 				case SpanEnd:
-					if openBegin != nil {
-						emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"reads":%d,"writes":%d}}`,
-							proc.Pid, sp.Slot, openBegin.Time, sp.Time-openBegin.Time,
-							jsonString(sp.Label()), sp.Reads, sp.Writes))
-						openBegin = nil
+					match := -1
+					for j := len(open) - 1; j >= 0; j-- {
+						if open[j].Op == sp.Op {
+							match = j
+							break
+						}
 					}
-					// An end without a surviving begin has no start time;
-					// it is dropped (the JSONL export still carries it).
+					if match < 0 {
+						// An end without a surviving begin has no start
+						// time; it is dropped (the JSONL export still
+						// carries it).
+						continue
+					}
+					b := open[match]
+					open = append(open[:match], open[match+1:]...)
+					emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"reads":%d,"writes":%d}}`,
+						proc.Pid, sp.Slot, b.Time, sp.Time-b.Time,
+						jsonString(sp.Label()), sp.Reads, sp.Writes))
 				case SpanEvent:
 					emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%d,"s":"t","name":%s}`,
 						proc.Pid, sp.Slot, sp.Time, jsonString(sp.Label())))
 				}
 			}
-			if openBegin != nil {
-				emit(chromeBegin(proc.Pid, *openBegin))
+			// Begins whose ends never arrived (crash, or a ring
+			// overwrite that dropped them): emit unterminated.
+			for j := 0; j < len(open); j++ {
+				emit(chromeBegin(proc.Pid, open[j]))
 			}
 		}
 	}

@@ -76,6 +76,13 @@ const (
 	// inner universal-construction Execute reports its own OpExecute;
 	// OpBatch brackets it together with the fan-out.
 	OpBatch
+	// OpTruncEpoch is one slot's participation interval in a
+	// checkpoint-and-truncate epoch: its begin edge is the slot's ack,
+	// its end edge the slot's fold (or the abort/idle boundary that
+	// releases it). It is emitted only through the EpochProbe
+	// extension — span-aware probes render epochs as intervals; Stats
+	// never sees it, so steps-per-op attribution is untouched.
+	OpTruncEpoch
 
 	// NumOps bounds the Op enum; keep it last.
 	NumOps
@@ -84,7 +91,7 @@ const (
 var opNames = [NumOps]string{
 	"scan", "execute", "counter-add", "counter-reset", "counter-read",
 	"clock-merge", "clock-read", "prmw-update", "prmw-read",
-	"agree", "adopt-commit", "decide", "batch",
+	"agree", "adopt-commit", "decide", "batch", "trunc-epoch",
 }
 
 // String names the operation (stable identifiers, used as JSON keys).
@@ -232,6 +239,42 @@ func BatchDone(p Probe, slot, size int) {
 	}
 }
 
+// EpochProbe is an optional Probe extension for observers that track
+// truncation-epoch participation intervals. The coordinator announces
+// each slot's interval edges through obs.EpochBegin / obs.EpochEnd at
+// turn boundaries: begin when the slot acks an epoch, end when it
+// folds (or when an aborted epoch releases it). Unlike OpBegin/OpDone
+// the edges carry no access deltas and must not disturb an observer's
+// per-op accounting — an epoch interval spans many of the slot's
+// operations, and its edges can fall inside an enclosing serve-layer
+// batch span. Same single-writer, wait-free contract as every Probe
+// method.
+type EpochProbe interface {
+	Probe
+	// EpochBegin records that slot entered a truncation epoch
+	// (acknowledged it).
+	EpochBegin(slot int)
+	// EpochEnd records that slot left the epoch (folded, or was
+	// released by an abort).
+	EpochEnd(slot int)
+}
+
+// EpochBegin reports an epoch entry to p if (and only if) p is an
+// EpochProbe, mirroring the other extension helpers.
+func EpochBegin(p Probe, slot int) {
+	if ep, ok := p.(EpochProbe); ok {
+		ep.EpochBegin(slot)
+	}
+}
+
+// EpochEnd reports an epoch exit to p if (and only if) p is an
+// EpochProbe.
+func EpochEnd(p Probe, slot int) {
+	if ep, ok := p.(EpochProbe); ok {
+		ep.EpochEnd(slot)
+	}
+}
+
 // Gauge identifies a point-in-time level reported via
 // GaugeProbe.GaugeSet — a value that moves both ways, unlike the
 // monotone counters behind Event.
@@ -286,13 +329,15 @@ var Nop Probe = nop{}
 
 type nop struct{}
 
-func (nop) RegReads(int, int)  {}
-func (nop) RegWrites(int, int) {}
-func (nop) Event(int, Event)   {}
-func (nop) OpDone(int, Op)     {}
-func (nop) OpBegin(int, Op)            {}
-func (nop) BatchDone(int, int)         {}
+func (nop) RegReads(int, int)           {}
+func (nop) RegWrites(int, int)          {}
+func (nop) Event(int, Event)            {}
+func (nop) OpDone(int, Op)              {}
+func (nop) OpBegin(int, Op)             {}
+func (nop) BatchDone(int, int)          {}
 func (nop) GaugeSet(int, Gauge, uint64) {}
+func (nop) EpochBegin(int)              {}
+func (nop) EpochEnd(int)                {}
 
 // Multi fans callbacks out to several probes in order. Nil entries are
 // dropped; an empty result degenerates to Nop.
@@ -365,6 +410,26 @@ func (m multi) GaugeSet(slot int, g Gauge, v uint64) {
 	for _, p := range m {
 		if gp, ok := p.(GaugeProbe); ok {
 			gp.GaugeSet(slot, g, v)
+		}
+	}
+}
+
+// EpochBegin forwards the epoch entry to every member that is itself
+// an EpochProbe, mirroring the other extension forwarders.
+func (m multi) EpochBegin(slot int) {
+	for _, p := range m {
+		if ep, ok := p.(EpochProbe); ok {
+			ep.EpochBegin(slot)
+		}
+	}
+}
+
+// EpochEnd forwards the epoch exit to every member that is itself an
+// EpochProbe.
+func (m multi) EpochEnd(slot int) {
+	for _, p := range m {
+		if ep, ok := p.(EpochProbe); ok {
+			ep.EpochEnd(slot)
 		}
 	}
 }

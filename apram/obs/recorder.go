@@ -162,6 +162,21 @@ func (r *Recorder) OpDone(slot int, op Op) {
 	r.record(sl, SpanEnd, uint8(op), satDelta(dr)<<auxDeltaBits|satDelta(dw))
 }
 
+// EpochBegin implements EpochProbe: it records the begin edge of the
+// slot's truncation-epoch participation interval. Unlike OpBegin it
+// leaves the slot's access marks alone — the interval spans whole
+// operations, and its edges may fall inside an enclosing batch span
+// whose deltas must not be disturbed.
+func (r *Recorder) EpochBegin(slot int) {
+	r.record(&r.slots[slot], SpanBegin, uint8(OpTruncEpoch), 0)
+}
+
+// EpochEnd implements EpochProbe: the matching end edge, with zero
+// access deltas (the coordinator performs no shared accesses).
+func (r *Recorder) EpochEnd(slot int) {
+	r.record(&r.slots[slot], SpanEnd, uint8(OpTruncEpoch), 0)
+}
+
 // SlotSpans decodes slot's surviving ring records in recording order.
 // It is safe to call while the slot is still recording: records the
 // writer overwrote (or may have been overwriting) during the read are

@@ -46,3 +46,8 @@ func (s *shardProbe) BatchDone(slot, size int) { BatchDone(s.inner, slot+s.off, 
 func (s *shardProbe) GaugeSet(slot int, g Gauge, v uint64) {
 	GaugeSet(s.inner, slot+s.off, g, v)
 }
+
+// EpochBegin and EpochEnd implement EpochProbe with the same
+// pass-through contract.
+func (s *shardProbe) EpochBegin(slot int) { EpochBegin(s.inner, slot+s.off) }
+func (s *shardProbe) EpochEnd(slot int)   { EpochEnd(s.inner, slot+s.off) }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/apram/obs"
+	"repro/apram/telemetry"
 )
 
 // This file is the options-based construction surface. Every
@@ -100,6 +101,10 @@ type Options struct {
 	// Shards carries WithShards (0 when unset, meaning one shard).
 	// Only apram/shard consumes it; everything else ignores it.
 	Shards int
+	// Telemetry carries WithTelemetry (nil when unset). Only the
+	// serving layers (apram/serve, apram/shard) consume it; plain
+	// constructors ignore it.
+	Telemetry *telemetry.Registry
 
 	recorders []obs.Probe
 }
@@ -208,6 +213,21 @@ func WithTruncateEvery(k int) Option {
 // foldable prefix. It has no effect without WithTruncateEvery.
 func WithRetainEntries(n int) Option {
 	return func(c *Options) { c.RetainEntries = n }
+}
+
+// WithTelemetry attaches a metrics registry to the serving layers:
+// apram/serve registers per-slot operation-latency and batch-size
+// histograms plus queue-depth/retained-entries/truncation-lag gauges
+// under "serve.<name>.*", and apram/shard threads the registry into
+// every shard (metric names pick up the per-shard "/s<i>" suffix) and
+// adds its cross-shard counters under "shard.<name>.*". Export the
+// registry with telemetry.WritePrometheus / WriteJSONL / PublishExpvar
+// or serve it with Registry.Serve. On the simulated backend the
+// registry's clock is switched to the object's deterministic step
+// clock, making exported time series byte-identical across identical
+// runs. Plain constructors ignore the option; nil detaches.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(c *Options) { c.Telemetry = r }
 }
 
 // WithName labels the object; NameOf retrieves the label. Names are

@@ -52,6 +52,7 @@ import (
 
 	"repro/apram"
 	"repro/apram/obs"
+	"repro/apram/telemetry"
 	"repro/internal/spec"
 )
 
@@ -84,6 +85,10 @@ type request struct {
 	resp any
 	err  error
 	done chan struct{}
+	// start is the telemetry clock at submission (0 when the server has
+	// no registry); the owning worker turns it into one op-latency
+	// histogram sample at fan-out.
+	start uint64
 }
 
 // Server multiplexes client goroutines onto the n process slots of a
@@ -97,6 +102,14 @@ type Server struct {
 	depth    int
 	batching bool
 	probe    obs.Probe
+
+	// clock/opLat/batchSize carry the WithTelemetry wiring (all nil
+	// without a registry). The clock is the registry's: wall-clock
+	// nanoseconds natively, the deterministic step counter on the
+	// simulated backend.
+	clock     func() uint64
+	opLat     *telemetry.Histogram
+	batchSize *telemetry.Histogram
 
 	queues []chan *request
 	next   atomic.Uint64
@@ -166,12 +179,46 @@ func New(s apram.Spec, n int, opts ...apram.Option) *Server {
 	}
 	sv.obj = apram.NewObject(apram.BatchSpec(s), n, opts...)
 	ro.Register(sv)
+	if ro.Telemetry != nil {
+		sv.instrument(ro.Telemetry, apram.NameOf(sv))
+	}
 	for p := 0; p < n; p++ {
 		sv.queues[p] = make(chan *request, depth)
 		sv.wg.Add(1)
 		go sv.worker(p)
 	}
 	return sv
+}
+
+// instrument registers the server's metrics under "serve.<name>.*":
+// per-slot op-latency and batch-size histograms, a live queue-depth
+// gauge, and — when the object truncates — retained-entry and
+// lagging-epoch gauges. On the simulated backend the registry's clock
+// is switched to the object's step clock, so every exported sample is
+// a deterministic function of the schedule.
+func (sv *Server) instrument(reg *telemetry.Registry, name string) {
+	if sc := sv.obj.StepClock(); sc != nil {
+		reg.SetClock(sc)
+	}
+	sv.clock = reg.Now
+	prefix := "serve." + name + "."
+	sv.opLat = reg.Histogram(prefix+"op_latency", sv.n)
+	sv.batchSize = reg.Histogram(prefix+"batch_size", sv.n)
+	reg.GaugeFunc(prefix+"queue_depth", func() uint64 {
+		d := 0
+		for _, q := range sv.queues {
+			d += len(q)
+		}
+		return uint64(d)
+	})
+	if sv.obj.TruncationEnabled() {
+		reg.GaugeFunc(prefix+"retained_entries", func() uint64 {
+			return uint64(sv.obj.Retained())
+		})
+		reg.GaugeFunc(prefix+"trunc_lag_epochs", func() uint64 {
+			return sv.obj.TruncStats().LaggingEpochs
+		})
+	}
 }
 
 // N returns the number of process slots (worker goroutines).
@@ -207,6 +254,9 @@ func (sv *Server) Object() *apram.Object { return sv.obj }
 // would mask an applied effect.
 func (sv *Server) Do(ctx context.Context, inv apram.Inv) (any, error) {
 	req := &request{inv: inv, done: make(chan struct{})}
+	if sv.clock != nil {
+		req.start = sv.clock()
+	}
 	slot := int(sv.next.Add(1)-1) % sv.n
 
 	sv.mu.RLock()
@@ -379,11 +429,22 @@ func (sv *Server) drainClosed(q chan *request, pending []*request) {
 func (sv *Server) execute(p int, batch []*request, invs []spec.Inv) {
 	obs.Begin(sv.probe, p, obs.OpBatch)
 	resp, err := sv.run(p, invs)
+	var now uint64
+	if sv.clock != nil {
+		// One clock read per batch: every member completes at the
+		// batch's linearization point, so one completion stamp is the
+		// honest per-op latency for all of them.
+		now = sv.clock()
+		sv.batchSize.Record(p, uint64(len(batch)))
+	}
 	for i, req := range batch {
 		if err != nil {
 			req.err = err
 		} else {
 			req.resp = resp[i]
+		}
+		if sv.clock != nil {
+			sv.opLat.Record(p, now-req.start)
 		}
 		close(req.done)
 	}

@@ -1,0 +1,193 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/apram"
+	"repro/apram/serve"
+	"repro/apram/telemetry"
+)
+
+// TestTelemetryNative checks the WithTelemetry wiring end to end on
+// the native backend: every logical operation lands one op-latency
+// sample, batches feed the batch-size distribution, and the live
+// gauges (queue depth, and the truncation pair when enabled) are
+// registered under the server's name.
+func TestTelemetryNative(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sv := serve.New(apram.CounterSpec{}, 2,
+		apram.WithName("tele"),
+		apram.WithTelemetry(reg),
+		apram.WithTruncateEvery(8))
+	const ops = 40
+	for i := 0; i < ops-1; i++ {
+		do(t, sv, apram.Inc(1))
+	}
+	if got := do(t, sv, apram.Read()); got != int64(ops-1) {
+		t.Fatalf("Read = %v, want %d", got, ops-1)
+	}
+	sv.Close()
+
+	s := reg.Snapshot()
+	hists := map[string]telemetry.NamedHist{}
+	for _, h := range s.Hists {
+		hists[h.Name] = h
+	}
+	lat, ok := hists["serve.tele.op_latency"]
+	if !ok {
+		t.Fatalf("op_latency histogram not registered; hists = %v", s.Hists)
+	}
+	if lat.Count != ops {
+		t.Fatalf("op_latency count = %d, want %d", lat.Count, ops)
+	}
+	// Quantiles are bucket upper bounds, so P999 may slightly exceed
+	// the true Max; monotonicity is the invariant to pin.
+	if lat.P50 == 0 || lat.P99 < lat.P50 || lat.P999 < lat.P99 {
+		t.Fatalf("op_latency quantiles inconsistent: %+v", lat.HistSnapshot)
+	}
+	bs, ok := hists["serve.tele.batch_size"]
+	if !ok || bs.Count == 0 || bs.Sum != ops {
+		t.Fatalf("batch_size = %+v (ok=%v): batch sizes must total the ops", bs.HistSnapshot, ok)
+	}
+	gauges := map[string]uint64{}
+	for _, g := range s.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	for _, name := range []string{
+		"serve.tele.queue_depth",
+		"serve.tele.retained_entries",
+		"serve.tele.trunc_lag_epochs",
+	} {
+		if _, ok := gauges[name]; !ok {
+			t.Errorf("gauge %s not registered; gauges = %v", name, s.Gauges)
+		}
+	}
+	if gauges["serve.tele.queue_depth"] != 0 {
+		t.Errorf("closed server reports queue depth %d", gauges["serve.tele.queue_depth"])
+	}
+}
+
+// TestTelemetryPrometheusScrape is the CI smoke path: scrape the
+// Prometheus endpoint over a real TCP listener WHILE a native serve
+// run is under load, and assert the exposition is well-formed — every
+// sample line carries a TYPE declaration, the serve metrics are
+// present, and a scrape after the load drained reports the full count.
+func TestTelemetryPrometheusScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sv := serve.New(apram.CounterSpec{}, 4,
+		apram.WithName("smoke"),
+		apram.WithTelemetry(reg))
+	defer sv.Close()
+	addr, stop, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		return string(body)
+	}
+
+	const clients, per = 4, 200
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := sv.Do(context.Background(), apram.Inc(1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Mid-load scrapes: must parse cleanly whatever instant they land.
+	for i := 0; i < 5; i++ {
+		body := scrape()
+		declared := map[string]bool{}
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				declared[strings.Fields(rest)[0]] = true
+				continue
+			}
+			name := line[:strings.IndexAny(line+" ", " {")]
+			// A summary's _sum and _count series belong to the base
+			// name's TYPE declaration.
+			base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+			if !declared[name] && !declared[base] {
+				t.Fatalf("sample %q has no preceding TYPE declaration:\n%s", line, body)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+		}
+	}
+	wg.Wait()
+	final := scrape()
+	for _, want := range []string{
+		"# TYPE serve_smoke_op_latency summary",
+		`serve_smoke_op_latency{quantile="0.99"}`,
+		"serve_smoke_op_latency_count 800",
+		"# TYPE serve_smoke_queue_depth gauge",
+	} {
+		if !strings.Contains(final, want) {
+			t.Fatalf("final scrape missing %q:\n%s", want, final)
+		}
+	}
+}
+
+// TestTelemetrySimDeterministic pins the acceptance criterion: on the
+// simulated backend the registry's clock is the substrate's step
+// counter, so two identical sequential runs export byte-identical
+// JSONL series — timestamps, latencies and quantiles are all schedule
+// positions, not wall-clock time.
+func TestTelemetrySimDeterministic(t *testing.T) {
+	run := func() []byte {
+		reg := telemetry.NewRegistry()
+		sv := serve.New(apram.CounterSpec{}, 2,
+			apram.WithName("det"),
+			apram.WithTelemetry(reg),
+			apram.WithBackend(apram.Simulated(nil)))
+		var buf bytes.Buffer
+		for i := 0; i < 30; i++ {
+			if _, err := sv.Do(context.Background(), apram.Inc(1)); err != nil {
+				t.Fatal(err)
+			}
+			if i%10 == 9 {
+				if err := telemetry.WriteJSONL(&buf, reg.Snapshot()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sv.Close()
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical sim runs exported different series:\nrun1:\n%s\nrun2:\n%s", a, b)
+	}
+	if len(bytes.Split(bytes.TrimSpace(a), []byte("\n"))) != 3 {
+		t.Fatalf("expected 3 JSONL samples:\n%s", a)
+	}
+}

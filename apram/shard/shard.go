@@ -162,6 +162,15 @@ func New(s apram.Spec, n int, opts ...apram.Option) *Server {
 		sv.objs[i] = sv.shards[i].Object()
 	}
 	ro.Register(sv)
+	if ro.Telemetry != nil {
+		// Each shard registered its own serve.* metrics above (names
+		// carry the "/s<i>" suffix); the front door adds the cross-shard
+		// composition counters.
+		prefix := "shard." + apram.NameOf(sv) + "."
+		ro.Telemetry.GaugeFunc(prefix+"optimistic", sv.optimistic.Load)
+		ro.Telemetry.GaugeFunc(prefix+"retried", sv.retried.Load)
+		ro.Telemetry.GaugeFunc(prefix+"quiesced", sv.quiesced.Load)
+	}
 	return sv
 }
 
@@ -188,6 +197,9 @@ func (sv *Server) shardOptions(ro apram.Options, i int) []apram.Option {
 	}
 	if ro.Probe != nil {
 		opts = append(opts, apram.WithProbe(obs.Shard(ro.Probe, i*sv.n)))
+	}
+	if ro.Telemetry != nil {
+		opts = append(opts, apram.WithTelemetry(ro.Telemetry))
 	}
 	return opts
 }

@@ -1,0 +1,66 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/apram"
+	"repro/apram/shard"
+	"repro/apram/telemetry"
+)
+
+// TestTelemetrySharded checks WithTelemetry threads through the front
+// door: each shard registers its serve.* metrics under the "/s<i>"
+// name, and the server adds its cross-shard composition gauges.
+func TestTelemetrySharded(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sv := shard.New(apram.KCounterSpec{}, 2,
+		apram.WithShards(3),
+		apram.WithName("front"),
+		apram.WithTelemetry(reg))
+	defer sv.Close()
+	if !sv.Sharded() {
+		t.Fatalf("expected sharding: %s", sv.Reason())
+	}
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	for i, k := range keys {
+		mustDo(t, sv, apram.VInc(k, int64(i+1)))
+	}
+	if got := mustDo(t, sv, apram.VSum()).(int64); got != 21 {
+		t.Fatalf("VSum = %d, want 21", got)
+	}
+
+	s := reg.Snapshot()
+	hists := map[string]uint64{}
+	for _, h := range s.Hists {
+		hists[h.Name] = h.Count
+	}
+	var total uint64
+	for i := 0; i < sv.Shards(); i++ {
+		name := fmt.Sprintf("serve.front/s%d.op_latency", i)
+		c, ok := hists[name]
+		if !ok {
+			t.Fatalf("shard histogram %s not registered; hists = %v", name, s.Hists)
+		}
+		total += c
+	}
+	// Every keyed op lands on one shard; the cross-shard VSum runs on
+	// all of them (possibly several optimistic rounds), so the total is
+	// at least keyed ops + one per shard.
+	if total < uint64(len(keys)+sv.Shards()) {
+		t.Fatalf("op_latency samples across shards = %d, want >= %d", total, len(keys)+sv.Shards())
+	}
+	gauges := map[string]uint64{}
+	for _, g := range s.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	for _, name := range []string{"shard.front.optimistic", "shard.front.retried", "shard.front.quiesced"} {
+		if _, ok := gauges[name]; !ok {
+			t.Errorf("gauge %s not registered; gauges = %v", name, s.Gauges)
+		}
+	}
+	opt, _, quiesced := sv.CrossStats()
+	if gauges["shard.front.optimistic"] != opt || gauges["shard.front.quiesced"] != quiesced {
+		t.Errorf("cross-shard gauges %v disagree with CrossStats (%d, %d)", gauges, opt, quiesced)
+	}
+}

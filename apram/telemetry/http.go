@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics   Prometheus text exposition (WritePrometheus)
+//	/snapshot  one Sample as a JSON document (what cmd/apramtop polls)
+//
+// Both endpoints snapshot on every request — the scrape interval is
+// the client's choice — and neither ever blocks a recording slot.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WritePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot())
+	})
+	return mux
+}
+
+// Serve starts the optional HTTP listener on addr (e.g.
+// "127.0.0.1:0") and serves Handler from a background goroutine. It
+// returns the bound address and a closer; an addr the host refuses is
+// an error, not a panic — telemetry must never take the application
+// down.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

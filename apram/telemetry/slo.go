@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SLOSchema identifies the committed SLO baseline format.
+const SLOSchema = "apram-slo/v1"
+
+// SLO is one committed latency objective for a named histogram: the
+// p99 and p999 bounds (in the histogram's unit — nanoseconds on the
+// native backend) a serving path must stay under.
+type SLO struct {
+	// Name is the registry histogram the objective binds.
+	Name string `json:"name"`
+	// P99Ns and P999Ns are the committed tail bounds; 0 disables the
+	// respective check.
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
+}
+
+// SLOBaseline is the committed thresholds document (SLO_baseline.json
+// at the repository root).
+type SLOBaseline struct {
+	Schema string `json:"schema"`
+	SLOs   []SLO  `json:"slos"`
+}
+
+// ReadSLOBaseline parses a baseline document and validates its schema.
+func ReadSLOBaseline(r io.Reader) (*SLOBaseline, error) {
+	var b SLOBaseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("telemetry: slo baseline: %w", err)
+	}
+	if b.Schema != SLOSchema {
+		return nil, fmt.Errorf("telemetry: slo baseline schema %q, want %q", b.Schema, SLOSchema)
+	}
+	return &b, nil
+}
+
+// Find returns the objective for name, if committed.
+func (b *SLOBaseline) Find(name string) (SLO, bool) {
+	for _, s := range b.SLOs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SLO{}, false
+}
+
+// CheckSLO gates a measured histogram snapshot against an objective,
+// benchstat-style: each finding states the committed bound next to the
+// measured value and the ratio, so a failure reads like a regression
+// row. Empty means the gate passes.
+func CheckSLO(snap HistSnapshot, slo SLO) []string {
+	var out []string
+	check := func(q string, measured, bound uint64) {
+		if bound == 0 || measured <= bound {
+			return
+		}
+		out = append(out, fmt.Sprintf(
+			"%s %s: committed %v vs measured %v (%.2fx over, n=%d)",
+			slo.Name, q,
+			time.Duration(bound), time.Duration(measured),
+			float64(measured)/float64(bound), snap.Count))
+	}
+	check("p99", snap.P99, slo.P99Ns)
+	check("p999", snap.P999, slo.P999Ns)
+	return out
+}

@@ -13,12 +13,16 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"testing"
 
+	"repro/apram"
 	"repro/apram/obs"
+	"repro/apram/serve"
+	"repro/apram/telemetry"
 	"repro/internal/agreement"
 	"repro/internal/consensus"
 	"repro/internal/core"
@@ -408,6 +412,48 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c.Inc(0, 1)
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead compares the serving layer's hot path
+// without a metrics registry (the nil-clock branch, which must track
+// the seed) against the WithTelemetry path (two clock reads and three
+// histogram samples per batch), plus the raw histogram record cost the
+// instrumented rows decompose into. Mirrors BenchmarkProbeOverhead's
+// shape: the noregistry rows are the 5%-budget gate, the instrumented
+// rows bound what always-on telemetry costs.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const n = 8
+	ctx := context.Background()
+	b.Run("serve-do/noregistry", func(b *testing.B) {
+		sv := serve.New(apram.CounterSpec{}, n)
+		defer sv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sv.Do(ctx, apram.Inc(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serve-do/registry", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		sv := serve.New(apram.CounterSpec{}, n,
+			apram.WithName("bench"), apram.WithTelemetry(reg))
+		defer sv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sv.Do(ctx, apram.Inc(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("histogram-record", func(b *testing.B) {
+		h := telemetry.NewHistogram("bench", n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Record(0, uint64(i))
 		}
 	})
 }

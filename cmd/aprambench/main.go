@@ -40,7 +40,7 @@
 // -backend restricts the gate to one substrate's rows.
 // -cpuprofile/-memprofile write pprof profiles of whatever work ran.
 //
-// The JSON document (schema "apram-bench/v4") carries one row per
+// The JSON document (schema "apram-bench/v5") carries one row per
 // (backend, shards, structure): native rows report ops/sec and allocations
 // from a probe-free timing pass plus measured register reads/writes
 // per operation from an instrumented pass; sim rows run the identical
@@ -48,7 +48,9 @@
 // exact steps per operation instead of wall-clock (which a serialized
 // substrate cannot honestly provide). Both carry the paper's Section
 // 6.2 predictions where closed forms exist, and the complete
-// per-event count map. -trace additionally dumps the counting pass's
+// per-event count map. The serving-layer native rows (serve,
+// shard-counter) additionally carry p50_ns/p99_ns/p999_ns per-op
+// latency quantiles from a telemetry-instrumented pass. -trace additionally dumps the counting pass's
 // flight-recorder timeline as Chrome trace-event JSON (one process per
 // structure, one track per slot) loadable in chrome://tracing or
 // ui.perfetto.dev. See DESIGN.md for the experiment index and

@@ -1,0 +1,135 @@
+// Command apramtop is a terminal live view over a telemetry snapshot
+// endpoint (Registry.Serve's /snapshot): it polls the endpoint and
+// renders counters, gauges, and latency-histogram quantiles as a
+// compact table, top-style.
+//
+// Usage:
+//
+//	apramtop -addr 127.0.0.1:9090              # poll every second
+//	apramtop -addr 127.0.0.1:9090 -once       # one snapshot, then exit
+//	apramtop -addr host:port -interval 250ms  # faster refresh
+//
+// Flags:
+//
+//	-addr HOST:PORT  snapshot endpoint to poll (required)
+//	-interval D      poll interval (default 1s)
+//	-once            render a single snapshot and exit
+//
+// Each refresh clears the screen (unless -once) and prints three
+// sections in the exporter's deterministic name order: counters,
+// gauges, and histograms with count/mean/p50/p99/p999/max. Histogram
+// values are rendered as durations — the serving layers record
+// nanoseconds on the native backend — except obviously unitless
+// distributions (batch sizes), which print as plain numbers.
+//
+// Exit status: 0 on success, 2 on usage error or when the endpoint
+// cannot be reached.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/apram/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("apramtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "", "telemetry snapshot endpoint (host:port)")
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		once     = fs.Bool("once", false, "render one snapshot and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addr == "" {
+		fmt.Fprintln(stderr, "apramtop: -addr is required")
+		fs.Usage()
+		return 2
+	}
+	url := "http://" + *addr + "/snapshot"
+	for {
+		s, err := fetch(url)
+		if err != nil {
+			fmt.Fprintf(stderr, "apramtop: %v\n", err)
+			return 2
+		}
+		if !*once {
+			// ANSI clear + home: a live top-style refresh.
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H")
+		}
+		render(stdout, *addr, s)
+		if *once {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch polls the snapshot endpoint once.
+func fetch(url string) (telemetry.Sample, error) {
+	var s telemetry.Sample
+	resp, err := http.Get(url)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("%s: %v", url, err)
+	}
+	return s, nil
+}
+
+// render prints one sample as the three-section table.
+func render(w io.Writer, addr string, s telemetry.Sample) {
+	fmt.Fprintf(w, "apramtop  %s  t=%d\n\n", addr, s.Time)
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "%-40s %15s\n", "COUNTER", "VALUE")
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "%-40s %15d\n", c.Name, c.Value)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "%-40s %15s\n", "GAUGE", "VALUE")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(w, "%-40s %15d\n", g.Name, g.Value)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(s.Hists) > 0 {
+		fmt.Fprintf(w, "%-40s %10s %10s %10s %10s %10s %10s\n",
+			"HISTOGRAM", "COUNT", "MEAN", "P50", "P99", "P999", "MAX")
+		for _, h := range s.Hists {
+			fmt.Fprintf(w, "%-40s %10d %10s %10s %10s %10s %10s\n",
+				h.Name, h.Count,
+				histVal(h.Name, uint64(h.Mean())),
+				histVal(h.Name, h.P50), histVal(h.Name, h.P99),
+				histVal(h.Name, h.P999), histVal(h.Name, h.Max))
+		}
+	}
+}
+
+// histVal renders a histogram value: durations for latency-style
+// metrics, plain numbers for unitless distributions like batch sizes.
+func histVal(name string, v uint64) string {
+	if strings.Contains(name, "latency") || strings.Contains(name, "_ns") {
+		return time.Duration(v).String()
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -13,6 +13,13 @@
 //     construction
 //   - a flush epoch everyone agrees on: randomized consensus
 //
+// The front door is apram/telemetry: a Registry whose histogram keeps
+// one cache-line-separated bucket block per worker (the same
+// single-writer discipline as the structures it observes), merged only
+// at read time — so recording a latency sample is lock-free and
+// allocation-free too. At exit the registry is exported in the
+// Prometheus text exposition format.
+//
 // Run it:
 //
 //	go run ./examples/metrics
@@ -20,10 +27,13 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
+	"time"
 
 	"repro/apram"
 	"repro/apram/obs"
+	"repro/apram/telemetry"
 )
 
 // sample is one worker's most recent latency observation.
@@ -42,6 +52,13 @@ func main() {
 	// on — and afterwards its spans break the registry's cost down per
 	// operation.
 	rec := apram.NewRecorder(workers+1, obs.WithSpanCapacity(8192))
+
+	// The application-facing registry: counters and gauges are single
+	// atomics, the histogram records into the calling worker's own
+	// bucket block. Nothing on the record path can block.
+	reg := telemetry.NewRegistry()
+	iterations := reg.Counter("metrics.iterations")
+	iterLat := reg.Histogram("metrics.iteration_latency", workers)
 
 	requests := apram.NewCounter(workers+1,
 		apram.WithProbe(rec), apram.WithName("requests"))
@@ -62,9 +79,12 @@ func main() {
 			meta.Execute(w, apram.Put(fmt.Sprintf("worker%d/zone", w),
 				[]string{"us-east", "eu-west"}[w%2]))
 			for i := 1; i <= 500; i++ {
+				start := time.Now()
 				requests.Inc(w, 1)
 				peakRSS.Update(w, int64(100+((w*31+i*17)%250)))
 				lastSample.Update(w, sample{Seq: i, LatencyMs: float64(5 + (i*w)%20)})
+				iterLat.Record(w, uint64(time.Since(start)))
+				iterations.Add(1)
 			}
 			// Workers vote on whether to flush to cold storage (1) or
 			// keep buffering (0); whatever is decided, they all do the
@@ -102,5 +122,14 @@ func main() {
 	for _, s := range apram.SummarizeSpans(rec.Spans()) {
 		fmt.Printf("  %-13s %5d ops, %7d reads, %6d writes, %4d..%d steps each\n",
 			s.Name, s.Count, s.Reads, s.Writes, s.MinSteps, s.MaxSteps)
+	}
+
+	// The telemetry registry's view of the same run, in the Prometheus
+	// text exposition format — what a scrape of Registry.Serve's
+	// /metrics endpoint would return.
+	reg.Gauge("metrics.flush_decision").Set(uint64(decision))
+	fmt.Println("\ntelemetry registry (Prometheus exposition):")
+	if err := telemetry.WritePrometheus(os.Stdout, reg.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }

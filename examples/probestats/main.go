@@ -10,9 +10,10 @@
 //   - attaches one Stats probe to a counter and a snapshot via the
 //     functional-options API (apram.WithProbe);
 //   - stacks a sampling Trace hook on the same objects with obs.Multi;
-//   - publishes the live Summary as the expvar variable "apram", so
-//     `curl localhost:8484/debug/vars` shows register traffic while
-//     the workload runs;
+//   - bridges a telemetry.Registry onto expvar with
+//     telemetry.PublishExpvar — the registry carries per-worker Inc
+//     latencies and live register-traffic gauges derived from the
+//     Stats probe, and every read of /debug/vars re-snapshots it;
 //   - cross-checks the measured totals against the paper's Section 6.2
 //     closed forms (they match exactly, not approximately).
 //
@@ -22,15 +23,16 @@
 package main
 
 import (
-	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/apram"
 	"repro/apram/obs"
+	"repro/apram/telemetry"
 )
 
 func main() {
@@ -53,10 +55,16 @@ func main() {
 		apram.WithProbe(obs.Multi(stats, trace)),
 		apram.WithName("progress-cut"))
 
-	// Live metrics: expvar re-reads the Summary on every scrape. The
-	// Summary is assembled from atomic loads — scraping never blocks a
-	// worker.
-	expvar.Publish("apram", expvar.Func(func() any { return stats.Snapshot() }))
+	// Live metrics through the expvar bridge: every read of
+	// /debug/vars re-snapshots the registry, and the registry's gauges
+	// pull from the Stats probe's atomic counters — scraping never
+	// blocks a worker.
+	reg := telemetry.NewRegistry()
+	incLat := reg.Histogram("probestats.inc_latency", workers)
+	reg.GaugeFunc("probestats.reads", func() uint64 { return stats.Snapshot().Reads })
+	reg.GaugeFunc("probestats.writes", func() uint64 { return stats.Snapshot().Writes })
+	reg.GaugeFunc("probestats.trace_records", traceRecords.Load)
+	telemetry.PublishExpvar("apram", reg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err == nil {
 		defer ln.Close()
@@ -70,7 +78,9 @@ func main() {
 		go func(p int) {
 			defer wg.Done()
 			for i := 1; i <= opsEach; i++ {
+				start := time.Now()
 				requests.Inc(p, 1)
+				incLat.Record(p, uint64(time.Since(start)))
 				if i%100 == 0 {
 					cut.Scan(p, int64(i)) // a consistent progress cut
 				}
@@ -83,6 +93,10 @@ func main() {
 	fmt.Printf("objects: %s, %s\n", apram.NameOf(requests), apram.NameOf(cut))
 	fmt.Printf("register traffic: %d reads, %d writes (%d trace records)\n",
 		sum.Reads, sum.Writes, traceRecords.Load())
+	for _, h := range reg.Snapshot().Hists {
+		fmt.Printf("%s: n=%d p50=%v p99=%v max=%v\n", h.Name, h.Count,
+			time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+	}
 	for _, name := range []string{"counter-add", "scan"} {
 		op := sum.Ops[name]
 		fmt.Printf("  %-12s %6d ops, %5.0f register accesses each\n",

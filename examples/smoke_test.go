@@ -1,0 +1,58 @@
+// Package examples holds no library code — the subdirectories are
+// standalone main packages — but this test keeps the telemetry-wired
+// examples honest: each must build AND run to completion, and its
+// output must show the registry actually exporting.
+package examples
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runExample go-runs one example from the module root and returns its
+// combined output.
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./"+dir)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./%s: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+// TestMetricsExample: the wait-free metrics registry example runs and
+// ends with a Prometheus exposition of the telemetry registry.
+func TestMetricsExample(t *testing.T) {
+	out := runExample(t, "examples/metrics")
+	for _, want := range []string{
+		"requests total: 3000 (expected 3000)",
+		"# TYPE metrics_iterations counter",
+		"metrics_iterations 3000",
+		"# TYPE metrics_iteration_latency summary",
+		`metrics_iteration_latency{quantile="0.99"}`,
+		"metrics_iteration_latency_count 3000",
+		"# TYPE metrics_flush_decision gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProbestatsExample: the probe example runs, still matches the
+// Section 6.2 closed forms exactly, and reports the telemetry
+// histogram it publishes over the expvar bridge.
+func TestProbestatsExample(t *testing.T) {
+	out := runExample(t, "examples/probestats")
+	for _, want := range []string{
+		"exact match",
+		"probestats.inc_latency: n=16000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"repro/apram/obs"
 	"repro/apram/serve"
 	"repro/apram/shard"
+	"repro/apram/telemetry"
 )
 
 // Schema identifies the report format; bump only with a new version
@@ -48,12 +50,16 @@ import (
 // structure; v3 added the backend axis (BackendNative / BackendSim
 // rows, ns/op for native only, steps/op for sim) and the
 // deterministic flag that scopes the exact-count gate; v4 added the
-// shards axis (the apram/shard rows and the shard count on every row).
-// ReadJSON still accepts v1 through v3 documents: pre-v3 rows are
+// shards axis (the apram/shard rows and the shard count on every row);
+// v5 added the optional per-op latency quantiles (p50/p99/p999 ns from
+// a telemetry-instrumented pass) on the serving-layer native rows.
+// ReadJSON still accepts v1 through v4 documents: pre-v3 rows are
 // normalized to deterministic native ones, pre-v4 rows (which all ran
-// unsharded) to shards 1.
+// unsharded) to shards 1, and pre-v5 rows simply lack the optional
+// quantile fields.
 const (
-	Schema   = "apram-bench/v4"
+	Schema   = "apram-bench/v5"
+	SchemaV4 = "apram-bench/v4"
 	SchemaV3 = "apram-bench/v3"
 	SchemaV2 = "apram-bench/v2"
 	SchemaV1 = "apram-bench/v1"
@@ -141,6 +147,15 @@ type Result struct {
 	// predictions (0 when the paper gives no closed form).
 	PaperReadsPerOp  float64 `json:"paper_reads_per_op,omitempty"`
 	PaperWritesPerOp float64 `json:"paper_writes_per_op,omitempty"`
+	// P50Ns, P99Ns and P999Ns are per-operation latency quantiles in
+	// nanoseconds from a separate telemetry-instrumented pass (v5).
+	// Present only on native rows driven through the serving layer —
+	// the only rows whose per-op latency the telemetry registry
+	// measures; for the sharded rows they report the slowest shard's
+	// tail. The probe-free timing pass behind ns/op stays untouched.
+	P50Ns  uint64 `json:"p50_ns,omitempty"`
+	P99Ns  uint64 `json:"p99_ns,omitempty"`
+	P999Ns uint64 `json:"p999_ns,omitempty"`
 	// RetainedEntries is the final live entry-graph size from the
 	// counting pass's GaugeRetained gauge. Nonzero only for rows run
 	// with Config.TruncateEvery (aprambench -retain): it is the bound
@@ -177,13 +192,33 @@ type driver func(n, ops int, probe obs.Probe) time.Duration
 
 type structure struct {
 	name          string
-	backend       string // BackendNative or BackendSim
-	shards        int    // 0 = unsharded (reported as 1)
-	slotFactor    int    // counting-probe slots = slotFactor*n; 0 = 1 (shard rows span shards*n slots)
-	deterministic bool   // exact register counts reproduce run to run
+	backend       string              // BackendNative or BackendSim
+	shards        int                 // 0 = unsharded (reported as 1)
+	slotFactor    int                 // counting-probe slots = slotFactor*n; 0 = 1 (shard rows span shards*n slots)
+	deterministic bool                // exact register counts reproduce run to run
 	paperReads    func(n int) float64 // per op; nil = no closed form
 	paperWrites   func(n int) float64
 	run           driver
+	// lat, when set on a native row, runs one extra pass with a
+	// telemetry registry attached and returns the measured op-latency
+	// snapshot (the v5 quantile columns). A separate pass keeps the
+	// probe-free timing pass — and its ns/op — exactly what it always
+	// measured.
+	lat func(n, ops int) telemetry.HistSnapshot
+}
+
+// opLatency pulls the op-latency histogram with the largest p99 out of
+// a registry snapshot: for the unsharded serving row there is exactly
+// one; for the sharded rows this is the slowest shard's tail, an upper
+// bound on the merged distribution's.
+func opLatency(reg *telemetry.Registry) telemetry.HistSnapshot {
+	var worst telemetry.HistSnapshot
+	for _, h := range reg.Snapshot().Hists {
+		if strings.HasSuffix(h.Name, ".op_latency") && (worst.Count == 0 || h.P99 > worst.P99) {
+			worst = h.HistSnapshot
+		}
+	}
+	return worst
 }
 
 // options builds the constructor options for a pass.
@@ -487,6 +522,16 @@ func structures(truncEvery, shards int) []structure {
 					sv.Do(context.Background(), apram.Inc(1))
 				})
 			},
+			lat: func(n, ops int) telemetry.HistSnapshot {
+				reg := telemetry.NewRegistry()
+				sv := serve.New(apram.CounterSpec{}, n,
+					append(ucOptions(nil, truncEvery), apram.WithTelemetry(reg))...)
+				defer sv.Close()
+				driveConcurrent(2*n, ops, func(c, i int) {
+					sv.Do(context.Background(), apram.Inc(1))
+				})
+				return opLatency(reg)
+			},
 		},
 		{
 			// The same serving layer with its object on the simulated
@@ -525,6 +570,16 @@ func structures(truncEvery, shards int) []structure {
 				return driveConcurrent(2*n, ops, func(c, i int) {
 					sv.Do(context.Background(), apram.VInc(shardKeys[c%len(shardKeys)], 1))
 				})
+			},
+			lat: func(n, ops int) telemetry.HistSnapshot {
+				reg := telemetry.NewRegistry()
+				sv := shard.New(apram.KCounterSpec{}, n,
+					apram.WithShards(shards), apram.WithTelemetry(reg))
+				defer sv.Close()
+				driveConcurrent(2*n, ops, func(c, i int) {
+					sv.Do(context.Background(), apram.VInc(shardKeys[c%len(shardKeys)], 1))
+				})
+				return opLatency(reg)
 			},
 		},
 		{
@@ -734,6 +789,14 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 			res.OpsPerSec = float64(ops) / elapsed.Seconds()
 		}
 	}
+	// Latency pass (v5): a third, separately-constructed run with the
+	// telemetry registry attached, so the quantiles measure the served
+	// path without perturbing the probe-free timing pass above.
+	if s.backend != BackendSim && s.lat != nil {
+		if snap := s.lat(n, ops); snap.Count > 0 {
+			res.P50Ns, res.P99Ns, res.P999Ns = snap.P50, snap.P99, snap.P999
+		}
+	}
 	if s.paperReads != nil {
 		res.PaperReadsPerOp = s.paperReads(n)
 	}
@@ -864,31 +927,32 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 }
 
 // ReadJSON parses a report written by WriteJSON and validates its
-// schema tag. The current schema plus v1 through v3 are accepted — old
+// schema tag. The current schema plus v1 through v4 are accepted — old
 // baselines stay readable. Pre-v3 rows predate the backend axis; they
 // were all sequential native measurements, so they are normalized to
 // Backend "native", Deterministic true. Pre-v4 rows predate the shards
 // axis and all ran unsharded, so they are normalized to Shards 1. Both
 // normalizations preserve the rows' gate semantics under the keyed
-// Compare.
+// Compare. Pre-v5 rows simply lack the optional latency quantiles,
+// which no gate reads.
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("benchjson: parse: %w", err)
 	}
 	switch rep.Schema {
-	case Schema:
+	case Schema, SchemaV4, SchemaV3:
 	case SchemaV1, SchemaV2:
 		for i := range rep.Structures {
 			rep.Structures[i].Backend = BackendNative
 			rep.Structures[i].Deterministic = true
 		}
-	case SchemaV3:
 	default:
-		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q, %q or %q",
-			rep.Schema, Schema, SchemaV3, SchemaV2, SchemaV1)
+		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q, %q, %q or %q",
+			rep.Schema, Schema, SchemaV4, SchemaV3, SchemaV2, SchemaV1)
 	}
-	if rep.Schema != Schema {
+	switch rep.Schema {
+	case SchemaV1, SchemaV2, SchemaV3:
 		rep.Shards = 1
 		for i := range rep.Structures {
 			rep.Structures[i].Shards = 1

@@ -370,6 +370,88 @@ func TestGoldenV3(t *testing.T) {
 	}
 }
 
+// TestGoldenV4 keeps v4 baselines readable across the v5 latency-axis
+// bump: the committed v4 document parses with its recorded shard axis
+// intact (unlike pre-v4 docs, v4 rows carry real shard counts that
+// must NOT be normalized away), its rows simply lack the optional
+// latency quantiles, and the keyed Compare round-trips.
+func TestGoldenV4(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_v4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV4 {
+		t.Fatalf("golden schema %q, want %q", rep.Schema, SchemaV4)
+	}
+	if rep.Shards != 2 {
+		t.Fatalf("report shards = %d, want the recorded 2 (v4 docs carry a real shard axis)", rep.Shards)
+	}
+	sharded := false
+	for _, s := range rep.Structures {
+		if s.Shards > 1 {
+			sharded = true
+		}
+		if s.P50Ns != 0 || s.P99Ns != 0 || s.P999Ns != 0 {
+			t.Errorf("%s/%s: v4 row carries v5 latency quantiles", s.Backend, s.Name)
+		}
+	}
+	if !sharded {
+		t.Fatal("golden v4 rows should include a sharded row")
+	}
+	if got := Compare(rep, rep, 2, nil); len(got) != 0 {
+		t.Fatalf("v4 self-comparison flagged: %v", got)
+	}
+	// The exact-count gate survives the bump: deterministic drift in a
+	// v4 baseline row must still fail.
+	drifted, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range drifted.Structures {
+		if drifted.Structures[i].Deterministic {
+			drifted.Structures[i].ReadsPerOp++
+			break
+		}
+	}
+	if got := Compare(rep, drifted, 2, nil); len(got) != 1 {
+		t.Fatalf("v4 reads/op drift not flagged: %v", got)
+	}
+}
+
+// TestLatencyQuantiles pins the v5 columns: the serving-layer native
+// rows carry ordered nonzero latency quantiles from the telemetry
+// pass, and every other row omits them.
+func TestLatencyQuantiles(t *testing.T) {
+	rep, err := Run(Config{N: 3, Ops: 48, Structures: []string{"serve", "shard-counter", "snapshot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLat := map[string]bool{}
+	for _, s := range rep.Structures {
+		key := s.Backend + "/" + s.Name
+		if s.Backend == BackendNative && (s.Name == "serve" || s.Name == "shard-counter") {
+			if s.P50Ns == 0 || s.P99Ns == 0 || s.P999Ns == 0 {
+				t.Errorf("%s: missing latency quantiles (%d/%d/%d)", key, s.P50Ns, s.P99Ns, s.P999Ns)
+			}
+			if s.P99Ns < s.P50Ns || s.P999Ns < s.P99Ns {
+				t.Errorf("%s: quantiles not monotone (%d/%d/%d)", key, s.P50Ns, s.P99Ns, s.P999Ns)
+			}
+			withLat[key] = true
+			continue
+		}
+		if s.P50Ns != 0 || s.P99Ns != 0 || s.P999Ns != 0 {
+			t.Errorf("%s: unexpected latency quantiles on a non-serving or sim row", key)
+		}
+	}
+	if len(withLat) != 2 {
+		t.Fatalf("latency rows = %v, want native serve and shard-counter", withLat)
+	}
+}
+
 // TestShardRows pins the shard-counter rows: the native row times the
 // real sharded server, and the sim row's sequential keyed drive must
 // hit the single-shard closed forms exactly — 2(n²−1) reads and

@@ -287,6 +287,26 @@ func (u *Universal) SimCounters() pram.Counters {
 	return u.eng.counters()
 }
 
+// StepClock returns a deterministic clock over the simulated
+// substrate: each call reports the total shared accesses serialized so
+// far, so "timestamps" are schedule positions and any telemetry built
+// on them reproduces byte-for-byte across identical runs. The read
+// takes the engine mutex (it may race concurrent Executes); callers on
+// a latency-critical path should sample it at turn boundaries only.
+// Native-backend objects return nil — wall-clock time is the
+// meaningful axis there.
+func (u *Universal) StepClock() func() uint64 {
+	if u.eng == nil {
+		return nil
+	}
+	eng := u.eng
+	return func() uint64 {
+		eng.mu.Lock()
+		defer eng.mu.Unlock()
+		return eng.mem.Steps()
+	}
+}
+
 // EnableTruncation bounds the object's entry graph: once every
 // `every` completed operations (and once more than `retain` entries
 // are live), the slots run a checkpoint-and-truncate epoch that folds

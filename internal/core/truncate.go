@@ -117,6 +117,16 @@ type Truncation struct {
 	opsAt  int64
 	lagged bool
 
+	// spanOpen/spanEpoch/proposals drive the flight-recorder epoch
+	// intervals (obs.EpochProbe): spanOpen[p] marks an open begin edge
+	// for slot p, spanEpoch[p] the proposal it belongs to. Every edge
+	// is emitted by slot p's own turn — the recorder's single-writer
+	// discipline — so a slot released by an abort on another slot's
+	// turn closes its span at its own next boundary.
+	spanOpen  []bool
+	spanEpoch []uint64
+	proposals uint64
+
 	epochs, aborts, freed, lagEpochs uint64
 }
 
@@ -157,11 +167,13 @@ func NewTruncation(s spec.Spec, n, every, retain int) (*Truncation, bool) {
 	}
 	return &Truncation{
 		s: s, n: n, every: every, retain: retain,
-		acked:  make([]bool, n),
-		need:   make([]uint64, n),
-		folded: make([]bool, n),
-		pub:    make([]atomic.Uint64, n),
-		nilAt:  make([]bool, n),
+		acked:     make([]bool, n),
+		need:      make([]uint64, n),
+		folded:    make([]bool, n),
+		pub:       make([]atomic.Uint64, n),
+		nilAt:     make([]bool, n),
+		spanOpen:  make([]bool, n),
+		spanEpoch: make([]uint64, n),
 	}, true
 }
 
@@ -327,6 +339,7 @@ func (t *Truncation) propose(p int, view []*Entry, lin *Linearizer) {
 	}
 	t.w = w
 	t.setPhase(truncProposed)
+	t.proposals++
 	t.opsAt = t.ops.Load()
 	t.lagged = false
 	t.nAcked = 0
@@ -348,10 +361,17 @@ func (t *Truncation) ready(lin *Linearizer) bool {
 // advance runs every protocol transition available to process p at
 // this turn boundary. Caller holds mu.
 func (t *Truncation) advance(p int, lin *Linearizer, probe obs.Probe) {
+	// A span left open by an epoch that ended on another slot's turn
+	// (an abort, or a fold this slot completed before the abort) closes
+	// here, at p's own next boundary.
+	if t.spanOpen[p] && (t.phaseL == truncIdle || t.spanEpoch[p] != t.proposals) {
+		t.closeSpan(p, probe)
+	}
 	if t.phaseL == truncProposed {
 		if !t.acked[p] {
 			t.acked[p] = true
 			t.nAcked++
+			t.openSpan(p, probe)
 		}
 		if t.nAcked < t.n {
 			return
@@ -364,6 +384,7 @@ func (t *Truncation) advance(p int, lin *Linearizer, probe obs.Probe) {
 		for q := 0; q < t.n; q++ {
 			if t.nilAt[q] && t.pub[q].Load() != 0 {
 				t.aborts++
+				t.closeSpan(p, probe)
 				t.endEpoch()
 				return
 			}
@@ -390,6 +411,7 @@ func (t *Truncation) advance(p int, lin *Linearizer, probe obs.Probe) {
 			// (or the codec rejected the fold). Abort; a later epoch's
 			// larger watermark internalizes the offending pair.
 			t.aborts++
+			t.closeSpan(p, probe)
 			t.endEpoch()
 			return
 		}
@@ -403,6 +425,7 @@ func (t *Truncation) advance(p int, lin *Linearizer, probe obs.Probe) {
 	if probe != nil {
 		probe.Event(p, obs.EvCheckpoint)
 	}
+	t.closeSpan(p, probe)
 	if t.nFold < t.n {
 		return
 	}
@@ -433,6 +456,32 @@ func (t *Truncation) advance(p int, lin *Linearizer, probe obs.Probe) {
 func (t *Truncation) endEpoch() {
 	t.setPhase(truncIdle)
 	t.ops.Store(0)
+}
+
+// openSpan emits p's epoch-participation begin edge (at p's ack) and
+// remembers which proposal it belongs to. Caller holds mu; the edge
+// lands on p's own turn.
+func (t *Truncation) openSpan(p int, probe obs.Probe) {
+	if t.spanOpen[p] {
+		return
+	}
+	t.spanOpen[p] = true
+	t.spanEpoch[p] = t.proposals
+	if probe != nil {
+		obs.EpochBegin(probe, p)
+	}
+}
+
+// closeSpan emits p's epoch-participation end edge if one is open.
+// Caller holds mu; the edge lands on p's own turn.
+func (t *Truncation) closeSpan(p int, probe obs.Probe) {
+	if !t.spanOpen[p] {
+		return
+	}
+	t.spanOpen[p] = false
+	if probe != nil {
+		obs.EpochEnd(probe, p)
+	}
 }
 
 func (t *Truncation) setPhase(p truncPhase) {

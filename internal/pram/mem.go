@@ -195,6 +195,11 @@ func procSet(p int) string {
 // Counters returns a copy of the access counters.
 func (m *Mem) Counters() Counters { return m.c.clone() }
 
+// Steps returns the total number of shared accesses so far without
+// cloning the per-process counters — cheap enough to serve as a
+// deterministic clock (one tick per serialized access).
+func (m *Mem) Steps() uint64 { return m.c.Reads + m.c.Writes }
+
 // Observe installs hooks invoked after every read and write. Either
 // hook may be nil. Hooks see the simulation's serialized access order,
 // which makes them suitable for trace recording and invariant checks.

@@ -1,0 +1,127 @@
+package repro_test
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/apram"
+	"repro/apram/serve"
+	"repro/apram/telemetry"
+)
+
+// sloName is the histogram the committed baseline binds; the serve
+// instance below registers under WithName("slo-gate") so the metric
+// lands at exactly this name.
+const sloName = "serve.slo-gate.op_latency"
+
+var (
+	sloOnce sync.Once
+	sloSnap telemetry.HistSnapshot
+	sloErr  error
+)
+
+// measureServeLatency drives the native serving path once per test
+// binary — 4 slots, 4 concurrent clients, 500 ops each — and caches
+// the op-latency snapshot both gate tests read. When APRAM_SLO_JSONL
+// names a file, the full registry sample is archived there as one JSON
+// line (the CI artifact).
+func measureServeLatency(t *testing.T) telemetry.HistSnapshot {
+	t.Helper()
+	sloOnce.Do(func() {
+		const clients, per = 4, 500
+		reg := telemetry.NewRegistry()
+		sv := serve.New(apram.CounterSpec{}, clients,
+			apram.WithName("slo-gate"), apram.WithTelemetry(reg))
+		defer sv.Close()
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := sv.Do(ctx, apram.Inc(1)); err != nil {
+						sloErr = err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		sample := reg.Snapshot()
+		if path := os.Getenv("APRAM_SLO_JSONL"); path != "" {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				sloErr = err
+				return
+			}
+			defer f.Close()
+			if err := telemetry.WriteJSONL(f, sample); err != nil {
+				sloErr = err
+				return
+			}
+		}
+		for _, h := range sample.Hists {
+			if h.Name == sloName {
+				sloSnap = h.HistSnapshot
+				return
+			}
+		}
+	})
+	if sloErr != nil {
+		t.Fatalf("slo drive: %v", sloErr)
+	}
+	if sloSnap.Count == 0 {
+		t.Fatalf("no samples recorded under %q", sloName)
+	}
+	return sloSnap
+}
+
+// TestSLO_ServeOpLatency is the gate: the measured native op-latency
+// tail must stay under the committed bounds in SLO_baseline.json. A
+// regression fails with a benchstat-style row naming the committed and
+// measured values.
+func TestSLO_ServeOpLatency(t *testing.T) {
+	f, err := os.Open("SLO_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := telemetry.ReadSLOBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, ok := base.Find(sloName)
+	if !ok {
+		t.Fatalf("baseline commits no objective for %q", sloName)
+	}
+	snap := measureServeLatency(t)
+	for _, finding := range telemetry.CheckSLO(snap, slo) {
+		t.Error(finding)
+	}
+}
+
+// TestSLO_GateTripsWhenTightened proves the gate has teeth: bounds set
+// below the just-measured tail MUST produce findings. If this fails,
+// the passing gate above is vacuous.
+func TestSLO_GateTripsWhenTightened(t *testing.T) {
+	snap := measureServeLatency(t)
+	tight := telemetry.SLO{
+		Name:   sloName,
+		P99Ns:  snap.P99 / 2,
+		P999Ns: snap.P999 / 2,
+	}
+	findings := telemetry.CheckSLO(snap, tight)
+	if len(findings) == 0 {
+		t.Fatalf("gate passed with bounds tightened below measured p99=%d p999=%d", snap.P99, snap.P999)
+	}
+	for _, f := range findings {
+		t.Log(f)
+	}
+	// And the degenerate zero bound disables rather than trips.
+	if got := telemetry.CheckSLO(snap, telemetry.SLO{Name: sloName}); len(got) != 0 {
+		t.Fatalf("zero bounds must disable the gate, got %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package apram
+
+import "time"
+
+// AdmissionKind enumerates the front-door admission policies an
+// apram/serve server can run when a slot's submission queue is full.
+// The zero value is AdmitBlock, which preserves the layer's original
+// behaviour exactly.
+type AdmissionKind int
+
+const (
+	// AdmitBlock blocks the caller until queue space frees or its
+	// context is cancelled: classic backpressure, no request is ever
+	// rejected by the server itself.
+	AdmitBlock AdmissionKind = iota
+	// AdmitShed admits the request by evicting a strictly
+	// lower-priority queued request (which fails with
+	// serve.ErrOverload) when the queue is full; if nothing queued has
+	// strictly lower priority, the incoming request is rejected with
+	// serve.ErrOverload instead. The server never blocks the caller.
+	AdmitShed
+	// AdmitDeadline blocks like AdmitBlock but gives up after the
+	// policy's Wait bound, failing the request with serve.ErrOverload;
+	// requests that were admitted but then sat queued longer than Wait
+	// are dropped (ErrOverload) by their slot worker instead of being
+	// executed stale.
+	AdmitDeadline
+)
+
+// Admission is a resolved front-door admission policy; build one with
+// Block, ShedLowestPriority, or DropAfter and attach it with
+// WithAdmission. The zero value is the blocking policy.
+type Admission struct {
+	// Kind selects the policy.
+	Kind AdmissionKind
+	// Wait is AdmitDeadline's bound on how long a request may wait for
+	// admission plus how long it may sit queued before its worker drops
+	// it. Ignored by the other kinds.
+	Wait time.Duration
+}
+
+// Block returns the default admission policy: a full queue blocks the
+// caller until space frees or the caller's context is cancelled.
+func Block() Admission { return Admission{Kind: AdmitBlock} }
+
+// ShedLowestPriority returns the load-shedding admission policy: a
+// full queue sheds the lowest-priority queued request to admit a
+// higher-priority arrival, and rejects arrivals that do not outrank
+// anything queued. Shed and rejected requests fail with
+// serve.ErrOverload.
+func ShedLowestPriority() Admission { return Admission{Kind: AdmitShed} }
+
+// DropAfter returns the deadline admission policy: a request waits at
+// most d for queue space and, once queued, is dropped by its slot
+// worker if it has not begun executing within d of admission. Both
+// failure modes report serve.ErrOverload. serve.New panics with an
+// ArgError when d ≤ 0.
+func DropAfter(d time.Duration) Admission {
+	return Admission{Kind: AdmitDeadline, Wait: d}
+}
+
+// WithAdmission sets the front-door admission policy of an apram/serve
+// server (and, through apram/shard, of every per-shard server).
+// Constructors in this package ignore it. The default is Block().
+func WithAdmission(a Admission) Option {
+	return func(c *Options) { c.Admission = a }
+}

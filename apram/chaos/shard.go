@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 
 	"repro/apram"
 	"repro/apram/obs"
+	"repro/apram/serve"
 	"repro/apram/shard"
 	"repro/internal/core"
 	"repro/internal/histio"
@@ -557,7 +559,8 @@ func runNativeShardDirected(cfg Config, planted bool) (*NativeReport, error) {
 	}
 	for _, err := range errs {
 		if err != nil {
-			rep.Failures = append(rep.Failures, Failure{Oracle: OracleEngine, Msg: err.Error()})
+			rep.Failures = append(rep.Failures, Failure{Oracle: OracleEngine,
+				Msg: classifyDoErr(err) + ": " + err.Error()})
 		}
 	}
 	for _, msg := range torn {
@@ -703,7 +706,8 @@ func runNativeShard(cfg Config, s types.Sampler, planted bool) (*NativeReport, e
 	}
 	for _, err := range errs {
 		if err != nil {
-			rep.Failures = append(rep.Failures, Failure{Oracle: OracleEngine, Msg: err.Error()})
+			rep.Failures = append(rep.Failures, Failure{Oracle: OracleEngine,
+				Msg: classifyDoErr(err) + ": " + err.Error()})
 		}
 	}
 
@@ -732,4 +736,24 @@ func runNativeShard(cfg Config, s types.Sampler, planted bool) (*NativeReport, e
 		}
 	}
 	return rep, nil
+}
+
+// classifyDoErr names which layer of the serving stack failed a Do,
+// using the front door's typed error surface (serve.ErrClosed /
+// serve.ErrOverload / *serve.OpError) instead of quoting whatever
+// string came back. The shard targets run blocking admission with no
+// mid-run Close, so any of these in a report is itself a finding —
+// the label says where to look.
+func classifyDoErr(err error) string {
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		return "front door closed mid-run"
+	case errors.Is(err, serve.ErrOverload):
+		return "front door shed a request under blocking admission"
+	}
+	var oe *serve.OpError
+	if errors.As(err, &oe) {
+		return "published batch failed to execute"
+	}
+	return "engine error"
 }

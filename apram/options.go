@@ -105,6 +105,9 @@ type Options struct {
 	// serving layers (apram/serve, apram/shard) consume it; plain
 	// constructors ignore it.
 	Telemetry *telemetry.Registry
+	// Admission carries WithAdmission; the zero value is the blocking
+	// policy (Block). Only the serving layers consume it.
+	Admission Admission
 
 	recorders []obs.Probe
 }

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/apram"
+	"repro/apram/telemetry"
+)
+
+// slotQueue is one slot's bounded submission queue. The original layer
+// used a buffered channel; the admission redesign needs operations a
+// channel cannot express — evicting a queued victim mid-queue (shed),
+// inspecting queued priorities, and failing drained requests with
+// attribution — so the queue is a mutex-guarded slice with a one-token
+// wakeup channel toward the slot worker and a FIFO waiter list toward
+// blocked submitters. The mutex bounds are small and local: every
+// critical section is O(depth) worst case (the shed scan) and touches
+// no shared registers, so the Section 2 cost model charges it nothing;
+// the published operations themselves remain wait-free.
+type slotQueue struct {
+	mu      sync.Mutex
+	reqs    []*request
+	depth   int
+	closed  bool
+	waiters []chan struct{}
+
+	// sig carries "work may be queued" to the slot worker; one token
+	// coalesces any number of admissions.
+	sig chan struct{}
+	// qlen mirrors len(reqs) so the queue-depth gauge reads an atomic
+	// instead of taking mu on the export path.
+	qlen atomic.Int64
+}
+
+func newSlotQueue(depth int) *slotQueue {
+	return &slotQueue{depth: depth, sig: make(chan struct{}, 1)}
+}
+
+// wake hands the worker its wakeup token without blocking.
+func (q *slotQueue) wake() {
+	select {
+	case q.sig <- struct{}{}:
+	default:
+	}
+}
+
+// take moves up to max-len(*pending) queued requests into pending
+// (FIFO) and wakes one admission waiter per freed slot. It returns how
+// many it moved.
+func (q *slotQueue) take(pending *[]*request, max int) int {
+	q.mu.Lock()
+	k := max - len(*pending)
+	if k > len(q.reqs) {
+		k = len(q.reqs)
+	}
+	if k <= 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	*pending = append(*pending, q.reqs[:k]...)
+	n := copy(q.reqs, q.reqs[k:])
+	for i := n; i < n+k; i++ {
+		q.reqs[i] = nil
+	}
+	q.reqs = q.reqs[:n]
+	q.qlen.Store(int64(n))
+	var wake []chan struct{}
+	if len(q.waiters) > 0 {
+		m := k
+		if m > len(q.waiters) {
+			m = len(q.waiters)
+		}
+		wake = append(wake, q.waiters[:m]...)
+		q.waiters = append(q.waiters[:0], q.waiters[m:]...)
+	}
+	q.mu.Unlock()
+	for _, w := range wake {
+		close(w)
+	}
+	return k
+}
+
+// dropWaiter removes w from the waiter list after its submitter gave
+// up (context cancelled, deadline hit). If w was already woken — the
+// wakeup raced the give-up — the token is passed to the next waiter so
+// no queue slot's wakeup is lost.
+func (q *slotQueue) dropWaiter(w chan struct{}) {
+	q.mu.Lock()
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			q.mu.Unlock()
+			return
+		}
+	}
+	var next chan struct{}
+	if len(q.waiters) > 0 {
+		next = q.waiters[0]
+		q.waiters = q.waiters[1:]
+	}
+	q.mu.Unlock()
+	if next != nil {
+		close(next)
+	}
+}
+
+// admit runs the server's admission policy for req against slot queue
+// q: it returns nil once req is queued, ErrClosed if the server
+// closed, ErrOverload if the policy refused the request, or a wrapped
+// context cause if the caller gave up waiting for admission.
+func (sv *Server) admit(ctx context.Context, q *slotQueue, req *request) error {
+	var timeout <-chan time.Time
+	if sv.admission.Kind == apram.AdmitDeadline {
+		t := time.NewTimer(sv.admission.Wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return ErrClosed
+		}
+		if len(q.reqs) < q.depth {
+			if sv.admission.Kind == apram.AdmitDeadline {
+				req.enq = time.Now()
+			}
+			q.reqs = append(q.reqs, req)
+			q.qlen.Store(int64(len(q.reqs)))
+			q.mu.Unlock()
+			if req.tm != nil {
+				req.tm.queued.Add(1)
+			}
+			q.wake()
+			return nil
+		}
+
+		switch sv.admission.Kind {
+		case apram.AdmitShed:
+			// Find the lowest-priority queued request, preferring the
+			// youngest among ties so older requests keep their place in
+			// line. Evict it only if it is strictly below the arrival:
+			// equal priorities never displace each other, so a tenant
+			// cannot churn its own queue.
+			victim := -1
+			for i, r := range q.reqs {
+				if victim < 0 || r.prio <= q.reqs[victim].prio {
+					victim = i
+				}
+			}
+			if victim >= 0 && q.reqs[victim].prio < req.prio {
+				ev := q.reqs[victim]
+				q.reqs = append(q.reqs[:victim], q.reqs[victim+1:]...)
+				q.reqs = append(q.reqs, req)
+				q.qlen.Store(int64(len(q.reqs)))
+				q.mu.Unlock()
+				if ev.tm != nil {
+					ev.tm.queued.Add(-1)
+				}
+				if req.tm != nil {
+					req.tm.queued.Add(1)
+				}
+				sv.shed(ev)
+				q.wake()
+				return nil
+			}
+			q.mu.Unlock()
+			sv.countShed(req)
+			return ErrOverload
+
+		default: // AdmitBlock, AdmitDeadline: wait for space.
+			w := make(chan struct{})
+			q.waiters = append(q.waiters, w)
+			q.mu.Unlock()
+			select {
+			case <-w:
+				// Space may have freed (or the server closed); retry.
+			case <-ctx.Done():
+				q.dropWaiter(w)
+				return fmt.Errorf("serve: request not admitted: %w", context.Cause(ctx))
+			case <-timeout:
+				q.dropWaiter(w)
+				sv.countShed(req)
+				return ErrOverload
+			}
+		}
+	}
+}
+
+// shed fails an evicted, already-queued request with ErrOverload.
+func (sv *Server) shed(req *request) {
+	sv.countShed(req)
+	req.err = ErrOverload
+	close(req.done)
+}
+
+// countShed records one shed decision against the server total and the
+// request's tenant series.
+func (sv *Server) countShed(req *request) {
+	sv.shedTotal.Add(1)
+	if req.tm != nil && req.tm.shed != nil {
+		req.tm.shed.Add(1)
+	}
+}
+
+// tenantMetrics is the per-tenant accounting bundle: a live queued
+// count (always maintained, it feeds eviction accounting), and — when
+// the server has a telemetry registry — the tenant's shed counter and
+// op-latency histogram under "serve.<name>.<tenant>.*".
+type tenantMetrics struct {
+	queued atomic.Int64
+	shed   *telemetry.Counter
+	lat    *telemetry.Histogram
+}
+
+// tenantFor returns the metrics bundle for a tenant label, creating
+// and registering it on first use. The empty label means unattributed
+// and gets no bundle.
+func (sv *Server) tenantFor(tenant string) *tenantMetrics {
+	if tenant == "" {
+		return nil
+	}
+	if v, ok := sv.tenants.Load(tenant); ok {
+		return v.(*tenantMetrics)
+	}
+	sv.tenantMu.Lock()
+	defer sv.tenantMu.Unlock()
+	if v, ok := sv.tenants.Load(tenant); ok {
+		return v.(*tenantMetrics)
+	}
+	tm := &tenantMetrics{}
+	if sv.reg != nil {
+		prefix := "serve." + sv.name + "." + tenant + "."
+		tm.shed = sv.reg.Counter(prefix + "shed")
+		tm.lat = sv.reg.Histogram(prefix+"op_latency", sv.n)
+		sv.reg.GaugeFunc(prefix+"queued", func() uint64 {
+			n := tm.queued.Load()
+			if n < 0 {
+				n = 0
+			}
+			return uint64(n)
+		})
+	}
+	sv.tenants.Store(tenant, tm)
+	return tm
+}

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by Do and DoRequest for requests that could
+// not complete because the server was closed: submissions after Close,
+// and requests still queued when the workers drained.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrOverload is returned by Do and DoRequest for requests the
+// admission policy refused or abandoned under load: arrivals rejected
+// or victims evicted by shed-lowest-priority, and requests that
+// exceeded a drop-after-deadline policy's wait bound — either waiting
+// for admission or sitting queued past the bound. It is never
+// returned under the default blocking policy.
+var ErrOverload = errors.New("serve: overload: request shed by admission policy")
+
+// OpError wraps a failure raised while executing a published batch —
+// a spec panic on a malformed invocation, or a batched response of the
+// wrong shape. Every request in the failed batch receives the same
+// OpError. It unwraps to the underlying cause.
+type OpError struct {
+	// Name is the server's registered name (apram.NameOf).
+	Name string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("serve: %s: operation failed: %v", e.Name, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }

@@ -36,14 +36,21 @@
 // (a worker turn is bounded regardless of other workers), the object
 // stays linearizable — each composed batch is internally commuting,
 // so every logical operation can be linearized at its batch's
-// linearization point — and clients get backpressure, not unbounded
-// queueing: when a slot's queue is full, Do blocks until space or
-// context cancellation.
+// linearization point — and overload degrades by policy, not by
+// accident: the front door runs an admission policy
+// (apram.WithAdmission) that decides what a full queue means. The
+// default Block policy preserves classic backpressure — Do blocks
+// until space or context cancellation; ShedLowestPriority evicts the
+// lowest-priority queued request to admit a higher-priority arrival
+// (failing the victim with ErrOverload); DropAfter bounds both the
+// admission wait and the queue residence of every request. Admitted
+// operations are never abandoned by the server: once a worker picks a
+// request up it executes wait-free to completion, so shedding trades
+// only *admission* — never the wait-freedom of admitted operations.
 package serve
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -73,62 +80,89 @@ const (
 	truncTickInterval = time.Millisecond
 )
 
-// ErrClosed is returned by Do for requests that could not complete
-// because the server was closed.
-var ErrClosed = errors.New("serve: server closed")
+// Request is one front-door submission with tenant attribution: the
+// invocation plus the tenant label and priority tier the admission
+// layer and per-tenant telemetry act on.
+type Request struct {
+	// Inv is the logical operation.
+	Inv apram.Inv
+	// Tenant labels the submitting tenant. Non-empty tenants get
+	// per-tenant telemetry series "serve.<name>.<tenant>.*" (op_latency
+	// histogram, shed counter, queued gauge) when the server has a
+	// registry; the empty label means unattributed and costs nothing.
+	Tenant string
+	// Priority is the request's priority tier — larger outranks
+	// smaller. Only the shed-lowest-priority admission policy reads it.
+	Priority int
+}
 
 // request is one logical client operation in flight: the invocation,
-// and a future (done) the owning slot worker resolves with either a
-// response or an error.
+// its tenant attribution, and a future (done) the owning slot worker
+// resolves with either a response or an error.
 type request struct {
-	inv  spec.Inv
-	resp any
-	err  error
-	done chan struct{}
+	inv    spec.Inv
+	tenant string
+	prio   int
+	tm     *tenantMetrics
+	resp   any
+	err    error
+	done   chan struct{}
 	// start is the telemetry clock at submission (0 when the server has
 	// no registry); the owning worker turns it into one op-latency
 	// histogram sample at fan-out.
 	start uint64
+	// enq is the wall-clock admission stamp under the drop-after-
+	// deadline policy; the owning worker drops the request instead of
+	// executing it when its queue residence exceeds the policy bound.
+	enq time.Time
 }
 
 // Server multiplexes client goroutines onto the n process slots of a
 // wait-free object implementing the given spec. All methods are safe
 // for concurrent use.
 type Server struct {
-	base     spec.Spec
-	obj      *apram.Object
-	n        int
-	batchCap int
-	depth    int
-	batching bool
-	probe    obs.Probe
+	base      spec.Spec
+	obj       *apram.Object
+	name      string
+	n         int
+	batchCap  int
+	depth     int
+	batching  bool
+	admission apram.Admission
+	probe     obs.Probe
 
 	// clock/opLat/batchSize carry the WithTelemetry wiring (all nil
 	// without a registry). The clock is the registry's: wall-clock
 	// nanoseconds natively, the deterministic step counter on the
 	// simulated backend.
+	reg       *telemetry.Registry
 	clock     func() uint64
 	opLat     *telemetry.Histogram
 	batchSize *telemetry.Histogram
 
-	queues []chan *request
+	// tenants maps tenant labels to their metrics bundles (tenantFor);
+	// shedTotal counts every shed decision server-wide.
+	tenants   sync.Map
+	tenantMu  sync.Mutex
+	shedTotal atomic.Uint64
+
+	queues []*slotQueue
 	next   atomic.Uint64
 
-	// mu guards closed. Do holds the read lock across its closed-check
-	// and queue send, so once Close holds the write lock and sets
-	// closed, no further request can be enqueued — which makes the
-	// workers' final drain (after quit closes) exhaustive.
-	mu     sync.RWMutex
+	// mu guards closed for Close idempotency; admission liveness is
+	// per-queue (slotQueue.closed), which Close sets before releasing
+	// the workers so the final drain is exhaustive.
+	mu     sync.Mutex
 	closed bool
 	quit   chan struct{}
 	wg     sync.WaitGroup
 }
 
 // New builds a server for spec s over a fresh n-slot universal object.
-// It accepts the same options as the apram constructors; WithBatchCap
-// and WithQueueDepth tune this layer, everything else (probes,
-// recorders, names) is applied to the underlying object as usual.
-// Impossible arguments panic with an apram.ArgError.
+// It accepts the same options as the apram constructors; WithBatchCap,
+// WithQueueDepth and WithAdmission tune this layer, everything else
+// (probes, recorders, names) is applied to the underlying object as
+// usual. Impossible arguments panic with an apram.ArgError.
 //
 // The underlying object is constructed over apram.BatchSpec(s), so
 // its operations are batches; clients never see that — Do takes and
@@ -143,6 +177,15 @@ func New(s apram.Spec, n int, opts ...apram.Option) *Server {
 	}
 	if ro.QueueDepth < 0 {
 		panic(&apram.ArgError{Fn: "serve.New", Arg: "queueDepth", Value: ro.QueueDepth, Why: "queue depth must be non-negative"})
+	}
+	switch ro.Admission.Kind {
+	case apram.AdmitBlock, apram.AdmitShed:
+	case apram.AdmitDeadline:
+		if ro.Admission.Wait <= 0 {
+			panic(&apram.ArgError{Fn: "serve.New", Arg: "admission", Value: ro.Admission.Wait, Why: "DropAfter bound must be positive"})
+		}
+	default:
+		panic(&apram.ArgError{Fn: "serve.New", Arg: "admission", Value: ro.Admission.Kind, Why: "unknown admission kind"})
 	}
 	cap := ro.BatchCap
 	if cap == 0 {
@@ -168,22 +211,25 @@ func New(s apram.Spec, n int, opts ...apram.Option) *Server {
 	}
 
 	sv := &Server{
-		base:     s,
-		n:        n,
-		batchCap: cap,
-		depth:    depth,
-		batching: batching,
-		probe:    ro.Probe,
-		queues:   make([]chan *request, n),
-		quit:     make(chan struct{}),
+		base:      s,
+		n:         n,
+		batchCap:  cap,
+		depth:     depth,
+		batching:  batching,
+		admission: ro.Admission,
+		probe:     ro.Probe,
+		queues:    make([]*slotQueue, n),
+		quit:      make(chan struct{}),
 	}
 	sv.obj = apram.NewObject(apram.BatchSpec(s), n, opts...)
 	ro.Register(sv)
+	sv.name = apram.NameOf(sv)
 	if ro.Telemetry != nil {
-		sv.instrument(ro.Telemetry, apram.NameOf(sv))
+		sv.reg = ro.Telemetry
+		sv.instrument(ro.Telemetry, sv.name)
 	}
 	for p := 0; p < n; p++ {
-		sv.queues[p] = make(chan *request, depth)
+		sv.queues[p] = newSlotQueue(depth)
 		sv.wg.Add(1)
 		go sv.worker(p)
 	}
@@ -192,10 +238,10 @@ func New(s apram.Spec, n int, opts ...apram.Option) *Server {
 
 // instrument registers the server's metrics under "serve.<name>.*":
 // per-slot op-latency and batch-size histograms, a live queue-depth
-// gauge, and — when the object truncates — retained-entry and
-// lagging-epoch gauges. On the simulated backend the registry's clock
-// is switched to the object's step clock, so every exported sample is
-// a deterministic function of the schedule.
+// gauge, a shed counter gauge, and — when the object truncates —
+// retained-entry and lagging-epoch gauges. On the simulated backend
+// the registry's clock is switched to the object's step clock, so
+// every exported sample is a deterministic function of the schedule.
 func (sv *Server) instrument(reg *telemetry.Registry, name string) {
 	if sc := sv.obj.StepClock(); sc != nil {
 		reg.SetClock(sc)
@@ -205,12 +251,13 @@ func (sv *Server) instrument(reg *telemetry.Registry, name string) {
 	sv.opLat = reg.Histogram(prefix+"op_latency", sv.n)
 	sv.batchSize = reg.Histogram(prefix+"batch_size", sv.n)
 	reg.GaugeFunc(prefix+"queue_depth", func() uint64 {
-		d := 0
+		var d int64
 		for _, q := range sv.queues {
-			d += len(q)
+			d += q.qlen.Load()
 		}
 		return uint64(d)
 	})
+	reg.GaugeFunc(prefix+"shed_total", func() uint64 { return sv.shedTotal.Load() })
 	if sv.obj.TruncationEnabled() {
 		reg.GaugeFunc(prefix+"retained_entries", func() uint64 {
 			return uint64(sv.obj.Retained())
@@ -236,6 +283,13 @@ func (sv *Server) QueueDepth() int { return sv.depth }
 // batches (false when the spec failed CheckBatchable or the cap is 1).
 func (sv *Server) Batching() bool { return sv.batching }
 
+// Admission returns the server's admission policy.
+func (sv *Server) Admission() apram.Admission { return sv.admission }
+
+// ShedCount returns how many requests the admission policy has shed
+// (evicted, rejected, or deadline-dropped) since construction.
+func (sv *Server) ShedCount() uint64 { return sv.shedTotal.Load() }
+
 // Object returns the underlying universal object (its spec is
 // apram.BatchSpec of the serving spec). Exposed for observability and
 // test oracles; invoking it directly while the server runs would
@@ -243,33 +297,53 @@ func (sv *Server) Batching() bool { return sv.batching }
 func (sv *Server) Object() *apram.Object { return sv.obj }
 
 // Do executes one logical operation, blocking until a slot worker
-// completes it, the context is cancelled, or the server closes.
+// completes it, the context is cancelled, or the server closes. It is
+// DoRequest with no tenant attribution; see DoRequest for the error
+// contract.
+func (sv *Server) Do(ctx context.Context, inv apram.Inv) (any, error) {
+	return sv.DoRequest(ctx, Request{Inv: inv})
+}
+
+// DoRequest executes one logical operation with tenant attribution,
+// blocking until a slot worker completes it, the admission policy
+// refuses it, the context is cancelled, or the server closes.
 // Requests are distributed round-robin across slots; operations
 // submitted by one goroutine in sequence may land on different slots
 // and are ordered only by their batches' linearization points.
 //
+// Errors are typed:
+//
+//   - ErrClosed: the server was closed before or while the request
+//     was queued.
+//   - ErrOverload: the admission policy shed the request — a
+//     shed-lowest-priority eviction or rejection, or a drop-after-
+//     deadline expiry. Never returned under the default Block policy.
+//   - A context error (test with errors.Is against
+//     context.Canceled / context.DeadlineExceeded): the caller's
+//     context ended while waiting for admission or for the response;
+//     the returned error wraps context.Cause(ctx).
+//   - *OpError: the batch the request rode in failed to execute (spec
+//     panic, malformed batch response).
+//
 // Cancellation is delivery-bounded: once a worker has picked the
-// request up, Do waits for the response even if ctx expires — the
-// operation may already be published, and reporting ctx.Err() then
-// would mask an applied effect.
-func (sv *Server) Do(ctx context.Context, inv apram.Inv) (any, error) {
-	req := &request{inv: inv, done: make(chan struct{})}
+// request up, DoRequest waits for the response even if ctx expires —
+// the operation may already be published, and reporting the context
+// error then would mask an applied effect.
+func (sv *Server) DoRequest(ctx context.Context, r Request) (any, error) {
+	req := &request{
+		inv:    r.Inv,
+		tenant: r.Tenant,
+		prio:   r.Priority,
+		tm:     sv.tenantFor(r.Tenant),
+		done:   make(chan struct{}),
+	}
 	if sv.clock != nil {
 		req.start = sv.clock()
 	}
 	slot := int(sv.next.Add(1)-1) % sv.n
 
-	sv.mu.RLock()
-	if sv.closed {
-		sv.mu.RUnlock()
-		return nil, ErrClosed
-	}
-	select {
-	case sv.queues[slot] <- req:
-		sv.mu.RUnlock()
-	case <-ctx.Done():
-		sv.mu.RUnlock()
-		return nil, ctx.Err()
+	if err := sv.admit(ctx, sv.queues[slot], req); err != nil {
+		return nil, err
 	}
 
 	select {
@@ -278,7 +352,7 @@ func (sv *Server) Do(ctx context.Context, inv apram.Inv) (any, error) {
 	case <-ctx.Done():
 		// The request is enqueued and will be executed or failed by
 		// its worker; we just stop waiting for the outcome.
-		return nil, ctx.Err()
+		return nil, fmt.Errorf("serve: response abandoned: %w", context.Cause(ctx))
 	}
 }
 
@@ -293,13 +367,21 @@ func (sv *Server) Close() {
 	}
 	sv.closed = true
 	sv.mu.Unlock()
+	// Mark every queue closed before releasing the workers: admissions
+	// racing Close either land before the mark (drained with ErrClosed)
+	// or observe it and fail immediately, so the workers' final drain
+	// is exhaustive.
+	for _, q := range sv.queues {
+		q.mu.Lock()
+		q.closed = true
+		q.mu.Unlock()
+	}
 	close(sv.quit)
 	sv.wg.Wait()
 }
 
-// worker is slot p's goroutine: block for one request, top the
-// pending set up from the queue without blocking, compose a batch,
-// execute it, fan out, repeat.
+// worker is slot p's goroutine: wait for work, top the pending set up
+// from the queue, compose a batch, execute it, fan out, repeat.
 //
 // Composition cherry-picks: the batch is seeded with the OLDEST
 // pending request and extended with every pending request that
@@ -337,15 +419,18 @@ func (sv *Server) worker(p int) {
 
 	for {
 		if len(pending) == 0 {
-			select {
-			case req := <-q:
-				pending = append(pending, req)
-			case <-tickC:
-				sv.obj.TruncTick(p)
-				continue
-			case <-sv.quit:
-				sv.drainClosed(q, nil)
-				return
+			sv.fill(q, &pending)
+			if len(pending) == 0 {
+				select {
+				case <-q.sig:
+					continue
+				case <-tickC:
+					sv.obj.TruncTick(p)
+					continue
+				case <-sv.quit:
+					sv.drainClosed(q, nil)
+					return
+				}
 			}
 		}
 		sv.fill(q, &pending)
@@ -362,6 +447,27 @@ func (sv *Server) worker(p int) {
 		for spin := 0; len(pending) < sv.batchCap && spin < flushSpins; spin++ {
 			runtime.Gosched()
 			sv.fill(q, &pending)
+		}
+
+		// Drop-after-deadline: a request that sat queued past the
+		// policy bound is dropped here, not executed stale — the client
+		// behind it has likely given up, and executing its operation
+		// anyway would spend a published history slot on an abandoned
+		// effect.
+		if sv.admission.Kind == apram.AdmitDeadline {
+			keep := pending[:0]
+			now := time.Now()
+			for _, req := range pending {
+				if now.Sub(req.enq) > sv.admission.Wait {
+					sv.shed(req)
+				} else {
+					keep = append(keep, req)
+				}
+			}
+			pending = keep
+			if len(pending) == 0 {
+				continue
+			}
 		}
 
 		batch := []*request{pending[0]}
@@ -389,36 +495,46 @@ func (sv *Server) worker(p int) {
 }
 
 // fill tops pending up from the queue without blocking, up to the
-// batch cap.
-func (sv *Server) fill(q chan *request, pending *[]*request) {
-	for len(*pending) < sv.batchCap {
-		select {
-		case req := <-q:
-			*pending = append(*pending, req)
-		default:
-			return
+// batch cap, maintaining the per-tenant queued accounting.
+func (sv *Server) fill(q *slotQueue, pending *[]*request) {
+	before := len(*pending)
+	if q.take(pending, sv.batchCap) == 0 {
+		return
+	}
+	for _, req := range (*pending)[before:] {
+		if req.tm != nil {
+			req.tm.queued.Add(-1)
 		}
 	}
 }
 
 // drainClosed fails the worker's leftover pending requests and every
-// queued request with ErrClosed. It runs after Close set closed under
-// the write lock, and Do only enqueues while holding the read lock
-// with closed unset — so the queue cannot grow again and the
-// non-blocking drain is exhaustive.
-func (sv *Server) drainClosed(q chan *request, pending []*request) {
+// queued request and admission waiter with ErrClosed. It runs after
+// Close marked the queue closed, and admit only appends with the mark
+// unset — so the queue cannot grow again and the drain is exhaustive.
+func (sv *Server) drainClosed(q *slotQueue, pending []*request) {
 	for _, req := range pending {
 		req.err = ErrClosed
 		close(req.done)
 	}
-	for {
-		select {
-		case req := <-q:
-			req.err = ErrClosed
-			close(req.done)
-		default:
-			return
+	q.mu.Lock()
+	reqs := q.reqs
+	q.reqs = nil
+	q.qlen.Store(0)
+	ws := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, req := range reqs {
+		if req.tm != nil {
+			req.tm.queued.Add(-1)
 		}
+		req.err = ErrClosed
+		close(req.done)
+	}
+	// Woken waiters retry admission, observe the closed mark, and fail
+	// with ErrClosed.
+	for _, w := range ws {
+		close(w)
 	}
 }
 
@@ -444,7 +560,13 @@ func (sv *Server) execute(p int, batch []*request, invs []spec.Inv) {
 			req.resp = resp[i]
 		}
 		if sv.clock != nil {
-			sv.opLat.Record(p, now-req.start)
+			lat := now - req.start
+			sv.opLat.Record(p, lat)
+			if req.tm != nil && req.tm.lat != nil {
+				// Safe under the histogram's single-writer-per-slot
+				// contract: only slot p's worker records slot p.
+				req.tm.lat.Record(p, lat)
+			}
 		}
 		close(req.done)
 	}
@@ -456,18 +578,18 @@ func (sv *Server) execute(p int, batch []*request, invs []spec.Inv) {
 }
 
 // run executes the batch on the underlying object, converting a spec
-// panic (e.g. a malformed invocation) into an error delivered to the
-// batch's requests instead of killing the slot worker.
+// panic (e.g. a malformed invocation) into an *OpError delivered to
+// the batch's requests instead of killing the slot worker.
 func (sv *Server) run(p int, invs []spec.Inv) (resp []any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serve: operation panicked: %v", r)
+			err = &OpError{Name: sv.name, Err: fmt.Errorf("operation panicked: %v", r)}
 		}
 	}()
 	out := sv.obj.Execute(p, spec.BatchInv(invs...))
 	rs, ok := out.([]any)
 	if !ok || len(rs) != len(invs) {
-		return nil, fmt.Errorf("serve: malformed batch response %T", out)
+		return nil, &OpError{Name: sv.name, Err: fmt.Errorf("malformed batch response %T", out)}
 	}
 	return rs, nil
 }

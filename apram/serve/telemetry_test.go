@@ -82,7 +82,8 @@ func TestTelemetryPrometheusScrape(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	sv := serve.New(apram.CounterSpec{}, 4,
 		apram.WithName("smoke"),
-		apram.WithTelemetry(reg))
+		apram.WithTelemetry(reg),
+		apram.WithTruncateEvery(64))
 	defer sv.Close()
 	addr, stop, err := reg.Serve("127.0.0.1:0")
 	if err != nil {
@@ -150,6 +151,11 @@ func TestTelemetryPrometheusScrape(t *testing.T) {
 		`serve_smoke_op_latency{quantile="0.99"}`,
 		"serve_smoke_op_latency_count 800",
 		"# TYPE serve_smoke_queue_depth gauge",
+		// The retention-backpressure pair must reach a Prometheus
+		// scraper: lag epochs are how an overload run shows truncation
+		// falling behind live.
+		"# TYPE serve_smoke_retained_entries gauge",
+		"# TYPE serve_smoke_trunc_lag_epochs gauge",
 	} {
 		if !strings.Contains(final, want) {
 			t.Fatalf("final scrape missing %q:\n%s", want, final)

@@ -165,11 +165,37 @@ func New(s apram.Spec, n int, opts ...apram.Option) *Server {
 	if ro.Telemetry != nil {
 		// Each shard registered its own serve.* metrics above (names
 		// carry the "/s<i>" suffix); the front door adds the cross-shard
-		// composition counters.
+		// composition counters plus whole-object aggregates — the
+		// per-shard retention and shed series are what an operator
+		// alerts on, but capacity questions ("is the object keeping up
+		// with truncation?") want one summed gauge.
 		prefix := "shard." + apram.NameOf(sv) + "."
 		ro.Telemetry.GaugeFunc(prefix+"optimistic", sv.optimistic.Load)
 		ro.Telemetry.GaugeFunc(prefix+"retried", sv.retried.Load)
 		ro.Telemetry.GaugeFunc(prefix+"quiesced", sv.quiesced.Load)
+		ro.Telemetry.GaugeFunc(prefix+"shed_total", func() uint64 {
+			var t uint64
+			for _, sh := range sv.shards {
+				t += sh.ShedCount()
+			}
+			return t
+		})
+		if sv.objs[0].TruncationEnabled() {
+			ro.Telemetry.GaugeFunc(prefix+"retained_entries", func() uint64 {
+				var t uint64
+				for _, obj := range sv.objs {
+					t += uint64(obj.Retained())
+				}
+				return t
+			})
+			ro.Telemetry.GaugeFunc(prefix+"trunc_lag_epochs", func() uint64 {
+				var t uint64
+				for _, obj := range sv.objs {
+					t += obj.TruncStats().LaggingEpochs
+				}
+				return t
+			})
+		}
 	}
 	return sv
 }
@@ -183,6 +209,7 @@ func (sv *Server) shardOptions(ro apram.Options, i int) []apram.Option {
 		apram.WithBatchCap(ro.BatchCap),
 		apram.WithQueueDepth(ro.QueueDepth),
 		apram.WithBackend(ro.Backend),
+		apram.WithAdmission(ro.Admission),
 	}
 	if ro.TruncateEvery > 0 {
 		opts = append(opts,
@@ -252,14 +279,26 @@ func (sv *Server) Close() {
 // key's shard under its read lock; cross-shard operations compose
 // per-shard results as described in the package comment.
 func (sv *Server) Do(ctx context.Context, inv apram.Inv) (any, error) {
+	return sv.DoRequest(ctx, serve.Request{Inv: inv})
+}
+
+// DoRequest is Do with tenant attribution: keyed operations carry
+// their tenant label and priority to their shard's front door, so
+// admission and the per-tenant telemetry series work per shard exactly
+// as on an unsharded server. Cross-shard operations fan out to every
+// shard unattributed — attributing one logical operation S times would
+// overcount the tenant's series — and are admitted under each shard's
+// default path. The error contract is serve.DoRequest's.
+func (sv *Server) DoRequest(ctx context.Context, r serve.Request) (any, error) {
 	if sv.s == 1 {
-		return sv.shards[0].Do(ctx, inv)
+		return sv.shards[0].DoRequest(ctx, r)
 	}
+	inv := r.Inv
 	if key, keyed := sv.part.PartitionKey(inv); keyed {
 		i := spec.PartitionIndex(key, sv.s)
 		sv.locks[i].RLock()
 		defer sv.locks[i].RUnlock()
-		return sv.shards[i].Do(ctx, inv)
+		return sv.shards[i].DoRequest(ctx, r)
 	}
 	if spec.IsPure(sv.base, inv) && !sv.sim {
 		if resp, ok, err := sv.crossOptimistic(ctx, inv); ok || err != nil {

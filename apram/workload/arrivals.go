@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalKind enumerates the arrival processes.
+type ArrivalKind string
+
+const (
+	// ClosedKind is the closed-loop mode: a fixed client population,
+	// each issuing its next operation only after its previous one
+	// completed. Offered load adapts to the server — the back-compat
+	// behaviour of every pre-existing bench driver.
+	ClosedKind ArrivalKind = "closed"
+	// PoissonKind is open-loop memoryless traffic: exponential
+	// inter-arrival gaps with mean 1/Rate.
+	PoissonKind ArrivalKind = "poisson"
+	// ParetoKind is open-loop bursty traffic: Pareto inter-arrival
+	// gaps with tail index Alpha and mean 1/Rate. Small Alpha (near 1)
+	// means most gaps are tiny — dense bursts — paid for by rare very
+	// long silences; the mean rate still converges to Rate.
+	ParetoKind ArrivalKind = "pareto"
+)
+
+// Arrivals describes a tenant's arrival process. Build one with
+// ClosedLoop, Poisson, or ParetoBursts; the struct is exported (and
+// JSON-tagged) so cmd/apramload profiles can spell it literally.
+type Arrivals struct {
+	Kind ArrivalKind `json:"kind"`
+	// Rate is the mean arrival rate in operations per second
+	// (open-loop kinds).
+	Rate float64 `json:"rate,omitempty"`
+	// Alpha is the Pareto tail index (> 1; smaller is burstier).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Clients is the closed-loop client population.
+	Clients int `json:"clients,omitempty"`
+}
+
+// ClosedLoop returns the closed-loop process with the given client
+// population.
+func ClosedLoop(clients int) Arrivals {
+	return Arrivals{Kind: ClosedKind, Clients: clients}
+}
+
+// Poisson returns the open-loop memoryless process with mean rate
+// ops/sec.
+func Poisson(rate float64) Arrivals {
+	return Arrivals{Kind: PoissonKind, Rate: rate}
+}
+
+// ParetoBursts returns the open-loop heavy-tailed process with mean
+// rate ops/sec and tail index alpha (> 1; 1.5 is a reasonable
+// "bursty" default — infinite variance, finite mean).
+func ParetoBursts(rate, alpha float64) Arrivals {
+	return Arrivals{Kind: ParetoKind, Rate: rate, Alpha: alpha}
+}
+
+// open reports whether the process is open-loop (generates timed
+// arrivals rather than a client population).
+func (a Arrivals) open() bool { return a.Kind != ClosedKind }
+
+func (a Arrivals) validate(tenant string) error {
+	switch a.Kind {
+	case ClosedKind:
+		if a.Clients <= 0 {
+			return fmt.Errorf("workload: tenant %s: closed-loop clients %d, need > 0", tenant, a.Clients)
+		}
+	case PoissonKind:
+		if a.Rate <= 0 {
+			return fmt.Errorf("workload: tenant %s: poisson rate %v, need > 0", tenant, a.Rate)
+		}
+	case ParetoKind:
+		if a.Rate <= 0 {
+			return fmt.Errorf("workload: tenant %s: pareto rate %v, need > 0", tenant, a.Rate)
+		}
+		if a.Alpha <= 1 {
+			return fmt.Errorf("workload: tenant %s: pareto alpha %v, need > 1 (finite mean)", tenant, a.Alpha)
+		}
+	default:
+		return fmt.Errorf("workload: tenant %s: unknown arrival kind %q", tenant, a.Kind)
+	}
+	return nil
+}
+
+// gap draws the next inter-arrival gap. Only open-loop kinds draw
+// gaps.
+func (a Arrivals) gap(rng *rand.Rand) time.Duration {
+	// 1-Float64 keeps u in (0, 1]: both transforms blow up at 0.
+	u := 1 - rng.Float64()
+	var sec float64
+	switch a.Kind {
+	case PoissonKind:
+		sec = -math.Log(u) / a.Rate
+	case ParetoKind:
+		// Pareto(xm, α) has mean xm·α/(α-1); choosing
+		// xm = (α-1)/(α·rate) makes the mean gap exactly 1/rate.
+		xm := (a.Alpha - 1) / (a.Alpha * a.Rate)
+		sec = xm * math.Pow(u, -1/a.Alpha)
+	default:
+		panic("workload: gap on closed-loop arrivals")
+	}
+	return time.Duration(sec * float64(time.Second))
+}

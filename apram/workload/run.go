@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/apram/serve"
+)
+
+// Target is a serving front door the engine can drive; both
+// *serve.Server and *shard.Server implement it.
+type Target interface {
+	DoRequest(ctx context.Context, r serve.Request) (any, error)
+}
+
+// TenantResult is one tenant's outcome tally and client-observed
+// latency quantiles (admission wait included — the open-loop number a
+// client actually experiences). Quantiles cover completed operations
+// only.
+type TenantResult struct {
+	Tenant string        `json:"tenant"`
+	Done   int           `json:"done"`
+	Shed   int           `json:"shed"`
+	Failed int           `json:"failed,omitempty"`
+	P50    time.Duration `json:"p50_ns"`
+	P99    time.Duration `json:"p99_ns"`
+	Max    time.Duration `json:"max_ns"`
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Offered is the configured open-loop arrival rate summed over
+	// open-loop tenants, in ops/sec (0 for all-closed runs).
+	Offered float64 `json:"offered_ops_per_sec"`
+	// Elapsed is the wall-clock run duration.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Done / Shed / Failed tally completions, admission sheds
+	// (serve.ErrOverload), and other failures across tenants.
+	Done   int `json:"done"`
+	Shed   int `json:"shed"`
+	Failed int `json:"failed,omitempty"`
+	// Goodput is Done divided by Elapsed, in ops/sec.
+	Goodput float64 `json:"goodput_ops_per_sec"`
+	// Tenants holds the per-tenant breakdowns keyed by tenant label.
+	Tenants map[string]*TenantResult `json:"tenants"`
+}
+
+type sample struct {
+	tenant string
+	lat    time.Duration
+	err    error
+}
+
+type tenantAcc struct {
+	done, shed, failed int
+	lats               []time.Duration
+}
+
+// Run generates the configuration's stream and drives it through tgt:
+// open-loop events are paced against the wall clock (a catch-up loop —
+// every event whose offset has passed fires immediately, so bursts
+// stay bursts even when sleep granularity is coarse), closed-loop
+// tenants run their client populations issuing back-to-back. Shed
+// operations (serve.ErrOverload) are tallied, not retried — open-loop
+// arrivals don't wait around. Run returns once every generated
+// operation has resolved; cancel ctx to abandon a run early (abandoned
+// operations tally as failed).
+func Run(ctx context.Context, tgt Target, cfg Config, profiles []Profile, ops OpSet) (*Result, error) {
+	evs, err := Stream(cfg, profiles, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	openSet := map[string]bool{}
+	for i := range profiles {
+		openSet[profiles[i].Tenant] = profiles[i].Arrivals.open()
+	}
+	var open []Event
+	closed := map[string][]Event{}
+	for _, e := range evs {
+		if openSet[e.Tenant] {
+			open = append(open, e)
+		} else {
+			closed[e.Tenant] = append(closed[e.Tenant], e)
+		}
+	}
+
+	samples := make(chan sample, 1024)
+	accs := map[string]*tenantAcc{}
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for s := range samples {
+			acc := accs[s.tenant]
+			if acc == nil {
+				acc = &tenantAcc{}
+				accs[s.tenant] = acc
+			}
+			switch {
+			case s.err == nil:
+				acc.done++
+				acc.lats = append(acc.lats, s.lat)
+			case errors.Is(s.err, serve.ErrOverload):
+				acc.shed++
+			default:
+				acc.failed++
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	issue := func(e Event) {
+		t0 := time.Now()
+		_, err := tgt.DoRequest(ctx, serve.Request{Inv: e.Inv, Tenant: e.Tenant, Priority: e.Pri})
+		samples <- sample{tenant: e.Tenant, lat: time.Since(t0), err: err}
+	}
+
+	// Closed-loop tenants: a fixed client population draining the
+	// tenant's deterministic op sequence; each client issues its next
+	// operation only after its previous one resolved.
+	for i := range profiles {
+		p := &profiles[i]
+		if p.Arrivals.open() {
+			continue
+		}
+		seq := closed[p.Tenant]
+		var next atomic.Int64
+		for c := 0; c < p.Arrivals.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(seq) || ctx.Err() != nil {
+						return
+					}
+					issue(seq[i])
+				}
+			}()
+		}
+	}
+
+	// Open-loop events: paced or replayed.
+	if cfg.Unpaced {
+		for _, e := range open {
+			if ctx.Err() != nil {
+				break
+			}
+			issue(e)
+		}
+	} else {
+		i := 0
+		for i < len(open) && ctx.Err() == nil {
+			elapsed := time.Since(start)
+			for i < len(open) && open[i].At <= elapsed {
+				e := open[i]
+				i++
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					issue(e)
+				}()
+			}
+			if i < len(open) {
+				gap := open[i].At - time.Since(start)
+				if gap > time.Millisecond {
+					gap = time.Millisecond
+				}
+				if gap > 0 {
+					time.Sleep(gap)
+				}
+			}
+		}
+	}
+
+	wg.Wait()
+	close(samples)
+	<-collectorDone
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Elapsed: elapsed,
+		Tenants: map[string]*TenantResult{},
+	}
+	for i := range profiles {
+		p := &profiles[i]
+		if p.Arrivals.open() {
+			res.Offered += p.Arrivals.Rate
+		}
+		acc := accs[p.Tenant]
+		if acc == nil {
+			acc = &tenantAcc{}
+		}
+		tr := &TenantResult{Tenant: p.Tenant, Done: acc.done, Shed: acc.shed, Failed: acc.failed}
+		if len(acc.lats) > 0 {
+			sort.Slice(acc.lats, func(a, b int) bool { return acc.lats[a] < acc.lats[b] })
+			tr.P50 = quantile(acc.lats, 50)
+			tr.P99 = quantile(acc.lats, 99)
+			tr.Max = acc.lats[len(acc.lats)-1]
+		}
+		res.Tenants[p.Tenant] = tr
+		res.Done += acc.done
+		res.Shed += acc.shed
+		res.Failed += acc.failed
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Goodput = float64(res.Done) / sec
+	}
+	return res, nil
+}
+
+// quantile reads the p-th percentile from an ascending-sorted slice.
+func quantile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,138 @@
+// Package workload is the deterministic load engine: it turns a seed
+// and a set of per-tenant traffic profiles into operation streams and
+// drives them through a serving front door (apram/serve or
+// apram/shard) on either backend.
+//
+// The distinction the package exists to model is open- versus
+// closed-loop load. aprambench's native rows are closed-loop: a fixed
+// population of clients each waits for its previous operation before
+// issuing the next, so when the server slows down the offered load
+// politely slows down with it — saturation shows up as lower
+// throughput, never as queue growth. Real front-door traffic is
+// open-loop: arrivals come from the outside world on their own clock
+// and do not care how the server is doing, so past the saturation
+// point queues — and latencies — grow without bound. The knee in the
+// latency-versus-offered-load curve only exists open-loop (experiment
+// E22 draws both curves), which is why overload policy
+// (apram.WithAdmission) has to be designed rather than hoped about:
+// "Are Lock-Free Concurrent Algorithms Practically Wait-Free?"
+// (PAPERS.md) makes the same point for stochastic schedules.
+//
+// Everything is deterministic given Config.Seed: each tenant derives
+// a private sub-seeded generator from (seed, tenant), so adding or
+// reordering profiles never perturbs another tenant's stream, and the
+// same configuration always produces the byte-identical stream
+// (EncodeStream; the determinism tests pin this). Arrival timing is
+// deterministic in the generated offsets; wall-clock pacing of course
+// is not, but Config.Unpaced replays the merged stream sequentially,
+// which on the simulated backend makes even the exported telemetry
+// JSONL byte-identical across runs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/apram"
+)
+
+// OpSet resolves a profile's operation-mix names into invocations. The
+// generator receives the chosen key ("" for unkeyed profiles) and the
+// tenant's private rng for argument randomness.
+type OpSet map[string]func(key string, rng *rand.Rand) apram.Inv
+
+// CounterOps is the OpSet for apram.CounterSpec: "inc", "dec" (delta
+// 1) and the pure "read". Keys are ignored.
+func CounterOps() OpSet {
+	return OpSet{
+		"inc":  func(_ string, _ *rand.Rand) apram.Inv { return apram.Inc(1) },
+		"dec":  func(_ string, _ *rand.Rand) apram.Inv { return apram.Dec(1) },
+		"read": func(_ string, _ *rand.Rand) apram.Inv { return apram.Read() },
+	}
+}
+
+// KCounterOps is the OpSet for apram.KCounterSpec: keyed "vinc"
+// (delta 1) and "vread", plus the cross-shard "vsum".
+func KCounterOps() OpSet {
+	return OpSet{
+		"vinc":  func(k string, _ *rand.Rand) apram.Inv { return apram.VInc(k, 1) },
+		"vread": func(k string, _ *rand.Rand) apram.Inv { return apram.VRead(k) },
+		"vsum":  func(_ string, _ *rand.Rand) apram.Inv { return apram.VSum() },
+	}
+}
+
+// OpWeight is one entry of a profile's operation mix.
+type OpWeight struct {
+	// Op names an operation in the run's OpSet.
+	Op string `json:"op"`
+	// Weight is the entry's relative frequency (> 0).
+	Weight float64 `json:"weight"`
+}
+
+// Profile is one tenant's traffic description.
+type Profile struct {
+	// Tenant labels the tenant; it becomes the serve.Request tenant
+	// and so the per-tenant telemetry series. Must be non-empty and
+	// unique within a run.
+	Tenant string `json:"tenant"`
+	// Priority is the tenant's priority tier (serve.Request.Priority);
+	// larger outranks smaller under shed-lowest-priority admission.
+	Priority int `json:"priority,omitempty"`
+	// Arrivals is the tenant's arrival process; see Poisson,
+	// ParetoBursts, ClosedLoop.
+	Arrivals Arrivals `json:"arrivals"`
+	// Count is how many operations the tenant issues.
+	Count int `json:"count"`
+	// Ops is the operation mix.
+	Ops []OpWeight `json:"ops"`
+	// Keys is the size of the tenant's key range for keyed specs
+	// (0 means unkeyed: generators receive ""). Key i maps to the
+	// string "k<KeyBase+i>".
+	Keys int `json:"keys,omitempty"`
+	// KeyBase offsets the tenant's key range, letting profiles use
+	// disjoint (or deliberately overlapping) ranges.
+	KeyBase int `json:"key_base,omitempty"`
+	// ZipfS is the Zipf skew parameter for key popularity; must be
+	// > 1, or 0 for uniform popularity.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+}
+
+// validate checks a profile against an OpSet.
+func (p *Profile) validate(ops OpSet) error {
+	if p.Tenant == "" {
+		return fmt.Errorf("workload: profile with empty tenant")
+	}
+	if p.Count <= 0 {
+		return fmt.Errorf("workload: tenant %s: count %d, need > 0", p.Tenant, p.Count)
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("workload: tenant %s: empty op mix", p.Tenant)
+	}
+	for _, ow := range p.Ops {
+		if ow.Weight <= 0 {
+			return fmt.Errorf("workload: tenant %s: op %q weight %v, need > 0", p.Tenant, ow.Op, ow.Weight)
+		}
+		if _, ok := ops[ow.Op]; !ok {
+			return fmt.Errorf("workload: tenant %s: unknown op %q", p.Tenant, ow.Op)
+		}
+	}
+	if p.Keys < 0 {
+		return fmt.Errorf("workload: tenant %s: keys %d, need >= 0", p.Tenant, p.Keys)
+	}
+	if p.ZipfS != 0 && (p.ZipfS <= 1 || p.Keys < 1) {
+		return fmt.Errorf("workload: tenant %s: zipf s=%v needs s > 1 and keys >= 1", p.Tenant, p.ZipfS)
+	}
+	return p.Arrivals.validate(p.Tenant)
+}
+
+// Config is the run-wide configuration.
+type Config struct {
+	// Seed drives every generator; identical (Seed, profiles, OpSet)
+	// produce the byte-identical stream.
+	Seed int64 `json:"seed"`
+	// Unpaced replays the merged open-loop stream sequentially in
+	// stream order instead of pacing it against the wall clock:
+	// latencies are meaningless but the submission order — and on the
+	// simulated backend the full telemetry export — is deterministic.
+	Unpaced bool `json:"unpaced,omitempty"`
+}

@@ -1,0 +1,226 @@
+package workload_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/apram"
+	"repro/apram/serve"
+	"repro/apram/shard"
+	"repro/apram/telemetry"
+	"repro/apram/workload"
+)
+
+func twoTenantProfiles(count int) []workload.Profile {
+	return []workload.Profile{
+		{
+			Tenant:   "steady",
+			Priority: 1,
+			Arrivals: workload.Poisson(2000),
+			Count:    count,
+			Ops:      []workload.OpWeight{{Op: "vinc", Weight: 3}, {Op: "vread", Weight: 1}},
+			Keys:     16,
+			ZipfS:    1.5,
+		},
+		{
+			Tenant:   "bursty",
+			Arrivals: workload.ParetoBursts(4000, 1.5),
+			Count:    count,
+			Ops:      []workload.OpWeight{{Op: "vinc", Weight: 1}},
+			Keys:     8,
+			KeyBase:  16,
+		},
+	}
+}
+
+// TestStreamDeterministic: the same (seed, profiles, ops) produce a
+// byte-identical encoded stream; a different seed does not.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := workload.Config{Seed: 42}
+	a, err := workload.Stream(cfg, twoTenantProfiles(500), workload.KCounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Stream(cfg, twoTenantProfiles(500), workload.KCounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := workload.EncodeStream(a), workload.EncodeStream(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("same seed produced different streams")
+	}
+	c, err := workload.Stream(workload.Config{Seed: 43}, twoTenantProfiles(500), workload.KCounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ea, workload.EncodeStream(c)) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestStreamTenantIndependence: a tenant's sub-stream is a function of
+// (seed, tenant) alone — dropping another profile leaves it untouched.
+func TestStreamTenantIndependence(t *testing.T) {
+	cfg := workload.Config{Seed: 7}
+	both, err := workload.Stream(cfg, twoTenantProfiles(300), workload.KCounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := workload.Stream(cfg, twoTenantProfiles(300)[:1], workload.KCounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steady []workload.Event
+	for _, e := range both {
+		if e.Tenant == "steady" {
+			steady = append(steady, e)
+		}
+	}
+	if !bytes.Equal(workload.EncodeStream(steady), workload.EncodeStream(solo)) {
+		t.Fatal("removing one tenant perturbed another tenant's stream")
+	}
+}
+
+// TestStreamZipfSkew: with s=1.5 the rank-0 key dominates; with
+// uniform popularity it does not.
+func TestStreamZipfSkew(t *testing.T) {
+	count := func(zipfS float64) map[string]int {
+		p := []workload.Profile{{
+			Tenant:   "z",
+			Arrivals: workload.Poisson(1000),
+			Count:    4000,
+			Ops:      []workload.OpWeight{{Op: "vinc", Weight: 1}},
+			Keys:     64,
+			ZipfS:    zipfS,
+		}}
+		evs, err := workload.Stream(workload.Config{Seed: 1}, p, workload.KCounterOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := map[string]int{}
+		for _, e := range evs {
+			keys[e.Inv.String()]++
+		}
+		return keys
+	}
+	skewed := count(1.5)
+	top := skewed["vinc({k0 1})"]
+	if top < 4000/10 {
+		t.Fatalf("zipf s=1.5: hottest key got %d/4000 ops, want a dominant share", top)
+	}
+	uniform := count(0)
+	if u := uniform["vinc({k0 1})"]; u >= top/2 {
+		t.Fatalf("uniform popularity: k0 got %d, skewed gave %d — no contrast", u, top)
+	}
+}
+
+// TestRunClosedLoop drives a closed-loop counter workload end to end
+// and checks the tally and the object's final state agree with the
+// generated stream.
+func TestRunClosedLoop(t *testing.T) {
+	sv := serve.New(apram.CounterSpec{}, 4)
+	defer sv.Close()
+	profiles := []workload.Profile{{
+		Tenant:   "batch",
+		Arrivals: workload.ClosedLoop(8),
+		Count:    400,
+		Ops:      []workload.OpWeight{{Op: "inc", Weight: 1}},
+	}}
+	res, err := workload.Run(context.Background(), sv, workload.Config{Seed: 3}, profiles, workload.CounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 400 || res.Shed != 0 || res.Failed != 0 {
+		t.Fatalf("tally done=%d shed=%d failed=%d, want 400/0/0", res.Done, res.Shed, res.Failed)
+	}
+	v, err := sv.Do(context.Background(), apram.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 400 {
+		t.Fatalf("counter = %v, want 400", v)
+	}
+}
+
+// TestRunOpenLoopSharded drives the Poisson+Zipf two-tenant mix
+// through a sharded keyed front door.
+func TestRunOpenLoopSharded(t *testing.T) {
+	sv := shard.New(apram.KCounterSpec{}, 2, apram.WithShards(2))
+	defer sv.Close()
+	res, err := workload.Run(context.Background(), sv, workload.Config{Seed: 11}, twoTenantProfiles(300), workload.KCounterOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 600 || res.Failed != 0 {
+		t.Fatalf("tally done=%d failed=%d, want 600/0", res.Done, res.Failed)
+	}
+	if res.Offered != 6000 {
+		t.Fatalf("offered = %v, want 6000", res.Offered)
+	}
+	for _, tenant := range []string{"steady", "bursty"} {
+		tr := res.Tenants[tenant]
+		if tr == nil || tr.Done != 300 {
+			t.Fatalf("tenant %s result %+v, want 300 done", tenant, tr)
+		}
+		if tr.P99 < tr.P50 || tr.Max < tr.P99 {
+			t.Fatalf("tenant %s quantiles out of order: %+v", tenant, tr)
+		}
+	}
+}
+
+// TestTelemetryJSONLByteIdentical: on the simulated backend an
+// unpaced replay is a deterministic function of the seed — two fresh
+// runs export byte-identical telemetry JSONL.
+func TestTelemetryJSONLByteIdentical(t *testing.T) {
+	runOnce := func() []byte {
+		reg := telemetry.NewRegistry()
+		sv := serve.New(apram.KCounterSpec{}, 2,
+			apram.WithName("det"),
+			apram.WithTelemetry(reg),
+			apram.WithBackend(apram.Simulated(nil)))
+		defer sv.Close()
+		profiles := twoTenantProfiles(200)
+		if _, err := workload.Run(context.Background(), sv, workload.Config{Seed: 99, Unpaced: true}, profiles, workload.KCounterOps()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteJSONL(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := runOnce()
+	b := runOnce()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("telemetry JSONL differs across identical unpaced sim runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty telemetry export")
+	}
+}
+
+// TestRunValidation: bad profiles are rejected before any traffic.
+func TestRunValidation(t *testing.T) {
+	sv := serve.New(apram.CounterSpec{}, 1)
+	defer sv.Close()
+	bad := []workload.Profile{{
+		Tenant:   "x",
+		Arrivals: workload.Poisson(0),
+		Count:    10,
+		Ops:      []workload.OpWeight{{Op: "inc", Weight: 1}},
+	}}
+	if _, err := workload.Run(context.Background(), sv, workload.Config{}, bad, workload.CounterOps()); err == nil {
+		t.Fatal("zero poisson rate accepted")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	dupe := []workload.Profile{
+		{Tenant: "d", Arrivals: workload.Poisson(100), Count: 1, Ops: []workload.OpWeight{{Op: "inc", Weight: 1}}},
+		{Tenant: "d", Arrivals: workload.Poisson(100), Count: 1, Ops: []workload.OpWeight{{Op: "inc", Weight: 1}}},
+	}
+	if _, err := workload.Run(ctx, sv, workload.Config{}, dupe, workload.CounterOps()); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	aprambench                    # run every experiment (E1..E20)
+//	aprambench                    # run every experiment (E1..E22)
 //	aprambench -exp e3,e5         # run a subset
 //	aprambench -list              # list experiments
 //	aprambench -markdown          # emit GitHub-flavoured markdown
@@ -40,7 +40,7 @@
 // -backend restricts the gate to one substrate's rows.
 // -cpuprofile/-memprofile write pprof profiles of whatever work ran.
 //
-// The JSON document (schema "apram-bench/v5") carries one row per
+// The JSON document (schema "apram-bench/v6") carries one row per
 // (backend, shards, structure): native rows report ops/sec and allocations
 // from a probe-free timing pass plus measured register reads/writes
 // per operation from an instrumented pass; sim rows run the identical
@@ -312,6 +312,7 @@ func titleOnly(id string) (string, error) {
 		"e18": "Practically wait-free: sim step counts vs native wall-clock",
 		"e19": "Bounded memory: checkpoint-and-truncate vs the unbounded entry graph",
 		"e20": "Sharded serving: throughput vs shard count, flat per-op cost",
+		"e22": "Open-loop overload: the latency knee, and tenant isolation by shedding",
 	}
 	t, ok := titles[id]
 	if !ok {

@@ -1,0 +1,255 @@
+// Command apramload drives a deterministic multi-tenant workload from
+// a profile file through a serving front door and reports the outcome
+// — the command-line face of apram/workload.
+//
+// Usage:
+//
+//	apramload -profile examples/load/twotenants.json
+//	apramload -profile p.json -backend sim        # simulated substrate
+//	apramload -profile p.json -seed 9             # override the file's seed
+//	apramload -profile p.json -dump               # print the stream, don't run
+//	apramload -profile p.json -out telem.jsonl    # archive telemetry sample
+//
+// The profile file (schema "apram-load/v1") describes the server —
+// spec, slots, optional shard count, queue depth, batch cap, and
+// admission policy — and the per-tenant traffic profiles, in exactly
+// the JSON shapes of workload.Config and workload.Profile:
+//
+//	{
+//	  "schema": "apram-load/v1",
+//	  "spec": "kcounter",
+//	  "slots": 4,
+//	  "admission": "shed",
+//	  "queue_depth": 1,
+//	  "batch_cap": 1,
+//	  "config": {"seed": 22},
+//	  "profiles": [
+//	    {"tenant": "protected", "priority": 1,
+//	     "arrivals": {"kind": "poisson", "rate": 150}, "count": 400,
+//	     "ops": [{"op": "vinc", "weight": 9}, {"op": "vread", "weight": 1}],
+//	     "keys": 16},
+//	    {"tenant": "bursty",
+//	     "arrivals": {"kind": "pareto", "rate": 500, "alpha": 1.1},
+//	     "count": 1333,
+//	     "ops": [{"op": "vinc", "weight": 1}], "keys": 16, "key_base": 16}
+//	  ]
+//	}
+//
+// "spec" selects the served object and its operation vocabulary:
+// "counter" (inc/dec/read) or "kcounter" (vinc/vread/vsum, keyed).
+// "admission" is "block" (default), "shed" (shed-lowest-priority), or
+// "deadline" with "deadline_ms". "shards" > 1 serves the spec through
+// apram/shard instead of apram/serve. Omitted queue_depth/batch_cap
+// keep the serving layer's defaults.
+//
+// The run result — offered load, goodput, per-tenant done/shed tallies
+// and latency quantiles — is printed to stdout as JSON (the
+// workload.Result shape). -dump instead prints the deterministic
+// operation stream (workload.EncodeStream) and exits without touching
+// a server: two invocations with the same profile and seed print
+// byte-identical streams, which is the reproducibility contract E22
+// and the determinism tests pin. -out attaches a telemetry registry to
+// the server and appends one registry sample as a JSON line after the
+// run (the per-tenant serve.<name>.<tenant>.* series land there).
+//
+// Malformed invocations and profile files exit non-zero with the
+// reason on stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/apram"
+	"repro/apram/serve"
+	"repro/apram/shard"
+	"repro/apram/telemetry"
+	"repro/apram/workload"
+)
+
+// loadSchema is the profile-file schema this binary reads.
+const loadSchema = "apram-load/v1"
+
+// loadFile is the decoded profile file.
+type loadFile struct {
+	Schema     string             `json:"schema"`
+	Spec       string             `json:"spec"`
+	Slots      int                `json:"slots"`
+	Shards     int                `json:"shards,omitempty"`
+	QueueDepth int                `json:"queue_depth,omitempty"`
+	BatchCap   int                `json:"batch_cap,omitempty"`
+	Admission  string             `json:"admission,omitempty"`
+	DeadlineMS int                `json:"deadline_ms,omitempty"`
+	Config     workload.Config    `json:"config"`
+	Profiles   []workload.Profile `json:"profiles"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, for tests.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("apramload", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	profile := fs.String("profile", "", "profile file (apram-load/v1 JSON; required)")
+	backend := fs.String("backend", "native", "register substrate: native|sim")
+	seed := fs.Int64("seed", 0, "override the profile file's seed (0 = use the file's)")
+	outPath := fs.String("out", "", "append one telemetry registry sample to this JSONL path after the run")
+	dump := fs.Bool("dump", false, "print the deterministic operation stream and exit without running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(errw, "apramload:", err)
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return fail(fmt.Errorf("unexpected arguments %q (did you mean a flag? e.g. apramload -profile p.json)", fs.Args()))
+	}
+	if *profile == "" {
+		return fail(fmt.Errorf("-profile is required"))
+	}
+	if *backend != "native" && *backend != "sim" {
+		return fail(fmt.Errorf("unknown backend %q (native|sim)", *backend))
+	}
+
+	lf, err := readProfile(*profile)
+	if err != nil {
+		return fail(err)
+	}
+	if *seed != 0 {
+		lf.Config.Seed = *seed
+	}
+	ops, spec, err := resolveSpec(lf.Spec)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *dump {
+		evs, err := workload.Stream(lf.Config, lf.Profiles, ops)
+		if err != nil {
+			return fail(err)
+		}
+		out.Write(workload.EncodeStream(evs))
+		return 0
+	}
+
+	opts, reg, err := serverOptions(lf, *backend, *outPath != "")
+	if err != nil {
+		return fail(err)
+	}
+	var tgt workload.Target
+	if lf.Shards > 1 {
+		sv := shard.New(spec, lf.Slots, append(opts, apram.WithShards(lf.Shards))...)
+		defer sv.Close()
+		tgt = sv
+	} else {
+		sv := serve.New(spec, lf.Slots, opts...)
+		defer sv.Close()
+		tgt = sv
+	}
+
+	res, err := workload.Run(context.Background(), tgt, lf.Config, lf.Profiles, ops)
+	if err != nil {
+		return fail(err)
+	}
+	if *outPath != "" {
+		if err := appendSample(*outPath, reg); err != nil {
+			return fail(err)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// readProfile loads and sanity-checks a profile file; the workload
+// package re-validates the traffic profiles themselves at run time.
+func readProfile(path string) (*loadFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lf loadFile
+	if err := json.Unmarshal(data, &lf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if lf.Schema != loadSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, lf.Schema, loadSchema)
+	}
+	if lf.Slots <= 0 {
+		return nil, fmt.Errorf("%s: slots %d, need > 0", path, lf.Slots)
+	}
+	if len(lf.Profiles) == 0 {
+		return nil, fmt.Errorf("%s: no profiles", path)
+	}
+	return &lf, nil
+}
+
+// resolveSpec maps the profile file's spec name to the served object
+// and its operation vocabulary.
+func resolveSpec(name string) (workload.OpSet, apram.Spec, error) {
+	switch name {
+	case "counter":
+		return workload.CounterOps(), apram.CounterSpec{}, nil
+	case "kcounter":
+		return workload.KCounterOps(), apram.KCounterSpec{}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown spec %q (counter|kcounter)", name)
+	}
+}
+
+// serverOptions translates the profile file's server block into
+// constructor options. The returned registry is non-nil exactly when
+// telemetry was requested.
+func serverOptions(lf *loadFile, backend string, telem bool) ([]apram.Option, *telemetry.Registry, error) {
+	opts := []apram.Option{apram.WithName("load")}
+	if backend == "sim" {
+		opts = append(opts, apram.WithBackend(apram.Simulated(nil)))
+	}
+	if lf.QueueDepth > 0 {
+		opts = append(opts, apram.WithQueueDepth(lf.QueueDepth))
+	}
+	if lf.BatchCap > 0 {
+		opts = append(opts, apram.WithBatchCap(lf.BatchCap))
+	}
+	switch lf.Admission {
+	case "", "block":
+		// The serving layer's default.
+	case "shed":
+		opts = append(opts, apram.WithAdmission(apram.ShedLowestPriority()))
+	case "deadline":
+		if lf.DeadlineMS <= 0 {
+			return nil, nil, fmt.Errorf("admission \"deadline\" needs deadline_ms > 0, got %d", lf.DeadlineMS)
+		}
+		opts = append(opts, apram.WithAdmission(apram.DropAfter(time.Duration(lf.DeadlineMS)*time.Millisecond)))
+	default:
+		return nil, nil, fmt.Errorf("unknown admission %q (block|shed|deadline)", lf.Admission)
+	}
+	var reg *telemetry.Registry
+	if telem {
+		reg = telemetry.NewRegistry()
+		opts = append(opts, apram.WithTelemetry(reg))
+	}
+	return opts, reg, nil
+}
+
+// appendSample archives one registry sample as a JSON line.
+func appendSample(path string, reg *telemetry.Registry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return telemetry.WriteJSONL(f, reg.Snapshot())
+}

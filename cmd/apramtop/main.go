@@ -20,7 +20,11 @@
 // gauges, and histograms with count/mean/p50/p99/p999/max. Histogram
 // values are rendered as durations — the serving layers record
 // nanoseconds on the native backend — except obviously unitless
-// distributions (batch sizes), which print as plain numbers.
+// distributions (batch sizes), which print as plain numbers. A
+// nonzero trunc_lag_epochs gauge is flagged inline ("!! truncation
+// lagging"): truncation epochs falling behind the write rate mean the
+// live entry graph is growing — the retention-backpressure signal to
+// watch during overload runs.
 //
 // Exit status: 0 on success, 2 on usage error or when the endpoint
 // cannot be reached.
@@ -108,7 +112,7 @@ func render(w io.Writer, addr string, s telemetry.Sample) {
 	if len(s.Gauges) > 0 {
 		fmt.Fprintf(w, "%-40s %15s\n", "GAUGE", "VALUE")
 		for _, g := range s.Gauges {
-			fmt.Fprintf(w, "%-40s %15d\n", g.Name, g.Value)
+			fmt.Fprintf(w, "%-40s %15d%s\n", g.Name, g.Value, gaugeNote(g.Name, g.Value))
 		}
 		fmt.Fprintln(w)
 	}
@@ -123,6 +127,18 @@ func render(w io.Writer, addr string, s telemetry.Sample) {
 				histVal(h.Name, h.P999), histVal(h.Name, h.Max))
 		}
 	}
+}
+
+// gaugeNote flags gauges whose nonzero value is itself the alert: a
+// trunc_lag_epochs reading above zero means truncation epochs are
+// falling behind the write rate (a starved slot is stalling the
+// watermark), so the live entry graph is growing — retention
+// backpressure an overload run must show, not bury in a number column.
+func gaugeNote(name string, v uint64) string {
+	if strings.HasSuffix(name, "trunc_lag_epochs") && v > 0 {
+		return "  !! truncation lagging"
+	}
+	return ""
 }
 
 // histVal renders a histogram value: durations for latency-style

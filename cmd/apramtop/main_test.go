@@ -67,6 +67,31 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+// TestGaugeNoteFlagsTruncationLag: a nonzero trunc_lag_epochs gauge —
+// serve- or shard-prefixed — carries the inline retention-backpressure
+// flag; zero lag and ordinary gauges stay unadorned.
+func TestGaugeNoteFlagsTruncationLag(t *testing.T) {
+	reg := telemetry.NewRegistry(telemetry.WithClock(func() uint64 { return 1 }))
+	reg.Gauge("serve.obj.trunc_lag_epochs").Set(2)
+	reg.Gauge("shard.obj.trunc_lag_epochs").Set(0)
+	reg.Gauge("serve.obj.queue_depth").Set(9)
+	var out bytes.Buffer
+	render(&out, "x", reg.Snapshot())
+	got := out.String()
+	if n := strings.Count(got, "!! truncation lagging"); n != 1 {
+		t.Fatalf("want exactly the nonzero lag gauge flagged, got %d flags:\n%s", n, got)
+	}
+	flagged := false
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "serve.obj.trunc_lag_epochs") && strings.Contains(line, "lagging") {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("serve.obj.trunc_lag_epochs=2 not flagged:\n%s", got)
+	}
+}
+
 func TestHistVal(t *testing.T) {
 	if got := histVal("serve.x.op_latency", 1500); got != "1.5µs" {
 		t.Errorf("latency value = %q", got)

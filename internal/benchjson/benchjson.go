@@ -21,9 +21,16 @@
 // Since v4 every row also carries a shards axis: the shard-counter
 // rows drive a keyed object partitioned across Config.Shards
 // independent universal constructions (apram/shard), and their numbers
-// are only comparable at equal shard counts. Rows are therefore keyed
-// by (backend, shards, name); the gate in Compare only ever diffs
-// like-keyed pairs.
+// are only comparable at equal shard counts.
+//
+// Since v6 rows carry a workload axis: the serve-open row drives the
+// serving layer OPEN-LOOP (apram/workload: Poisson arrivals, Zipf key
+// popularity) instead of the closed-loop drive every other row uses,
+// and reports offered rate, achieved goodput, shed count, and
+// per-tenant p99 alongside the usual columns. An empty workload means
+// closed-loop — the pre-v6 reading of every row. Rows are therefore
+// keyed by (backend, shards, workload, name); the gate in Compare only
+// ever diffs like-keyed pairs.
 package benchjson
 
 import (
@@ -42,6 +49,7 @@ import (
 	"repro/apram/serve"
 	"repro/apram/shard"
 	"repro/apram/telemetry"
+	"repro/apram/workload"
 )
 
 // Schema identifies the report format; bump only with a new version
@@ -52,13 +60,17 @@ import (
 // deterministic flag that scopes the exact-count gate; v4 added the
 // shards axis (the apram/shard rows and the shard count on every row);
 // v5 added the optional per-op latency quantiles (p50/p99/p999 ns from
-// a telemetry-instrumented pass) on the serving-layer native rows.
-// ReadJSON still accepts v1 through v4 documents: pre-v3 rows are
-// normalized to deterministic native ones, pre-v4 rows (which all ran
-// unsharded) to shards 1, and pre-v5 rows simply lack the optional
-// quantile fields.
+// a telemetry-instrumented pass) on the serving-layer native rows; v6
+// added the workload axis (the open-loop serve-open row and the
+// offered/goodput/shed/per-tenant-p99 columns; empty workload means
+// closed-loop). ReadJSON still accepts v1 through v5 documents: pre-v3
+// rows are normalized to deterministic native ones, pre-v4 rows (which
+// all ran unsharded) to shards 1, pre-v5 rows simply lack the optional
+// quantile fields, and pre-v6 rows — all closed-loop — lack the
+// workload axis, whose empty value means exactly that.
 const (
-	Schema   = "apram-bench/v5"
+	Schema   = "apram-bench/v6"
+	SchemaV5 = "apram-bench/v5"
 	SchemaV4 = "apram-bench/v4"
 	SchemaV3 = "apram-bench/v3"
 	SchemaV2 = "apram-bench/v2"
@@ -118,6 +130,20 @@ type Result struct {
 	// independent universal constructions. Part of the row key: numbers
 	// at different shard counts measure different configurations.
 	Shards int `json:"shards"`
+	// Workload is the row's load shape (v6): empty for the closed-loop
+	// drive every pre-v6 row used, or an open-loop workload label
+	// ("open-poisson-zipf" for the serve-open row). Part of the row
+	// key: open- and closed-loop numbers measure different things.
+	Workload string `json:"workload,omitempty"`
+	// OfferedOpsPerSec and GoodputOpsPerSec are the open-loop rows'
+	// configured arrival rate and achieved completion rate; ShedOps
+	// counts operations the admission policy refused (serve.ErrOverload)
+	// and TenantP99Ns holds each tenant's client-observed p99 latency.
+	// All zero/absent on closed-loop rows.
+	OfferedOpsPerSec float64           `json:"offered_ops_per_sec,omitempty"`
+	GoodputOpsPerSec float64           `json:"goodput_ops_per_sec,omitempty"`
+	ShedOps          uint64            `json:"shed_ops,omitempty"`
+	TenantP99Ns      map[string]uint64 `json:"tenant_p99_ns,omitempty"`
 	// Deterministic marks rows whose register counts must reproduce
 	// exactly run to run; Compare's exact-count gate applies only to
 	// them. Concurrently-driven rows are not deterministic — the Go
@@ -194,6 +220,7 @@ type structure struct {
 	name          string
 	backend       string              // BackendNative or BackendSim
 	shards        int                 // 0 = unsharded (reported as 1)
+	workload      string              // "" = closed-loop; open-loop rows carry a label (v6)
 	slotFactor    int                 // counting-probe slots = slotFactor*n; 0 = 1 (shard rows span shards*n slots)
 	deterministic bool                // exact register counts reproduce run to run
 	paperReads    func(n int) float64 // per op; nil = no closed form
@@ -205,6 +232,9 @@ type structure struct {
 	// probe-free timing pass — and its ns/op — exactly what it always
 	// measured.
 	lat func(n, ops int) telemetry.HistSnapshot
+	// post, when set, fills the row's workload columns after both
+	// passes (the v6 offered/goodput/shed/per-tenant fields).
+	post func(*Result)
 }
 
 // opLatency pulls the op-latency histogram with the largest p99 out of
@@ -295,6 +325,9 @@ var shardKeys = func() []string {
 }()
 
 func structures(truncEvery, shards int) []structure {
+	// openLoop captures the serve-open row's timing-pass workload result
+	// for its post hook; rows run sequentially, so one slot suffices.
+	var openLoop *workload.Result
 	rows := []structure{
 		{
 			// One Scan per op: the Figure 5 optimized loop.
@@ -552,6 +585,53 @@ func structures(truncEvery, shards int) []structure {
 			},
 		},
 		{
+			// The serving layer driven open-loop (v6): a Poisson arrival
+			// process with Zipf-skewed key popularity pushed through
+			// apram/workload instead of a closed client pool, so offered
+			// load is the generator's choice, not the server's. ns/op is
+			// wall clock per generated arrival; the workload columns carry
+			// offered rate, achieved goodput, shed count, and the tenant's
+			// client-observed p99 (admission wait included). Batching and
+			// pacing make everything load-dependent, so the row is gated
+			// on ns/op only.
+			name:     "serve-open",
+			backend:  BackendNative,
+			workload: "open-poisson-zipf",
+			run: func(n, ops int, probe obs.Probe) time.Duration {
+				sv := serve.New(apram.KCounterSpec{}, n, ucOptions(probe, truncEvery)...)
+				defer sv.Close()
+				profiles := []workload.Profile{{
+					Tenant:   "load",
+					Arrivals: workload.Poisson(20000),
+					Count:    ops,
+					Ops:      []workload.OpWeight{{Op: "vinc", Weight: 9}, {Op: "vread", Weight: 1}},
+					Keys:     16,
+					ZipfS:    1.5,
+				}}
+				start := time.Now()
+				res, err := workload.Run(context.Background(), sv, workload.Config{Seed: 1}, profiles, workload.KCounterOps())
+				if err != nil {
+					panic(err) // static profile: any error is a driver bug
+				}
+				if probe == nil {
+					openLoop = res
+				}
+				return time.Since(start)
+			},
+			post: func(r *Result) {
+				if openLoop == nil {
+					return
+				}
+				r.OfferedOpsPerSec = openLoop.Offered
+				r.GoodputOpsPerSec = openLoop.Goodput
+				r.ShedOps = uint64(openLoop.Shed)
+				r.TenantP99Ns = make(map[string]uint64, len(openLoop.Tenants))
+				for name, tr := range openLoop.Tenants {
+					r.TenantP99Ns[name] = uint64(tr.P99)
+				}
+			},
+		},
+		{
 			// The sharded serving layer on native atomics: a keyed counter
 			// partitioned across `shards` independent universal
 			// constructions, 2n clients each owning one key — the
@@ -774,6 +854,7 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 		Name:          s.name,
 		Backend:       s.backend,
 		Shards:        s.shards,
+		Workload:      s.workload,
 		Deterministic: s.deterministic,
 		N:             n,
 		Ops:           ops,
@@ -811,6 +892,9 @@ func measure(s structure, n, ops int, trace bool) (Result, []obs.Span) {
 	if len(sum.Ops) > 0 {
 		res.OpStats = sum.Ops
 	}
+	if s.post != nil {
+		s.post(&res)
+	}
 	var spans []obs.Span
 	if rec != nil {
 		spans = rec.Spans()
@@ -827,15 +911,23 @@ func (r *Report) WriteJSON(w io.Writer) error {
 }
 
 // Compare gates cur against a committed baseline report. Rows are
-// matched by (backend, shards, name) — a native row is never compared
-// against a sim row, whose numbers measure a different substrate, and
-// a sharded row is never compared across shard counts. For every
+// matched by (backend, shards, workload, name) — a native row is never
+// compared against a sim row, whose numbers measure a different
+// substrate, a sharded row is never compared across shard counts, and
+// an open-loop row is never compared against a closed-loop one (an
+// empty workload and the literal "closed" both mean closed-loop, so
+// pre-v6 rows match their v6 re-runs). For every
 // selected row (all of base's when structures is nil; a name selects
 // its rows on every backend) it flags
 //
 //   - a ns/op regression beyond the tolerance factor (e.g. 2 = fail
 //     when the current run is more than twice as slow) — rows with
-//     timing only, so sim rows are exempt, and
+//     timing only, so sim rows are exempt, and so are open-loop rows:
+//     their wall clock is set by the configured arrival pacing and the
+//     depth of the admission queue, not the server's per-op cost, and
+//     under deliberate overload it swings far more than any honest
+//     tolerance. The per-op regression signal lives in the closed-loop
+//     rows; open-loop rows are still matched for presence. And
 //   - any change at all in measured register reads or writes per op
 //     for rows both reports mark Deterministic — those drivers are
 //     sequential, so the paper-model counts must reproduce exactly.
@@ -870,6 +962,9 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 		k := s.Backend + "/" + s.Name
 		if sh := shardsOf(s); sh > 1 {
 			k += fmt.Sprintf("@s%d", sh)
+		}
+		if s.Workload != "" && s.Workload != "closed" {
+			k += "@" + s.Workload
 		}
 		return k
 	}
@@ -907,7 +1002,8 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 			out = append(out, fmt.Sprintf("%s: missing from current run", k))
 			continue
 		}
-		if b.NsPerOp > 0 && c.NsPerOp > tolerance*b.NsPerOp {
+		openLoop := b.Workload != "" && b.Workload != "closed"
+		if !openLoop && b.NsPerOp > 0 && c.NsPerOp > tolerance*b.NsPerOp {
 			out = append(out, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (%.2fx > %.2fx tolerance)",
 				k, b.NsPerOp, c.NsPerOp, c.NsPerOp/b.NsPerOp, tolerance))
 		}
@@ -927,29 +1023,30 @@ func Compare(base, cur *Report, tolerance float64, structures []string) []string
 }
 
 // ReadJSON parses a report written by WriteJSON and validates its
-// schema tag. The current schema plus v1 through v4 are accepted — old
+// schema tag. The current schema plus v1 through v5 are accepted — old
 // baselines stay readable. Pre-v3 rows predate the backend axis; they
 // were all sequential native measurements, so they are normalized to
 // Backend "native", Deterministic true. Pre-v4 rows predate the shards
 // axis and all ran unsharded, so they are normalized to Shards 1. Both
 // normalizations preserve the rows' gate semantics under the keyed
 // Compare. Pre-v5 rows simply lack the optional latency quantiles,
-// which no gate reads.
+// which no gate reads, and pre-v6 rows — all closed-loop — lack the
+// workload axis, whose empty value already means closed-loop.
 func ReadJSON(r io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("benchjson: parse: %w", err)
 	}
 	switch rep.Schema {
-	case Schema, SchemaV4, SchemaV3:
+	case Schema, SchemaV5, SchemaV4, SchemaV3:
 	case SchemaV1, SchemaV2:
 		for i := range rep.Structures {
 			rep.Structures[i].Backend = BackendNative
 			rep.Structures[i].Deterministic = true
 		}
 	default:
-		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q, %q, %q or %q",
-			rep.Schema, Schema, SchemaV4, SchemaV3, SchemaV2, SchemaV1)
+		return nil, fmt.Errorf("benchjson: schema %q, want %q, %q, %q, %q, %q or %q",
+			rep.Schema, Schema, SchemaV5, SchemaV4, SchemaV3, SchemaV2, SchemaV1)
 	}
 	switch rep.Schema {
 	case SchemaV1, SchemaV2, SchemaV3:

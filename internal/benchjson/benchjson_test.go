@@ -422,6 +422,96 @@ func TestGoldenV4(t *testing.T) {
 	}
 }
 
+// TestGoldenV5 keeps v5 baselines readable across the v6 workload-axis
+// bump: the committed v5 document parses with its latency quantiles
+// intact, every row reads as closed-loop (empty workload, no workload
+// columns), and the keyed Compare round-trips — the empty workload
+// normalizes into the key exactly like the literal "closed".
+func TestGoldenV5(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_v5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SchemaV5 {
+		t.Fatalf("golden schema %q, want %q", rep.Schema, SchemaV5)
+	}
+	quantiled := false
+	for _, s := range rep.Structures {
+		if s.Workload != "" {
+			t.Errorf("%s/%s: v5 row carries a v6 workload axis %q", s.Backend, s.Name, s.Workload)
+		}
+		if s.OfferedOpsPerSec != 0 || s.GoodputOpsPerSec != 0 || s.ShedOps != 0 || s.TenantP99Ns != nil {
+			t.Errorf("%s/%s: v5 row carries v6 workload columns", s.Backend, s.Name)
+		}
+		if s.P99Ns > 0 {
+			quantiled = true
+		}
+	}
+	if !quantiled {
+		t.Fatal("golden v5 rows should include latency quantiles")
+	}
+	if got := Compare(rep, rep, 2, nil); len(got) != 0 {
+		t.Fatalf("v5 self-comparison flagged: %v", got)
+	}
+	// An explicit "closed" workload keys identically to the empty one:
+	// a v5 row still matches its closed-loop re-run after the bump.
+	relabeled, err := ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range relabeled.Structures {
+		relabeled.Structures[i].Workload = "closed"
+	}
+	if got := Compare(rep, relabeled, 2, nil); len(got) != 0 {
+		t.Fatalf("explicit closed workload broke row matching: %v", got)
+	}
+}
+
+// TestWorkloadRow pins the v6 axis: the serve-open row runs the
+// open-loop engine, carries the workload label and the
+// offered/goodput columns, and keys separately from closed-loop rows
+// under Compare.
+func TestWorkloadRow(t *testing.T) {
+	rep, err := Run(Config{N: 3, Ops: 48, Structures: []string{"serve-open"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rep.Structures))
+	}
+	s := rep.Structures[0]
+	if s.Workload != "open-poisson-zipf" {
+		t.Fatalf("workload = %q, want open-poisson-zipf", s.Workload)
+	}
+	if s.Backend != BackendNative || s.NsPerOp <= 0 {
+		t.Fatalf("serve-open should be a timed native row: %+v", s)
+	}
+	if s.OfferedOpsPerSec != 20000 {
+		t.Fatalf("offered = %v, want the configured 20000", s.OfferedOpsPerSec)
+	}
+	if s.GoodputOpsPerSec <= 0 {
+		t.Fatalf("goodput = %v, want > 0", s.GoodputOpsPerSec)
+	}
+	if p99 := s.TenantP99Ns["load"]; p99 == 0 {
+		t.Fatalf("tenant p99 map = %v, want a nonzero entry for tenant load", s.TenantP99Ns)
+	}
+	if s.ReadsPerOp <= 0 || s.WritesPerOp <= 0 {
+		t.Fatalf("counting pass produced no register traffic: %+v", s)
+	}
+	// The workload label is part of the row key: an open-loop row never
+	// gates against a closed-loop row of the same name.
+	closed := *rep
+	closed.Structures = []Result{s}
+	closed.Structures[0].Workload = ""
+	if got := Compare(&closed, rep, 2, nil); len(got) != 1 || !strings.Contains(got[0], "missing from current") {
+		t.Fatalf("open vs closed rows compared as like-keyed: %v", got)
+	}
+}
+
 // TestLatencyQuantiles pins the v5 columns: the serving-layer native
 // rows carry ordered nonzero latency quantiles from the telemetry
 // pass, and every other row omits them.

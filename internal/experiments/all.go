@@ -29,6 +29,9 @@ var Registry = map[string]func() Table{
 	"e18": E18Backends,
 	"e19": E19BoundedMemory,
 	"e20": E20Sharding,
+	// e21 is the live-telemetry tail-latency narrative in
+	// EXPERIMENTS.md (gated by the TestSLO_* suite), not a table.
+	"e22": E22Workload,
 }
 
 // IDs returns the experiment ids in numeric order.

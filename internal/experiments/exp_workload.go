@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/apram"
+	"repro/apram/serve"
+	"repro/apram/workload"
+)
+
+// e22N is the slot count every E22 arm runs at.
+const e22N = 4
+
+// e22Profile builds the standard single-tenant keyed-counter profile
+// the capacity and knee arms share.
+func e22Profile(tenant string, arr workload.Arrivals, count, prio int) workload.Profile {
+	return workload.Profile{
+		Tenant:   tenant,
+		Priority: prio,
+		Arrivals: arr,
+		Count:    count,
+		Ops:      []workload.OpWeight{{Op: "vinc", Weight: 9}, {Op: "vread", Weight: 1}},
+		Keys:     16,
+	}
+}
+
+// e22Capacity measures the serving layer's closed-loop capacity μ in
+// ops/sec: 2n clients issuing back-to-back, so offered load adapts to
+// the server and the measured goodput IS the sustainable rate. Every
+// open-loop arm is expressed relative to this, which keeps the knee in
+// the same place on any machine.
+func e22Capacity() float64 {
+	sv := serve.New(apram.KCounterSpec{}, e22N)
+	defer sv.Close()
+	res, err := workload.Run(context.Background(), sv, workload.Config{Seed: 22},
+		[]workload.Profile{e22Profile("cal", workload.ClosedLoop(2*e22N), 600, 0)},
+		workload.KCounterOps())
+	if err != nil {
+		panic("experiments: e22 capacity run failed: " + err.Error())
+	}
+	return res.Goodput
+}
+
+// e22OpenArm drives one open-loop Poisson arm at the given offered
+// rate against a fresh server with the default blocking admission.
+func e22OpenArm(rate float64, count int) *workload.Result {
+	sv := serve.New(apram.KCounterSpec{}, e22N)
+	defer sv.Close()
+	res, err := workload.Run(context.Background(), sv, workload.Config{Seed: 22},
+		[]workload.Profile{e22Profile("load", workload.Poisson(rate), count, 0)},
+		workload.KCounterOps())
+	if err != nil {
+		panic("experiments: e22 open arm failed: " + err.Error())
+	}
+	return res
+}
+
+// The isolation arm's fixed parameters. Rates are absolute, not
+// capacity-derived: the binding constraint on a single-CPU host is
+// pacing fidelity — offering tens of thousands of goroutine spawns
+// per second makes the Go scheduler, not the server, own every tail —
+// and shedding does not need mean overload anyway. The engine's
+// millisecond pacing granularity lands a Pareto cluster's arrivals
+// simultaneously, so a depth-1 queue overflows inside every burst on
+// any host, however fast its steady-state service is.
+const (
+	e22IsoN         = 2   // slots: fewer contending workers, tighter tails
+	e22IsoProtCount = 400 // protected samples: enough for a stable p99
+	e22ProtRate     = 150 // protected Poisson ops/sec, well inside capacity
+	e22BurstRate    = 500 // bursty Pareto mean ops/sec
+	e22BurstAlpha   = 1.1 // tail index: rare, dense clusters
+)
+
+// e22IsolationResult is one tenant-isolation measurement: the
+// protected tenant's p99 alone on the server, then the same tenant's
+// p99 and the bursty tenant's shed count with a heavy-tailed
+// low-priority flood sharing the front door under shed-by-priority
+// admission.
+type e22IsolationResult struct {
+	unloaded  *workload.TenantResult
+	protected *workload.TenantResult
+	bursty    *workload.TenantResult
+}
+
+// e22Isolation runs both isolation arms: the protected tenant alone,
+// then the protected tenant sharing the front door with the bursty
+// flood. Admission is shed-lowest-priority over a depth-1 queue with
+// the batch cap pinned to 1, so a protected arrival either finds
+// space or evicts a queued bursty request — it is never stuck behind
+// a burst, and waits for at most one in-flight publication.
+func e22Isolation() e22IsolationResult {
+	prot := e22Profile("protected", workload.Poisson(e22ProtRate), e22IsoProtCount, 1)
+	horizon := float64(e22IsoProtCount) / e22ProtRate
+	burst := e22Profile("bursty", workload.ParetoBursts(e22BurstRate, e22BurstAlpha),
+		int(e22BurstRate*horizon), 0)
+	burst.KeyBase = 16
+
+	run := func(profiles []workload.Profile) *workload.Result {
+		sv := serve.New(apram.KCounterSpec{}, e22IsoN,
+			apram.WithQueueDepth(1),
+			apram.WithBatchCap(1),
+			apram.WithAdmission(apram.ShedLowestPriority()))
+		defer sv.Close()
+		res, err := workload.Run(context.Background(), sv, workload.Config{Seed: 22},
+			profiles, workload.KCounterOps())
+		if err != nil {
+			panic("experiments: e22 isolation run failed: " + err.Error())
+		}
+		return res
+	}
+
+	var r e22IsolationResult
+	r.unloaded = run([]workload.Profile{prot}).Tenants["protected"]
+	attacked := run([]workload.Profile{prot, burst})
+	r.protected = attacked.Tenants["protected"]
+	r.bursty = attacked.Tenants["bursty"]
+	return r
+}
+
+// ms renders a duration as milliseconds for table cells.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// E22Workload measures the serving layer under generator-paced load
+// from both sides of the saturation knee, then shows that priority
+// shedding turns overload into a per-tenant property. The knee arm
+// sweeps open-loop Poisson traffic from a quarter of the measured
+// closed-loop capacity μ to four times it: below μ goodput tracks
+// offered load and the p99 stays near the unloaded service time; past
+// μ goodput plateaus at μ while the p99 inflates by orders of
+// magnitude — the queueing knee a closed loop can never exhibit,
+// because closed-loop clients slow down with the server. The isolation
+// arm shares the front door between a protected in-capacity tenant and
+// a low-priority heavy-tailed flood under shed-lowest-priority
+// admission: the flood is shed, the protected tenant's tail stays
+// within a small factor of its unloaded tail, and every admitted
+// operation still completes wait-free — admission trades who gets in,
+// never the progress guarantee of those already in.
+func E22Workload() Table {
+	t := Table{
+		ID:    "E22",
+		Title: "Open-loop overload: the latency knee, and tenant isolation by shedding",
+		PaperClaim: "wait-freedom (§1) bounds the steps of every *admitted* operation but " +
+			"says nothing about queueing ahead of the anchor array; under open-loop " +
+			"arrivals past capacity the queue — not the algorithm — owns the tail, and " +
+			"an admission policy that sheds by priority confines that tail to the " +
+			"tenants that caused it",
+		Columns: []string{"arm", "tenant", "prio", "offered/s", "done", "shed",
+			"goodput/s", "p50 ms", "p99 ms"},
+	}
+	mu := e22Capacity()
+	// The sweep's base rate is μ clamped to what the arrival engine can
+	// pace cleanly on one CPU; the top arm still offers 4x the base, so
+	// the sweep crosses whichever capacity binds first — the server's μ
+	// or the host's pacing ceiling — and the knee appears either way.
+	eff := mu
+	if eff > 4000 {
+		eff = 4000
+	}
+	t.AddRow("closed", "cal", 0, "adaptive", 600, 0, mu, "-", "-")
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		rate := f * eff
+		count := int(rate * 0.8)
+		if count < 100 {
+			count = 100
+		}
+		if count > 2000 {
+			count = 2000
+		}
+		res := e22OpenArm(rate, count)
+		tr := res.Tenants["load"]
+		t.AddRow("open-poisson", "load", 0, rate, tr.Done, tr.Shed,
+			res.Goodput, ms(tr.P50), ms(tr.P99))
+	}
+	iso := e22Isolation()
+	t.AddRow("iso-unloaded", "protected", 1, float64(e22ProtRate), iso.unloaded.Done,
+		iso.unloaded.Shed, "-", ms(iso.unloaded.P50), ms(iso.unloaded.P99))
+	t.AddRow("iso-shed", "protected", 1, float64(e22ProtRate), iso.protected.Done,
+		iso.protected.Shed, "-", ms(iso.protected.P50), ms(iso.protected.P99))
+	t.AddRow("iso-shed", "bursty", 0, float64(e22BurstRate), iso.bursty.Done,
+		iso.bursty.Shed, "-", ms(iso.bursty.P50), ms(iso.bursty.P99))
+	t.Notes = append(t.Notes,
+		"capacity μ is the closed-loop goodput of 2n back-to-back clients; open arms",
+		"offer fixed fractions of μ (clamped to the host's pacing ceiling) so the",
+		"sweep always crosses the binding capacity and the knee is visible",
+		"open-loop latencies include admission wait: past μ the p99 is queueing delay,",
+		"which the closed-loop arm structurally cannot measure (its clients back off)",
+		"isolation runs shed-lowest-priority admission over a depth-1 queue at batch",
+		"cap 1: a protected arrival evicts a queued bursty request instead of waiting",
+		"behind the flood, so the bursty tenant absorbs the sheds (a protected arrival",
+		"is shed only in the rare case its own class already fills the queue) and the",
+		"protected p99 stays within a small factor of unloaded",
+		"wall-clock numbers are machine-dependent; the shapes (plateau, knee, shed",
+		"asymmetry) are the reproducible claim — see TestE22TenantIsolation")
+	return t
+}

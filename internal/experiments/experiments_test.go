@@ -293,7 +293,7 @@ func TestE18BothSubstratesMeasured(t *testing.T) {
 
 func TestRegistryAndRendering(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[18] != "e20" {
+	if len(ids) != 20 || ids[0] != "e1" || ids[13] != "e14" || ids[14] != "e16" || ids[19] != "e22" {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil {
@@ -331,6 +331,35 @@ func TestE19TruncationBoundsRetained(t *testing.T) {
 			t.Errorf("ops=%d: no truncation epoch completed", ops)
 		}
 	}
+}
+
+// TestE22TenantIsolation gates the E22 isolation claim: under
+// shed-lowest-priority admission a heavy-tailed low-priority flood is
+// shed while the protected tenant's p99 stays within 2x of its
+// unloaded p99 and at most a sliver (1%) of its own operations — two
+// protected arrivals landing in the same pacing tick on the same
+// depth-1 queue — are turned away. Wall-clock tails on a loaded
+// single-CPU CI host are noisy, so the gate takes the best of a few
+// attempts — the claim is that the isolated regime is reliably
+// reachable, not that every single run lands in it.
+func TestE22TenantIsolation(t *testing.T) {
+	var last e22IsolationResult
+	for attempt := 0; attempt < 5; attempt++ {
+		iso := e22Isolation()
+		last = iso
+		if iso.bursty.Shed == 0 {
+			continue // flood never overflowed the queue: no isolation to show
+		}
+		if iso.protected.Shed > e22IsoProtCount/100 {
+			continue // a protected burst outran its own priority class
+		}
+		if iso.protected.P99 <= 2*iso.unloaded.P99 {
+			return
+		}
+	}
+	t.Fatalf("isolation not reached in 5 attempts: unloaded p99=%v attacked p99=%v (want <= 2x) protected shed=%d bursty shed=%d/%d",
+		last.unloaded.P99, last.protected.P99, last.protected.Shed,
+		last.bursty.Shed, last.bursty.Shed+last.bursty.Done)
 }
 
 // TestE20ShardFlatSimCounts pins the machine-independent half of the

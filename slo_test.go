@@ -9,6 +9,7 @@ import (
 	"repro/apram"
 	"repro/apram/serve"
 	"repro/apram/telemetry"
+	"repro/apram/workload"
 )
 
 // sloName is the histogram the committed baseline binds; the serve
@@ -99,6 +100,91 @@ func TestSLO_ServeOpLatency(t *testing.T) {
 	}
 	snap := measureServeLatency(t)
 	for _, finding := range telemetry.CheckSLO(snap, slo) {
+		t.Error(finding)
+	}
+}
+
+// e22SLOName is the per-tenant histogram the overload gate binds: the
+// protected tenant's op latency on a server named "e22-gate" sharing
+// its front door with a low-priority heavy-tailed flood under
+// shed-lowest-priority admission (the E22 isolation scenario —
+// internal/experiments/exp_workload.go has the full story).
+const e22SLOName = "serve.e22-gate.protected.op_latency"
+
+// measureProtectedTenant runs the E22 isolation drive once against a
+// telemetry-instrumented server and returns the protected tenant's
+// latency snapshot. The committed bound is ~50x above the healthy
+// measurement, so the gate trips only when admission stops isolating
+// (a blocked or mis-prioritized protected tenant lands in the
+// hundred-millisecond range, not the hundred-microsecond one).
+func measureProtectedTenant(t *testing.T) telemetry.HistSnapshot {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	sv := serve.New(apram.KCounterSpec{}, 2,
+		apram.WithName("e22-gate"),
+		apram.WithTelemetry(reg),
+		apram.WithQueueDepth(1),
+		apram.WithBatchCap(1),
+		apram.WithAdmission(apram.ShedLowestPriority()))
+	defer sv.Close()
+	profiles := []workload.Profile{
+		{
+			Tenant:   "protected",
+			Priority: 1,
+			Arrivals: workload.Poisson(150),
+			Count:    400,
+			Ops:      []workload.OpWeight{{Op: "vinc", Weight: 9}, {Op: "vread", Weight: 1}},
+			Keys:     16,
+		},
+		{
+			Tenant:   "bursty",
+			Arrivals: workload.ParetoBursts(500, 1.1),
+			Count:    1333,
+			Ops:      []workload.OpWeight{{Op: "vinc", Weight: 1}},
+			Keys:     16,
+			KeyBase:  16,
+		},
+	}
+	if _, err := workload.Run(context.Background(), sv, workload.Config{Seed: 7}, profiles, workload.KCounterOps()); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range reg.Snapshot().Hists {
+		if h.Name == e22SLOName {
+			return h.HistSnapshot
+		}
+	}
+	t.Fatalf("no samples recorded under %q", e22SLOName)
+	return telemetry.HistSnapshot{}
+}
+
+// TestSLO_E22ProtectedTenant is the overload gate: with a bursty flood
+// being shed at the front door, the protected tenant's measured p99
+// must stay inside the committed SLO_baseline.json bound. A failure
+// means admission stopped isolating tenants.
+func TestSLO_E22ProtectedTenant(t *testing.T) {
+	f, err := os.Open("SLO_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := telemetry.ReadSLOBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, ok := base.Find(e22SLOName)
+	if !ok {
+		t.Fatalf("baseline commits no objective for %q", e22SLOName)
+	}
+	// One retry: the bound is ~50x above healthy, but a single-CPU CI
+	// host can lose whole scheduler quanta to unrelated load.
+	var findings []string
+	for attempt := 0; attempt < 2; attempt++ {
+		findings = telemetry.CheckSLO(measureProtectedTenant(t), slo)
+		if len(findings) == 0 {
+			return
+		}
+	}
+	for _, finding := range findings {
 		t.Error(finding)
 	}
 }
